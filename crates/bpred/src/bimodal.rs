@@ -1,0 +1,88 @@
+use crate::traits::DirectionPredictor;
+use crate::util::SaturatingCounter;
+
+/// Classic bimodal predictor: a table of 2-bit counters indexed by PC.
+///
+/// Used as the IPC-1-era baseline predictor and as the base component of
+/// [`Tage`](crate::Tage).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SaturatingCounter>,
+    index_mask: u64,
+}
+
+impl Bimodal {
+    /// A bimodal table with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        Bimodal {
+            table: vec![SaturatingCounter::weak_low(2); entries],
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// Direct access to the counter for `pc` (used by TAGE's base
+    /// prediction).
+    pub fn counter(&self, pc: u64) -> SaturatingCounter {
+        self.table[self.index(pc)]
+    }
+
+    /// Trains the counter for `pc` without predicting first.
+    pub fn train(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.counter(pc).is_high()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.train(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_bias() {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..4 {
+            p.update(0x40, true);
+        }
+        assert!(p.predict(0x40));
+        for _ in 0..4 {
+            p.update(0x40, false);
+        }
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..4 {
+            p.update(0x40, true);
+            p.update(0x44, false);
+        }
+        assert!(p.predict(0x40));
+        assert!(!p.predict(0x44));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Bimodal::new(1000);
+    }
+}

@@ -1,0 +1,180 @@
+use champsim_trace::BranchType;
+
+use crate::util::mix64;
+
+/// One BTB entry: the branch's target and its type.
+///
+/// Modern BTBs store the branch type so the front-end knows, before
+/// decode, whether to consult the conditional predictor, the indirect
+/// predictor, or the return address stack (§3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Predicted (last observed) target.
+    pub target: u64,
+    /// Branch type recorded at the last update.
+    pub branch_type: BranchType,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    entry: BtbEntry,
+    lru: u64,
+}
+
+/// Set-associative branch target buffer with true-LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use bpred::Btb;
+/// use champsim_trace::BranchType;
+///
+/// let mut btb = Btb::new(1024, 8);
+/// assert!(btb.lookup(0x400).is_none());
+/// btb.update(0x400, 0x9000, BranchType::DirectJump);
+/// assert_eq!(btb.lookup(0x400).unwrap().target, 0x9000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    lookups: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// A BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible into power-of-two sets of
+    /// `ways`, or either argument is zero.
+    pub fn new(entries: usize, ways: usize) -> Btb {
+        assert!(entries > 0 && ways > 0, "entries and ways must be positive");
+        assert!(entries % ways == 0, "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((mix64(pc >> 2)) & self.set_mask) as usize
+    }
+
+    /// Looks up `pc`, returning its entry on a hit and refreshing LRU.
+    pub fn lookup(&mut self, pc: u64) -> Option<BtbEntry> {
+        self.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(pc);
+        for way in &mut self.sets[set] {
+            if way.tag == pc {
+                way.lru = tick;
+                return Some(way.entry);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs or refreshes the entry for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64, branch_type: BranchType) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.tag == pc) {
+            way.entry = BtbEntry { target, branch_type };
+            way.lru = tick;
+            return;
+        }
+        let new_way = Way { tag: pc, entry: BtbEntry { target, branch_type }, lru: tick };
+        if set.len() < ways {
+            set.push(new_way);
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|w| w.lru)
+                .expect("set is non-empty when full");
+            *victim = new_way;
+        }
+    }
+
+    /// Lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(64, 4);
+        assert!(btb.lookup(0x100).is_none());
+        btb.update(0x100, 0x200, BranchType::DirectCall);
+        let e = btb.lookup(0x100).unwrap();
+        assert_eq!(e.target, 0x200);
+        assert_eq!(e.branch_type, BranchType::DirectCall);
+        assert_eq!(btb.lookups(), 2);
+        assert_eq!(btb.misses(), 1);
+    }
+
+    #[test]
+    fn update_overwrites_target_and_type() {
+        let mut btb = Btb::new(64, 4);
+        btb.update(0x100, 0x200, BranchType::DirectJump);
+        btb.update(0x100, 0x300, BranchType::Indirect);
+        let e = btb.lookup(0x100).unwrap();
+        assert_eq!(e.target, 0x300);
+        assert_eq!(e.branch_type, BranchType::Indirect);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set × 2 ways; pick PCs and force conflict.
+        let mut btb = Btb::new(2, 2);
+        btb.update(0x10, 1, BranchType::DirectJump);
+        btb.update(0x20, 2, BranchType::DirectJump);
+        // Touch 0x10 so 0x20 becomes LRU.
+        assert!(btb.lookup(0x10).is_some());
+        btb.update(0x30, 3, BranchType::DirectJump);
+        assert!(btb.lookup(0x10).is_some(), "recently used entry survives");
+        assert!(btb.lookup(0x20).is_none(), "LRU entry evicted");
+        assert!(btb.lookup(0x30).is_some());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut btb = Btb::new(16, 4);
+        for i in 0..64u64 {
+            btb.update(0x1000 + i * 4, i, BranchType::DirectJump);
+        }
+        let hits = (0..64u64).filter(|i| btb.lookup(0x1000 + i * 4).is_some()).count();
+        assert!(hits <= 16, "only 16 entries can survive: {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        Btb::new(24, 4);
+    }
+}

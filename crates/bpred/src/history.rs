@@ -1,0 +1,195 @@
+/// A global branch-direction history register of arbitrary length.
+///
+/// Stores the most recent outcomes as bits, newest in bit 0. Tagged
+/// geometric predictors ([`Tage`](crate::Tage), [`Ittage`](crate::Ittage))
+/// consume it through [`FoldedHistory`] views that compress a long prefix
+/// into a table index or tag.
+#[derive(Debug, Clone)]
+pub struct GlobalHistory {
+    bits: Vec<u64>,
+    capacity: usize,
+}
+
+impl GlobalHistory {
+    /// History holding up to `capacity` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> GlobalHistory {
+        assert!(capacity > 0, "history capacity must be positive");
+        GlobalHistory { bits: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Number of outcomes retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shifts in one outcome (newest at position 0).
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = taken as u64;
+        for word in &mut self.bits {
+            let out = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = out;
+        }
+    }
+
+    /// The outcome `age` positions back (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is at or beyond the capacity.
+    pub fn bit(&self, age: usize) -> bool {
+        assert!(age < self.capacity, "history age {age} out of range");
+        (self.bits[age / 64] >> (age % 64)) & 1 == 1
+    }
+
+    /// The newest `n` outcomes packed into a word (bit 0 = newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds 64 or the capacity.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64 && n <= self.capacity, "cannot take {n} history bits");
+        if n == 0 {
+            return 0;
+        }
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        self.bits[0] & mask
+    }
+}
+
+/// An incrementally maintained fold of a [`GlobalHistory`] prefix.
+///
+/// Folding XOR-compresses the newest `length` history bits into
+/// `width` bits in O(1) per branch, the standard trick from the TAGE
+/// family. One `FoldedHistory` must observe exactly the same `push`
+/// stream as the `GlobalHistory` it mirrors.
+#[derive(Debug, Clone)]
+pub struct FoldedHistory {
+    folded: u64,
+    length: usize,
+    width: usize,
+    /// Position, within the folded word, where the oldest retained bit
+    /// falls out.
+    out_point: usize,
+}
+
+impl FoldedHistory {
+    /// Folds the newest `length` outcomes into `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 63.
+    pub fn new(length: usize, width: usize) -> FoldedHistory {
+        assert!((1..=63).contains(&width), "folded width {width} out of range");
+        FoldedHistory { folded: 0, length, width, out_point: length % width }
+    }
+
+    /// Current folded value.
+    pub fn value(&self) -> u64 {
+        self.folded
+    }
+
+    /// The history length being folded.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Observes one outcome together with the expiring bit from the
+    /// mirrored [`GlobalHistory`].
+    ///
+    /// `outgoing` must be the bit that is `length` positions old *before*
+    /// this push (i.e. `history.bit(length - 1)` read before
+    /// `history.push`).
+    pub fn push(&mut self, incoming: bool, outgoing: bool) {
+        let mask = (1u64 << self.width) - 1;
+        // Rotate left by one within `width` bits, inject the new bit,
+        // and remove the expiring bit at its folded position.
+        let rotated = ((self.folded << 1) | (self.folded >> (self.width - 1))) & mask;
+        let mut value = rotated ^ (incoming as u64);
+        value ^= (outgoing as u64) << self.out_point;
+        self.folded = value & mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut h = GlobalHistory::new(130);
+        // Push a recognizable pattern: 1,0,1,0,...
+        for i in 0..130 {
+            h.push(i % 2 == 0);
+        }
+        // Newest (age 0) was pushed last: i=129 → odd → false.
+        assert!(!h.bit(0));
+        assert!(h.bit(1));
+        assert!(!h.bit(128));
+        // Low 4 bits, newest at bit 0: 0,1,0,1 → 0b1010.
+        assert_eq!(h.low_bits(4), 0b1010);
+    }
+
+    #[test]
+    fn low_bits_match_individual_bits() {
+        let mut h = GlobalHistory::new(70);
+        let pattern = [true, true, false, true, false, false, true, false];
+        for &b in &pattern {
+            h.push(b);
+        }
+        let low = h.low_bits(8);
+        for (age, _) in pattern.iter().enumerate() {
+            assert_eq!((low >> age) & 1 == 1, h.bit(age), "age {age}");
+        }
+    }
+
+    #[test]
+    fn bits_cross_word_boundaries() {
+        let mut h = GlobalHistory::new(200);
+        h.push(true);
+        for _ in 0..63 {
+            h.push(false);
+        }
+        assert!(h.bit(63));
+        h.push(false);
+        assert!(h.bit(64), "the set bit must carry into the second word");
+    }
+
+    /// The folded value must always equal a from-scratch fold of the
+    /// history contents.
+    #[test]
+    fn folded_history_matches_reference_fold() {
+        let length = 23;
+        let width = 7;
+        let mut h = GlobalHistory::new(length + 1);
+        let mut f = FoldedHistory::new(length, width);
+        let mut outcomes: Vec<bool> = Vec::new();
+        let mut state = 0x1234_5678u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let incoming = state >> 63 == 1;
+            let outgoing = h.bit(length - 1);
+            f.push(incoming, outgoing);
+            h.push(incoming);
+            outcomes.insert(0, incoming);
+            outcomes.truncate(length);
+
+            // Reference fold: XOR width-sized chunks, newest bit at 0.
+            let mut reference = 0u64;
+            for (i, &b) in outcomes.iter().enumerate() {
+                reference ^= (b as u64) << (i % width);
+            }
+            assert_eq!(f.value(), reference);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        GlobalHistory::new(8).bit(8);
+    }
+}

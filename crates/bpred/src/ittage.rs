@@ -1,0 +1,255 @@
+use crate::history::{FoldedHistory, GlobalHistory};
+use crate::traits::IndirectPredictor;
+use crate::util::mix64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IttageEntry {
+    tag: u16,
+    target: u64,
+    confidence: u8, // 2-bit
+    useful: u8,     // 1-bit
+}
+
+#[derive(Debug, Clone)]
+struct IttageTable {
+    entries: Vec<IttageEntry>,
+    index_fold: FoldedHistory,
+    tag_fold: FoldedHistory,
+    history_length: usize,
+    index_mask: u64,
+    tag_mask: u16,
+}
+
+impl IttageTable {
+    fn new(log2: u8, tag_bits: u8, history_length: usize) -> IttageTable {
+        let n = 1usize << log2;
+        IttageTable {
+            entries: vec![IttageEntry::default(); n],
+            index_fold: FoldedHistory::new(history_length, log2 as usize),
+            tag_fold: FoldedHistory::new(history_length, tag_bits as usize),
+            history_length,
+            index_mask: n as u64 - 1,
+            tag_mask: ((1u32 << tag_bits) - 1) as u16,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((mix64(pc >> 2) ^ self.index_fold.value() ^ (self.history_length as u64 * 0x9e37))
+            & self.index_mask) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u16 {
+        (((pc >> 2) as u16) ^ (self.tag_fold.value() as u16)) & self.tag_mask
+    }
+}
+
+/// ITTAGE indirect-branch target predictor (Seznec's tagged-geometric
+/// design, as cited by the paper for the §4 front-end).
+///
+/// A direct-mapped base table remembers the last target per PC; tagged
+/// tables with geometrically increasing global-history lengths provide
+/// context-sensitive targets. The longest hit wins; confidence counters
+/// guard replacement.
+///
+/// # Example
+///
+/// ```
+/// use bpred::{IndirectPredictor, Ittage};
+///
+/// let mut pred = Ittage::default_64kb();
+/// pred.update(0x400, 0x9000);
+/// assert_eq!(pred.predict(0x400), Some(0x9000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ittage {
+    base: Vec<(u64, u64)>, // (pc tag, last target)
+    base_mask: u64,
+    tables: Vec<IttageTable>,
+    history: GlobalHistory,
+    ctx_provider: Option<(usize, usize)>,
+    ctx_pc: u64,
+    rng: u64,
+}
+
+impl Ittage {
+    /// Builds a predictor with `base_log2` base entries and tagged tables
+    /// with the given history lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_lengths` is empty.
+    pub fn new(base_log2: u8, tagged_log2: u8, tag_bits: u8, history_lengths: &[usize]) -> Ittage {
+        assert!(!history_lengths.is_empty(), "ITTAGE needs at least one tagged table");
+        let max_hist = *history_lengths.iter().max().unwrap();
+        Ittage {
+            base: vec![(u64::MAX, 0); 1 << base_log2],
+            base_mask: (1u64 << base_log2) - 1,
+            tables: history_lengths
+                .iter()
+                .map(|&len| IttageTable::new(tagged_log2, tag_bits, len))
+                .collect(),
+            history: GlobalHistory::new(max_hist + 1),
+            ctx_provider: None,
+            ctx_pc: u64::MAX,
+            rng: 0xabcd_ef01_2345_6789,
+        }
+    }
+
+    /// A ~64KB configuration (the paper's §4 front-end).
+    pub fn default_64kb() -> Ittage {
+        Ittage::new(12, 10, 10, &[4, 12, 32, 80, 200])
+    }
+
+    /// Feeds one *conditional-branch or path* outcome bit into the global
+    /// history. The core calls this for every branch so indirect history
+    /// correlates with the control-flow path.
+    pub fn push_history(&mut self, bit: bool) {
+        for t in &mut self.tables {
+            let outgoing = self.history.bit(t.history_length - 1);
+            t.index_fold.push(bit, outgoing);
+            t.tag_fold.push(bit, outgoing);
+        }
+        self.history.push(bit);
+    }
+
+    fn next_random(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        ((mix64(pc) >> 3) & self.base_mask) as usize
+    }
+}
+
+impl IndirectPredictor for Ittage {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        self.ctx_pc = pc;
+        self.ctx_provider = None;
+        for (i, table) in self.tables.iter().enumerate().rev() {
+            let idx = table.index(pc);
+            let e = &table.entries[idx];
+            if e.tag == table.tag(pc) && e.target != 0 {
+                self.ctx_provider = Some((i, idx));
+                return Some(e.target);
+            }
+        }
+        let (tag, target) = self.base[self.base_index(pc)];
+        (tag == pc).then_some(target)
+    }
+
+    fn update(&mut self, pc: u64, target: u64) {
+        // Recompute provider if predict() was not called for this pc.
+        if self.ctx_pc != pc {
+            let _ = self.predict(pc);
+        }
+        let provider = self.ctx_provider.take();
+        self.ctx_pc = u64::MAX;
+
+        let base_idx = self.base_index(pc);
+        let (base_tag, base_target) = self.base[base_idx];
+        let base_correct = base_tag == pc && base_target == target;
+
+        let mut provider_correct = false;
+        if let Some((t, idx)) = provider {
+            let e = &mut self.tables[t].entries[idx];
+            provider_correct = e.target == target;
+            if provider_correct {
+                e.confidence = (e.confidence + 1).min(3);
+                if !base_correct {
+                    e.useful = 1;
+                }
+            } else if e.confidence > 0 {
+                e.confidence -= 1;
+            } else {
+                e.target = target;
+                e.useful = 0;
+            }
+        }
+
+        // Base table always tracks the last target.
+        self.base[base_idx] = (pc, target);
+
+        // Allocate a longer-history entry on a miss or wrong prediction.
+        if !provider_correct {
+            let start = provider.map_or(0, |(t, _)| t + 1);
+            if start < self.tables.len() {
+                let skip = (self.next_random() & 1) as usize;
+                let from = start + skip.min(self.tables.len() - start - 1);
+                for t in from..self.tables.len() {
+                    let idx = self.tables[t].index(pc);
+                    let tag = self.tables[t].tag(pc);
+                    let e = &mut self.tables[t].entries[idx];
+                    if e.useful == 0 {
+                        *e = IttageEntry { tag, target, confidence: 0, useful: 0 };
+                        break;
+                    }
+                    e.useful = 0; // decay on contention
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_table_remembers_last_target() {
+        let mut p = Ittage::default_64kb();
+        assert_eq!(p.predict(0x400), None);
+        p.update(0x400, 0x9000);
+        assert_eq!(p.predict(0x400), Some(0x9000));
+        p.update(0x400, 0xA000);
+        assert_eq!(p.predict(0x400), Some(0xA000));
+    }
+
+    #[test]
+    fn history_correlated_targets_are_learned() {
+        // An indirect branch alternating between two targets, perfectly
+        // correlated with the preceding conditional outcome.
+        let mut p = Ittage::new(10, 8, 9, &[2, 4, 8, 16]);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..4000 {
+            let phase = i % 2 == 0;
+            p.push_history(phase);
+            let target = if phase { 0x9000 } else { 0xA000 };
+            let pred = p.predict(0x400);
+            if i > 1000 {
+                total += 1;
+                if pred == Some(target) {
+                    correct += 1;
+                }
+            }
+            p.update(0x400, target);
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "correlated indirect should be learned: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn distinct_branches_are_separate() {
+        let mut p = Ittage::default_64kb();
+        p.update(0x100, 0x1111);
+        p.update(0x200, 0x2222);
+        assert_eq!(p.predict(0x100), Some(0x1111));
+        assert_eq!(p.predict(0x200), Some(0x2222));
+    }
+
+    #[test]
+    fn update_without_predict_is_allowed() {
+        let mut p = Ittage::default_64kb();
+        for i in 0..50 {
+            p.update(0x100 + i * 8, 0x9000 + i);
+            p.push_history(i % 3 == 0);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Branch prediction substrate for the ChampSim-class core model.
+//!
+//! The paper's evaluation front-end uses a 16K-entry BTB, a 64KB
+//! TAGE-SC-L conditional predictor and a 64KB ITTAGE indirect predictor
+//! (§4). This crate implements those structures plus the simpler
+//! predictors used as baselines and for ablations:
+//!
+//! * [`Bimodal`], [`Gshare`] — classic table predictors,
+//! * [`Tage`] — TAGE with a statistical corrector and loop predictor
+//!   (TAGE-SC-L in the championship lineage),
+//! * [`Ittage`] — tagged-geometric indirect target predictor,
+//! * [`Btb`] — set-associative branch target buffer that also remembers
+//!   the branch type,
+//! * [`ReturnAddressStack`] — the RAS whose behaviour the paper's
+//!   `call-stack` improvement repairs.
+//!
+//! All predictors are deterministic and allocation-free after
+//! construction.
+//!
+//! # Example
+//!
+//! ```
+//! use bpred::{DirectionPredictor, Tage};
+//!
+//! let mut tage = Tage::default_64kb();
+//! // A branch that is always taken becomes perfectly predicted.
+//! let mut correct = 0;
+//! for _ in 0..1000 {
+//!     if tage.predict(0x400) {
+//!         correct += 1;
+//!     }
+//!     tage.update(0x400, true);
+//! }
+//! assert!(correct > 950);
+//! ```
+
+pub mod vpred;
+
+mod bimodal;
+mod btb;
+mod gshare;
+mod history;
+mod ittage;
+mod perceptron;
+mod ras;
+mod tage;
+mod traits;
+mod util;
+
+pub use bimodal::Bimodal;
+pub use btb::{Btb, BtbEntry};
+pub use gshare::Gshare;
+pub use history::{FoldedHistory, GlobalHistory};
+pub use ittage::Ittage;
+pub use perceptron::HashedPerceptron;
+pub use ras::ReturnAddressStack;
+pub use tage::{Tage, TageConfig};
+pub use traits::{DirectionPredictor, IndirectPredictor};
+pub use util::SaturatingCounter;

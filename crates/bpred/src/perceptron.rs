@@ -1,0 +1,175 @@
+use crate::history::GlobalHistory;
+use crate::traits::DirectionPredictor;
+use crate::util::mix64;
+
+/// Hashed perceptron direction predictor.
+///
+/// The multi-table perceptron used in several championship entries and
+/// industrial designs: each of `T` tables is indexed by a hash of the PC
+/// and one segment of global history; the signed weights are summed and
+/// the sign gives the prediction. Training updates every contributing
+/// weight when the prediction was wrong or the margin was below the
+/// threshold.
+///
+/// Provided as an ablation point between [`Gshare`](crate::Gshare) and
+/// [`Tage`](crate::Tage).
+///
+/// # Example
+///
+/// ```
+/// use bpred::{DirectionPredictor, HashedPerceptron};
+///
+/// let mut p = HashedPerceptron::default_config();
+/// for _ in 0..200 {
+///     p.update(0x40, true);
+/// }
+/// assert!(p.predict(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashedPerceptron {
+    tables: Vec<Vec<i8>>,
+    mask: usize,
+    segments: Vec<usize>,
+    history: GlobalHistory,
+    threshold: i32,
+    /// Last computed sum, reused by `update` when paired with `predict`.
+    last: Option<(u64, i32)>,
+}
+
+impl HashedPerceptron {
+    /// Builds a predictor with `2^table_log2` weights per table and one
+    /// table per history segment length in `segments` (0 = PC-only bias
+    /// table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or any segment exceeds 64 bits.
+    pub fn new(table_log2: u8, segments: &[usize]) -> HashedPerceptron {
+        assert!(!segments.is_empty(), "perceptron needs at least one table");
+        assert!(segments.iter().all(|&s| s <= 64), "history segments are at most 64 bits");
+        let size = 1usize << table_log2;
+        let max_hist = segments.iter().copied().max().expect("non-empty").max(1);
+        HashedPerceptron {
+            tables: vec![vec![0i8; size]; segments.len()],
+            mask: size - 1,
+            segments: segments.to_vec(),
+            history: GlobalHistory::new(max_hist),
+            threshold: (1.93 * segments.len() as f64 + 14.0) as i32,
+            last: None,
+        }
+    }
+
+    /// An eight-table configuration comparable to a ~16KB budget.
+    pub fn default_config() -> HashedPerceptron {
+        HashedPerceptron::new(12, &[0, 3, 6, 12, 18, 27, 44, 64])
+    }
+
+    fn indices(&self, pc: u64) -> Vec<usize> {
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(t, &seg)| {
+                let hist = if seg == 0 { 0 } else { self.history.low_bits(seg) };
+                (mix64(pc.rotate_left(t as u32 * 7) ^ hist.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    as usize)
+                    & self.mask
+            })
+            .collect()
+    }
+
+    fn sum(&self, pc: u64) -> i32 {
+        self.indices(pc)
+            .iter()
+            .zip(&self.tables)
+            .map(|(&i, t)| t[i] as i32)
+            .sum()
+    }
+}
+
+impl DirectionPredictor for HashedPerceptron {
+    fn predict(&mut self, pc: u64) -> bool {
+        let sum = self.sum(pc);
+        self.last = Some((pc, sum));
+        sum >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let sum = match self.last.take() {
+            Some((last_pc, s)) if last_pc == pc => s,
+            _ => self.sum(pc),
+        };
+        let correct = (sum >= 0) == taken;
+        if !correct || sum.abs() <= self.threshold {
+            for (&i, t) in self.indices(pc).iter().zip(self.tables.iter_mut()) {
+                let w = &mut t[i];
+                *w = if taken { w.saturating_add(1).min(63) } else { w.saturating_sub(1).max(-64) };
+            }
+        }
+        self.history.push(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy(mut p: HashedPerceptron, outcomes: impl Iterator<Item = (u64, bool)>) -> f64 {
+        let mut total = 0u64;
+        let mut correct = 0u64;
+        for (pc, taken) in outcomes {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+            total += 1;
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let acc = accuracy(
+            HashedPerceptron::default_config(),
+            (0..3000).map(|i| (0x100 + (i % 5) * 4, true)),
+        );
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn learns_history_patterns() {
+        let pattern = [true, true, false, true];
+        let acc = accuracy(
+            HashedPerceptron::default_config(),
+            (0..6000).map(|i| (0x400, pattern[i % 4])),
+        );
+        assert!(acc > 0.9, "period-4 pattern should be learnable: {acc}");
+    }
+
+    #[test]
+    fn cannot_learn_randomness() {
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 62) & 1 == 1
+        };
+        let acc = accuracy(
+            HashedPerceptron::default_config(),
+            (0..4000).map(move |_| (0x400, next())),
+        );
+        assert!(acc < 0.65, "{acc}");
+    }
+
+    #[test]
+    fn update_without_predict_is_allowed() {
+        let mut p = HashedPerceptron::new(8, &[0, 4]);
+        for i in 0..200 {
+            p.update(0x40 + (i % 3) * 4, i % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_segments_panic() {
+        HashedPerceptron::new(8, &[]);
+    }
+}

@@ -1,0 +1,39 @@
+/// A conditional-branch direction predictor.
+///
+/// The trace-driven core calls [`predict`](DirectionPredictor::predict)
+/// once per conditional branch and then
+/// [`update`](DirectionPredictor::update) with the real outcome, in
+/// program order. Implementations may stash prediction-time context
+/// between the two calls (the calls always pair up).
+pub trait DirectionPredictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains with the resolved outcome of the most recent
+    /// [`predict`](DirectionPredictor::predict) for `pc` and advances any
+    /// internal history.
+    fn update(&mut self, pc: u64, taken: bool);
+}
+
+/// An indirect-branch target predictor.
+pub trait IndirectPredictor {
+    /// Predicts the target of the indirect branch at `pc`, or `None` if
+    /// the predictor has no prediction.
+    fn predict(&mut self, pc: u64) -> Option<u64>;
+
+    /// Trains with the resolved `target` of the branch at `pc`.
+    fn update(&mut self, pc: u64, target: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The traits must stay object-safe: the simulator stores predictors
+    /// as `Box<dyn …>`.
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_dir(_: &mut dyn DirectionPredictor) {}
+        fn _takes_ind(_: &mut dyn IndirectPredictor) {}
+    }
+}

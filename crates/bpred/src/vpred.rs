@@ -1,0 +1,253 @@
+//! Value predictors — the structures the CVP-1 championship itself was
+//! about.
+//!
+//! The CVP-1 traces exist because they carry *output register values*,
+//! enabling value-prediction research. The paper converts them for
+//! front-end/back-end timing studies instead, but a faithful CVP-1 stack
+//! deserves the original use case too: these predictors consume the same
+//! per-instruction `(pc, value)` stream a CVP-1 simulator feeds its
+//! contestants, and the `value_prediction` example measures how
+//! predictable the synthetic suites are per instruction class.
+
+use crate::util::mix64;
+
+/// A value predictor in the CVP-1 mold: predict the 64-bit result of the
+/// instruction at `pc`, then learn the actual value.
+pub trait ValuePredictor {
+    /// Predicts the value produced at `pc`, or `None` for no prediction
+    /// (CVP-1 scoring treats abstaining very differently from a wrong
+    /// prediction, so the interface keeps the distinction).
+    fn predict(&mut self, pc: u64) -> Option<u64>;
+
+    /// Trains with the actual produced value.
+    fn update(&mut self, pc: u64, value: u64);
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LvpEntry {
+    tag: u64,
+    value: u64,
+    confidence: u8,
+}
+
+/// Last-value predictor with confidence counters.
+///
+/// Predicts that an instruction produces the same value as last time,
+/// once the value has repeated `confidence_threshold` times.
+#[derive(Debug, Clone)]
+pub struct LastValuePredictor {
+    table: Vec<LvpEntry>,
+    mask: usize,
+    confidence_threshold: u8,
+}
+
+impl LastValuePredictor {
+    /// A predictor with `2^log2` entries predicting after `threshold`
+    /// consecutive repeats.
+    pub fn new(log2: u8, threshold: u8) -> LastValuePredictor {
+        LastValuePredictor {
+            table: vec![LvpEntry { tag: u64::MAX, value: 0, confidence: 0 }; 1 << log2],
+            mask: (1 << log2) - 1,
+            confidence_threshold: threshold,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (mix64(pc) as usize) & self.mask
+    }
+}
+
+impl ValuePredictor for LastValuePredictor {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        let e = &self.table[self.index(pc)];
+        (e.tag == pc && e.confidence >= self.confidence_threshold).then_some(e.value)
+    }
+
+    fn update(&mut self, pc: u64, value: u64) {
+        let idx = self.index(pc);
+        let e = &mut self.table[idx];
+        if e.tag == pc {
+            if e.value == value {
+                e.confidence = e.confidence.saturating_add(1);
+            } else {
+                e.value = value;
+                e.confidence = 0;
+            }
+        } else {
+            *e = LvpEntry { tag: pc, value, confidence: 0 };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    tag: u64,
+    last: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Stride value predictor: predicts `last + stride` once the stride has
+/// repeated — the natural predictor for base-update address streams.
+#[derive(Debug, Clone)]
+pub struct StrideValuePredictor {
+    table: Vec<StrideEntry>,
+    mask: usize,
+    confidence_threshold: u8,
+}
+
+impl StrideValuePredictor {
+    /// A predictor with `2^log2` entries predicting after `threshold`
+    /// consecutive identical strides.
+    pub fn new(log2: u8, threshold: u8) -> StrideValuePredictor {
+        StrideValuePredictor {
+            table: vec![
+                StrideEntry { tag: u64::MAX, last: 0, stride: 0, confidence: 0 };
+                1 << log2
+            ],
+            mask: (1 << log2) - 1,
+            confidence_threshold: threshold,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (mix64(pc.rotate_left(11)) as usize) & self.mask
+    }
+}
+
+impl ValuePredictor for StrideValuePredictor {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        let e = &self.table[self.index(pc)];
+        (e.tag == pc && e.confidence >= self.confidence_threshold)
+            .then(|| e.last.wrapping_add(e.stride as u64))
+    }
+
+    fn update(&mut self, pc: u64, value: u64) {
+        let idx = self.index(pc);
+        let e = &mut self.table[idx];
+        if e.tag == pc {
+            let stride = value.wrapping_sub(e.last) as i64;
+            if stride == e.stride {
+                e.confidence = e.confidence.saturating_add(1);
+            } else {
+                e.stride = stride;
+                e.confidence = 0;
+            }
+            e.last = value;
+        } else {
+            *e = StrideEntry { tag: pc, last: value, stride: 0, confidence: 0 };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+/// A last-value/stride hybrid: stride wins when confident, otherwise
+/// last-value; both components always train.
+#[derive(Debug, Clone)]
+pub struct HybridValuePredictor {
+    last_value: LastValuePredictor,
+    stride: StrideValuePredictor,
+}
+
+impl HybridValuePredictor {
+    /// A hybrid over `2^log2`-entry components.
+    pub fn new(log2: u8) -> HybridValuePredictor {
+        HybridValuePredictor {
+            last_value: LastValuePredictor::new(log2, 3),
+            stride: StrideValuePredictor::new(log2, 3),
+        }
+    }
+}
+
+impl ValuePredictor for HybridValuePredictor {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        self.stride.predict(pc).or_else(|| self.last_value.predict(pc))
+    }
+
+    fn update(&mut self, pc: u64, value: u64) {
+        self.stride.update(pc, value);
+        self.last_value.update(pc, value);
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_locks_onto_constants() {
+        let mut p = LastValuePredictor::new(8, 3);
+        for _ in 0..4 {
+            assert_eq!(p.predict(0x40), None, "not confident yet");
+            p.update(0x40, 99);
+        }
+        assert_eq!(p.predict(0x40), Some(99));
+        p.update(0x40, 100); // value changes: confidence resets
+        assert_eq!(p.predict(0x40), None);
+    }
+
+    #[test]
+    fn stride_follows_arithmetic_sequences() {
+        let mut p = StrideValuePredictor::new(8, 2);
+        for i in 0..5u64 {
+            p.update(0x40, 1000 + i * 16);
+        }
+        assert_eq!(p.predict(0x40), Some(1000 + 5 * 16));
+    }
+
+    #[test]
+    fn stride_handles_wrapping() {
+        let mut p = StrideValuePredictor::new(8, 2);
+        for i in 0..5u64 {
+            p.update(0x40, (u64::MAX - 10).wrapping_add(i * 4));
+        }
+        let expected = (u64::MAX - 10).wrapping_add(5 * 4);
+        assert_eq!(p.predict(0x40), Some(expected));
+    }
+
+    #[test]
+    fn hybrid_prefers_stride_then_falls_back() {
+        let mut p = HybridValuePredictor::new(8);
+        for i in 0..6u64 {
+            p.update(0x40, i * 8); // stride stream
+            p.update(0x80, 7); // constant stream
+        }
+        assert_eq!(p.predict(0x40), Some(6 * 8));
+        assert_eq!(p.predict(0x80), Some(7));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere() {
+        let mut p = LastValuePredictor::new(10, 1);
+        for _ in 0..3 {
+            p.update(0x100, 1);
+            p.update(0x104, 2);
+        }
+        assert_eq!(p.predict(0x100), Some(1));
+        assert_eq!(p.predict(0x104), Some(2));
+    }
+
+    #[test]
+    fn predictors_are_object_safe() {
+        let predictors: Vec<Box<dyn ValuePredictor>> = vec![
+            Box::new(LastValuePredictor::new(4, 1)),
+            Box::new(StrideValuePredictor::new(4, 1)),
+            Box::new(HybridValuePredictor::new(4)),
+        ];
+        assert_eq!(predictors.len(), 3);
+    }
+}

@@ -1,0 +1,298 @@
+use std::fmt;
+
+use crate::record::ChampsimRecord;
+use crate::regs;
+
+/// The six branch types ChampSim distinguishes (plus non-branch and a
+/// catch-all), deduced from special-register usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchType {
+    /// Not a branch.
+    NotBranch,
+    /// Unconditional direct jump.
+    DirectJump,
+    /// Unconditional indirect jump.
+    Indirect,
+    /// Conditional branch.
+    Conditional,
+    /// Direct call.
+    DirectCall,
+    /// Indirect call.
+    IndirectCall,
+    /// Return.
+    Return,
+    /// A branch whose register pattern matches no known type.
+    Other,
+}
+
+impl BranchType {
+    /// `true` for the call types.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchType::DirectCall | BranchType::IndirectCall)
+    }
+
+    /// `true` for branches whose target cannot be computed at decode
+    /// (indirect jumps, indirect calls, returns).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, BranchType::Indirect | BranchType::IndirectCall | BranchType::Return)
+    }
+
+    /// All real branch types, in a stable order.
+    pub const BRANCHES: [BranchType; 6] = [
+        BranchType::DirectJump,
+        BranchType::Indirect,
+        BranchType::Conditional,
+        BranchType::DirectCall,
+        BranchType::IndirectCall,
+        BranchType::Return,
+    ];
+}
+
+impl fmt::Display for BranchType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchType::NotBranch => "not-branch",
+            BranchType::DirectJump => "direct-jump",
+            BranchType::Indirect => "indirect-jump",
+            BranchType::Conditional => "conditional",
+            BranchType::DirectCall => "direct-call",
+            BranchType::IndirectCall => "indirect-call",
+            BranchType::Return => "return",
+            BranchType::Other => "other-branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which version of ChampSim's branch-classification rules to apply.
+///
+/// ChampSim infers the branch type of a trace record from which special
+/// registers it reads and writes, testing the patterns in a fixed order
+/// (indirect **before** conditional). The paper (§3.2.2) keeps the real
+/// source registers of conditional branches in the converted trace, which
+/// breaks two of the original rules; it therefore patches ChampSim:
+///
+/// * a conditional branch may read *flags or any other register* (the
+///   original required flags and nothing else), and
+/// * an indirect jump must additionally *not read the instruction
+///   pointer*, so that conditionals (which do read it) no longer match
+///   the indirect rule that is tested first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchRules {
+    /// The rules in ChampSim before the paper's patch.
+    Original,
+    /// The rules with the paper's §3.2.2 patch applied.
+    #[default]
+    Patched,
+}
+
+impl BranchRules {
+    /// Classifies a record exactly as the corresponding ChampSim build
+    /// would.
+    pub fn classify(self, rec: &ChampsimRecord) -> BranchType {
+        let reads_sp = rec.reads(regs::STACK_POINTER);
+        let reads_ip = rec.reads(regs::INSTRUCTION_POINTER);
+        let reads_flags = rec.reads(regs::FLAGS);
+        let reads_other = rec.reads_other();
+        let writes_sp = rec.writes(regs::STACK_POINTER);
+        let writes_ip = rec.writes(regs::INSTRUCTION_POINTER);
+
+        if !writes_ip {
+            return BranchType::NotBranch;
+        }
+
+        // The pattern tests below run in ChampSim's order: jump forms
+        // first, then calls/returns, then conditional.
+        if !reads_sp && !writes_sp && !reads_flags && !reads_other && reads_ip {
+            return BranchType::DirectJump;
+        }
+        let indirect_extra = match self {
+            BranchRules::Original => true,
+            BranchRules::Patched => !reads_ip,
+        };
+        if !reads_sp && !writes_sp && !reads_flags && reads_other && indirect_extra {
+            return BranchType::Indirect;
+        }
+        let conditional_operands = match self {
+            BranchRules::Original => reads_flags && !reads_other,
+            BranchRules::Patched => reads_flags || reads_other,
+        };
+        if !reads_sp && !writes_sp && reads_ip && conditional_operands {
+            return BranchType::Conditional;
+        }
+        if reads_sp && writes_sp && reads_ip && !reads_flags && !reads_other {
+            return BranchType::DirectCall;
+        }
+        if reads_sp && writes_sp && !reads_ip && !reads_flags && reads_other {
+            return BranchType::IndirectCall;
+        }
+        if reads_sp && writes_sp && !reads_ip && !reads_flags && !reads_other {
+            return BranchType::Return;
+        }
+        BranchType::Other
+    }
+}
+
+impl fmt::Display for BranchRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchRules::Original => f.write_str("original"),
+            BranchRules::Patched => f.write_str("patched"),
+        }
+    }
+}
+
+/// Helpers to build records with canonical x86 branch register patterns.
+///
+/// These are the patterns the converter emits so that ChampSim recognizes
+/// each branch type; they are exposed for tests and for the workload
+/// generators.
+pub mod pattern {
+    use super::*;
+
+    /// `jmp rel32`: reads and writes IP.
+    pub fn direct_jump(ip: u64, taken: bool) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(regs::INSTRUCTION_POINTER);
+        r
+    }
+
+    /// `jcc`: reads IP and flags, writes IP.
+    pub fn conditional(ip: u64, taken: bool) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(regs::INSTRUCTION_POINTER);
+        r.add_source_register(regs::FLAGS);
+        r
+    }
+
+    /// `jmp r`: reads an arbitrary register, writes IP.
+    pub fn indirect_jump(ip: u64, taken: bool, src: u8) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(src);
+        r
+    }
+
+    /// `call rel32`: reads IP and SP, writes IP and SP.
+    pub fn direct_call(ip: u64, taken: bool) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(regs::INSTRUCTION_POINTER);
+        r.add_source_register(regs::STACK_POINTER);
+        r.add_destination_register(regs::STACK_POINTER);
+        r
+    }
+
+    /// `call r`: reads SP and an arbitrary register, writes IP and SP.
+    pub fn indirect_call(ip: u64, taken: bool, src: u8) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(regs::STACK_POINTER);
+        r.add_source_register(src);
+        r.add_destination_register(regs::STACK_POINTER);
+        r
+    }
+
+    /// `ret`: reads SP, writes IP and SP.
+    pub fn ret(ip: u64, taken: bool) -> ChampsimRecord {
+        let mut r = base(ip, taken);
+        r.add_source_register(regs::STACK_POINTER);
+        r.add_destination_register(regs::STACK_POINTER);
+        r
+    }
+
+    fn base(ip: u64, taken: bool) -> ChampsimRecord {
+        let mut r = ChampsimRecord::new(ip);
+        r.set_branch(true);
+        r.set_branch_taken(taken);
+        r.add_destination_register(regs::INSTRUCTION_POINTER);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_patterns_classify_identically_under_both_rule_sets() {
+        let cases = [
+            (pattern::direct_jump(0, true), BranchType::DirectJump),
+            (pattern::conditional(0, false), BranchType::Conditional),
+            (pattern::indirect_jump(0, true, regs::arch(9)), BranchType::Indirect),
+            (pattern::direct_call(0, true), BranchType::DirectCall),
+            (pattern::indirect_call(0, true, regs::arch(30)), BranchType::IndirectCall),
+            (pattern::ret(0, true), BranchType::Return),
+        ];
+        for (rec, expected) in cases {
+            assert_eq!(BranchRules::Original.classify(&rec), expected, "original: {rec}");
+            assert_eq!(BranchRules::Patched.classify(&rec), expected, "patched: {rec}");
+        }
+    }
+
+    #[test]
+    fn non_branch_is_not_classified() {
+        let mut rec = ChampsimRecord::new(0);
+        rec.add_source_register(regs::arch(1));
+        rec.add_destination_register(regs::arch(2));
+        assert_eq!(BranchRules::Patched.classify(&rec), BranchType::NotBranch);
+    }
+
+    /// The paper's motivating misclassification: a conditional branch that
+    /// keeps a general-purpose source register (`cbz x5, …`) instead of
+    /// reading flags. The original rules test *indirect* first and accept
+    /// it; the patched rules require indirect jumps not to read IP, so the
+    /// record falls through to the (relaxed) conditional rule.
+    #[test]
+    fn register_reading_conditional_needs_the_patch() {
+        let mut rec = pattern::conditional(0x10, true);
+        rec.remove_source_register(regs::FLAGS);
+        rec.add_source_register(regs::arch(5));
+        assert_eq!(BranchRules::Original.classify(&rec), BranchType::Indirect);
+        assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Conditional);
+    }
+
+    /// A conditional branch reading flags *and* a general-purpose register
+    /// fails the original "flags and nothing else" test.
+    #[test]
+    fn conditional_with_extra_source_needs_the_patch() {
+        let mut rec = pattern::conditional(0x10, true);
+        rec.add_source_register(regs::arch(7));
+        assert_eq!(BranchRules::Original.classify(&rec), BranchType::Other);
+        assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Conditional);
+    }
+
+    /// Indirect jumps don't read IP (x86 indirect targets are absolute),
+    /// so the patch does not disturb them.
+    #[test]
+    fn true_indirect_survives_the_patch() {
+        let rec = pattern::indirect_jump(0, true, regs::arch(3));
+        assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Indirect);
+    }
+
+    #[test]
+    fn unknown_pattern_is_other() {
+        // Writes IP and SP but reads nothing: no rule matches.
+        let mut rec = ChampsimRecord::new(0);
+        rec.set_branch(true);
+        rec.add_destination_register(regs::INSTRUCTION_POINTER);
+        rec.add_destination_register(regs::STACK_POINTER);
+        assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Other);
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert!(BranchType::DirectCall.is_call());
+        assert!(BranchType::IndirectCall.is_call());
+        assert!(!BranchType::Return.is_call());
+        assert!(BranchType::Return.is_indirect());
+        assert!(BranchType::Indirect.is_indirect());
+        assert!(!BranchType::DirectJump.is_indirect());
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let mut names: Vec<String> =
+            BranchType::BRANCHES.iter().map(|b| b.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), BranchType::BRANCHES.len());
+    }
+}

@@ -1,0 +1,51 @@
+//! ChampSim trace format.
+//!
+//! ChampSim consumes traces of fixed 64-byte records originally produced by
+//! a Pin tool on x86. Each record carries the instruction pointer, a branch
+//! flag and outcome, up to two destination and four source registers, and
+//! up to two destination and four source memory addresses. There is **no
+//! operation-type field**: ChampSim decides whether an instruction is a
+//! load/store by looking at the memory fields, and decides the *branch
+//! type* from which special x86 registers (stack pointer, flags,
+//! instruction pointer) the instruction reads and writes.
+//!
+//! This crate provides:
+//!
+//! * [`ChampsimRecord`] — the 64-byte record with encode/decode,
+//! * [`ChampsimReader`] / [`ChampsimWriter`] — streaming codecs,
+//! * [`regs`] — the special register numbers and the architectural
+//!   register mapping used when converting from Aarch64,
+//! * [`BranchType`] / [`BranchRules`] — ChampSim's register-based branch
+//!   classification, in both the `Original` form and the `Patched` form
+//!   the paper introduces (§3.2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use champsim_trace::{BranchRules, BranchType, ChampsimRecord, regs};
+//!
+//! // An x86-style conditional branch: reads+writes IP, reads flags.
+//! let mut rec = ChampsimRecord::new(0x4000);
+//! rec.set_branch(true);
+//! rec.add_source_register(regs::INSTRUCTION_POINTER);
+//! rec.add_source_register(regs::FLAGS);
+//! rec.add_destination_register(regs::INSTRUCTION_POINTER);
+//!
+//! assert_eq!(BranchRules::Original.classify(&rec), BranchType::Conditional);
+//! assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Conditional);
+//! ```
+
+pub mod regs;
+
+mod branch;
+mod error;
+mod record;
+mod rw;
+
+pub use branch::{pattern, BranchRules, BranchType};
+pub use error::ChampsimTraceError;
+pub use record::{
+    ChampsimRecord, NUM_DEST_MEMORY, NUM_DEST_REGISTERS, NUM_SOURCE_MEMORY, NUM_SOURCE_REGISTERS,
+    RECORD_BYTES,
+};
+pub use rw::{ChampsimReader, ChampsimWriter};

@@ -1,0 +1,342 @@
+use std::fmt;
+
+use crate::regs;
+
+/// Destination register slots per record.
+pub const NUM_DEST_REGISTERS: usize = 2;
+/// Source register slots per record.
+pub const NUM_SOURCE_REGISTERS: usize = 4;
+/// Destination memory (store address) slots per record.
+pub const NUM_DEST_MEMORY: usize = 2;
+/// Source memory (load address) slots per record.
+pub const NUM_SOURCE_MEMORY: usize = 4;
+/// Encoded record size: every instruction occupies exactly 64 bytes.
+pub const RECORD_BYTES: usize = 64;
+
+/// One ChampSim trace record (the `input_instr` of the C++ simulator).
+///
+/// The format is strict: a register-only ALU instruction still occupies
+/// all 64 bytes, with its unused slots zeroed. Slot value `0`
+/// ([`regs::NONE`]) marks an empty register slot and address `0` an empty
+/// memory slot, so neither can be used by a real operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChampsimRecord {
+    ip: u64,
+    is_branch: bool,
+    branch_taken: bool,
+    dest_regs: [u8; NUM_DEST_REGISTERS],
+    src_regs: [u8; NUM_SOURCE_REGISTERS],
+    dest_mem: [u64; NUM_DEST_MEMORY],
+    src_mem: [u64; NUM_SOURCE_MEMORY],
+}
+
+impl ChampsimRecord {
+    /// A record at instruction pointer `ip` with every slot empty.
+    pub fn new(ip: u64) -> ChampsimRecord {
+        ChampsimRecord { ip, ..ChampsimRecord::default() }
+    }
+
+    /// Instruction pointer.
+    pub fn ip(&self) -> u64 {
+        self.ip
+    }
+
+    /// Sets the instruction pointer.
+    pub fn set_ip(&mut self, ip: u64) {
+        self.ip = ip;
+    }
+
+    /// The record's branch flag.
+    pub fn is_branch(&self) -> bool {
+        self.is_branch
+    }
+
+    /// Sets the branch flag.
+    pub fn set_branch(&mut self, is_branch: bool) {
+        self.is_branch = is_branch;
+    }
+
+    /// Branch outcome (meaningful only when [`is_branch`] is set).
+    ///
+    /// [`is_branch`]: ChampsimRecord::is_branch
+    pub fn branch_taken(&self) -> bool {
+        self.branch_taken
+    }
+
+    /// Sets the branch outcome.
+    pub fn set_branch_taken(&mut self, taken: bool) {
+        self.branch_taken = taken;
+    }
+
+    /// Occupied destination register slots.
+    pub fn destination_registers(&self) -> impl Iterator<Item = u8> + '_ {
+        self.dest_regs.iter().copied().filter(|&r| r != regs::NONE)
+    }
+
+    /// Occupied source register slots.
+    pub fn source_registers(&self) -> impl Iterator<Item = u8> + '_ {
+        self.src_regs.iter().copied().filter(|&r| r != regs::NONE)
+    }
+
+    /// Occupied store-address slots.
+    pub fn destination_memory(&self) -> impl Iterator<Item = u64> + '_ {
+        self.dest_mem.iter().copied().filter(|&a| a != 0)
+    }
+
+    /// Occupied load-address slots.
+    pub fn source_memory(&self) -> impl Iterator<Item = u64> + '_ {
+        self.src_mem.iter().copied().filter(|&a| a != 0)
+    }
+
+    /// Appends a destination register if a slot is free and the register
+    /// is not already present; reports whether it was stored.
+    ///
+    /// Silently dropping overflow mirrors the fixed-width trace format:
+    /// the converter decides *which* registers matter before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is [`regs::NONE`], which would be indistinguishable
+    /// from an empty slot.
+    pub fn add_destination_register(&mut self, reg: u8) -> bool {
+        assert_ne!(reg, regs::NONE, "register 0 marks an empty slot");
+        add_reg(&mut self.dest_regs, reg)
+    }
+
+    /// Appends a source register (same semantics as
+    /// [`add_destination_register`](ChampsimRecord::add_destination_register)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is [`regs::NONE`].
+    pub fn add_source_register(&mut self, reg: u8) -> bool {
+        assert_ne!(reg, regs::NONE, "register 0 marks an empty slot");
+        add_reg(&mut self.src_regs, reg)
+    }
+
+    /// Appends a store address; reports whether it was stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is zero (the empty-slot marker).
+    pub fn add_destination_memory(&mut self, address: u64) -> bool {
+        assert_ne!(address, 0, "address 0 marks an empty slot");
+        add_mem(&mut self.dest_mem, address)
+    }
+
+    /// Appends a load address; reports whether it was stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is zero (the empty-slot marker).
+    pub fn add_source_memory(&mut self, address: u64) -> bool {
+        assert_ne!(address, 0, "address 0 marks an empty slot");
+        add_mem(&mut self.src_mem, address)
+    }
+
+    /// Removes every occurrence of `reg` from the source registers.
+    pub fn remove_source_register(&mut self, reg: u8) {
+        for slot in &mut self.src_regs {
+            if *slot == reg {
+                *slot = regs::NONE;
+            }
+        }
+    }
+
+    /// `true` if any load-address slot is occupied (ChampSim's definition
+    /// of a load).
+    pub fn is_load(&self) -> bool {
+        self.source_memory().next().is_some()
+    }
+
+    /// `true` if any store-address slot is occupied (ChampSim's definition
+    /// of a store).
+    pub fn is_store(&self) -> bool {
+        self.destination_memory().next().is_some()
+    }
+
+    /// `true` if `reg` appears among the sources.
+    pub fn reads(&self, reg: u8) -> bool {
+        self.src_regs.contains(&reg) && reg != regs::NONE
+    }
+
+    /// `true` if `reg` appears among the destinations.
+    pub fn writes(&self, reg: u8) -> bool {
+        self.dest_regs.contains(&reg) && reg != regs::NONE
+    }
+
+    /// `true` if any source register is neither a special register nor an
+    /// empty slot — ChampSim's *reads other* predicate.
+    pub fn reads_other(&self) -> bool {
+        self.source_registers().any(|r| !regs::is_special(r))
+    }
+
+    /// Encodes the record to its fixed 64-byte layout.
+    pub fn to_bytes(&self) -> [u8; RECORD_BYTES] {
+        let mut b = [0u8; RECORD_BYTES];
+        b[0..8].copy_from_slice(&self.ip.to_le_bytes());
+        b[8] = self.is_branch as u8;
+        b[9] = self.branch_taken as u8;
+        b[10..12].copy_from_slice(&self.dest_regs);
+        b[12..16].copy_from_slice(&self.src_regs);
+        for (i, a) in self.dest_mem.iter().enumerate() {
+            b[16 + 8 * i..24 + 8 * i].copy_from_slice(&a.to_le_bytes());
+        }
+        for (i, a) in self.src_mem.iter().enumerate() {
+            b[32 + 8 * i..40 + 8 * i].copy_from_slice(&a.to_le_bytes());
+        }
+        b
+    }
+
+    /// Decodes a record from its fixed 64-byte layout.
+    pub fn from_bytes(b: &[u8; RECORD_BYTES]) -> ChampsimRecord {
+        let mut rec = ChampsimRecord::new(u64::from_le_bytes(b[0..8].try_into().unwrap()));
+        rec.is_branch = b[8] != 0;
+        rec.branch_taken = b[9] != 0;
+        rec.dest_regs.copy_from_slice(&b[10..12]);
+        rec.src_regs.copy_from_slice(&b[12..16]);
+        for (i, a) in rec.dest_mem.iter_mut().enumerate() {
+            *a = u64::from_le_bytes(b[16 + 8 * i..24 + 8 * i].try_into().unwrap());
+        }
+        for (i, a) in rec.src_mem.iter_mut().enumerate() {
+            *a = u64::from_le_bytes(b[32 + 8 * i..40 + 8 * i].try_into().unwrap());
+        }
+        rec
+    }
+}
+
+fn add_reg<const N: usize>(slots: &mut [u8; N], reg: u8) -> bool {
+    if slots.contains(&reg) {
+        return true; // already present; dependency is conveyed
+    }
+    for slot in slots {
+        if *slot == regs::NONE {
+            *slot = reg;
+            return true;
+        }
+    }
+    false
+}
+
+fn add_mem<const N: usize>(slots: &mut [u64; N], address: u64) -> bool {
+    if slots.contains(&address) {
+        return true;
+    }
+    for slot in slots {
+        if *slot == 0 {
+            *slot = address;
+            return true;
+        }
+    }
+    false
+}
+
+impl fmt::Display for ChampsimRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.ip)?;
+        if self.is_branch {
+            write!(f, " branch({})", if self.branch_taken { "taken" } else { "not-taken" })?;
+        }
+        write!(
+            f,
+            " src{:?} dst{:?} ld{:?} st{:?}",
+            self.source_registers().collect::<Vec<_>>(),
+            self.destination_registers().collect::<Vec<_>>(),
+            self.source_memory().collect::<Vec<_>>(),
+            self.destination_memory().collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let mut rec = ChampsimRecord::new(0xdead_beef_0000_1234);
+        rec.set_branch(true);
+        rec.set_branch_taken(true);
+        rec.add_destination_register(regs::INSTRUCTION_POINTER);
+        rec.add_source_register(regs::FLAGS);
+        rec.add_source_register(regs::arch(3));
+        rec.add_source_memory(0x7000_0000);
+        rec.add_destination_memory(0x7000_0040);
+        let bytes = rec.to_bytes();
+        assert_eq!(bytes.len(), RECORD_BYTES);
+        assert_eq!(ChampsimRecord::from_bytes(&bytes), rec);
+    }
+
+    #[test]
+    fn slot_overflow_is_reported() {
+        let mut rec = ChampsimRecord::new(0);
+        for r in 1..=NUM_SOURCE_REGISTERS as u8 {
+            assert!(rec.add_source_register(r));
+        }
+        assert!(!rec.add_source_register(99));
+        assert_eq!(rec.source_registers().count(), NUM_SOURCE_REGISTERS);
+
+        assert!(rec.add_destination_register(1));
+        assert!(rec.add_destination_register(2));
+        assert!(!rec.add_destination_register(3));
+    }
+
+    #[test]
+    fn duplicate_operands_are_collapsed() {
+        let mut rec = ChampsimRecord::new(0);
+        assert!(rec.add_source_register(7));
+        assert!(rec.add_source_register(7));
+        assert_eq!(rec.source_registers().count(), 1);
+        assert!(rec.add_source_memory(0x40));
+        assert!(rec.add_source_memory(0x40));
+        assert_eq!(rec.source_memory().count(), 1);
+    }
+
+    #[test]
+    fn load_store_classification_follows_memory_slots() {
+        let mut rec = ChampsimRecord::new(0);
+        assert!(!rec.is_load() && !rec.is_store());
+        rec.add_source_memory(0x100);
+        assert!(rec.is_load() && !rec.is_store());
+        rec.add_destination_memory(0x200);
+        assert!(rec.is_store());
+    }
+
+    #[test]
+    fn reads_other_ignores_specials() {
+        let mut rec = ChampsimRecord::new(0);
+        rec.add_source_register(regs::INSTRUCTION_POINTER);
+        rec.add_source_register(regs::FLAGS);
+        rec.add_source_register(regs::STACK_POINTER);
+        assert!(!rec.reads_other());
+        rec.add_source_register(regs::arch(0));
+        assert!(rec.reads_other());
+    }
+
+    #[test]
+    fn remove_source_register_clears_all_occurrences() {
+        let mut rec = ChampsimRecord::new(0);
+        rec.add_source_register(5);
+        rec.add_source_register(6);
+        rec.remove_source_register(5);
+        assert!(!rec.reads(5));
+        assert!(rec.reads(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slot")]
+    fn register_zero_panics() {
+        ChampsimRecord::new(0).add_source_register(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slot")]
+    fn address_zero_panics() {
+        ChampsimRecord::new(0).add_source_memory(0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ChampsimRecord::new(7).to_string().is_empty());
+    }
+}

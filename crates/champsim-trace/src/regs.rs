@@ -1,0 +1,86 @@
+//! Register numbering in ChampSim traces.
+//!
+//! ChampSim records name registers with single bytes. Three numbers carry
+//! x86 semantics that ChampSim's branch-type deduction keys on; everything
+//! else is opaque. Register `0` marks an empty slot in the fixed-width
+//! register arrays, so no real register may use it.
+//!
+//! When converting from an Aarch64 (CVP-1) trace, the converter must place
+//! the architectural registers somewhere in this byte namespace without
+//! colliding with the special numbers or the empty-slot marker. We map
+//! CVP-1 register `r` to `ARCH_BASE + r`; [`arch`] and [`from_arch`]
+//! perform the mapping. The original `cvp2champsim` converter additionally
+//! used a dummy register ([`READS_OTHER_MARKER`], "X56") as a source of
+//! indirect branches purely to trip ChampSim's *reads-other* test — the
+//! paper's `branch-regs` improvement removes it in favour of the real
+//! source registers.
+
+/// Empty slot marker in the record's register arrays.
+pub const NONE: u8 = 0;
+/// x86 stack pointer as numbered by the ChampSim tracer.
+pub const STACK_POINTER: u8 = 6;
+/// x86 flags register as numbered by the ChampSim tracer.
+pub const FLAGS: u8 = 25;
+/// x86 instruction pointer as numbered by the ChampSim tracer.
+pub const INSTRUCTION_POINTER: u8 = 26;
+
+/// First byte used for mapped Aarch64 architectural registers.
+///
+/// CVP-1 names at most 65 registers (`0..=64`), so `128..=192` fits and is
+/// disjoint from the special numbers above.
+pub const ARCH_BASE: u8 = 128;
+
+/// The dummy "reads other" register the original converter attached to
+/// indirect branches (Aarch64 `X56`, mapped).
+pub const READS_OTHER_MARKER: u8 = ARCH_BASE + 56;
+
+/// Maps a CVP-1 architectural register into the ChampSim byte namespace.
+///
+/// # Panics
+///
+/// Panics if the mapped value would leave the byte range (cannot happen
+/// for valid CVP-1 registers `0..=64`).
+pub fn arch(cvp_reg: u8) -> u8 {
+    ARCH_BASE.checked_add(cvp_reg).expect("architectural register out of range")
+}
+
+/// Inverse of [`arch`]: recovers the CVP-1 register, or `None` for special
+/// registers and empty slots.
+pub fn from_arch(champsim_reg: u8) -> Option<u8> {
+    champsim_reg.checked_sub(ARCH_BASE)
+}
+
+/// `true` for the three x86-semantic special registers.
+pub fn is_special(reg: u8) -> bool {
+    matches!(reg, STACK_POINTER | FLAGS | INSTRUCTION_POINTER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_mapping_round_trips() {
+        for r in 0..=64u8 {
+            let mapped = arch(r);
+            assert!(!is_special(mapped));
+            assert_ne!(mapped, NONE);
+            assert_eq!(from_arch(mapped), Some(r));
+        }
+    }
+
+    #[test]
+    fn specials_are_not_arch() {
+        assert_eq!(from_arch(STACK_POINTER), None);
+        assert_eq!(from_arch(FLAGS), None);
+        assert_eq!(from_arch(INSTRUCTION_POINTER), None);
+        assert!(is_special(STACK_POINTER));
+        assert!(!is_special(NONE));
+        assert!(!is_special(ARCH_BASE));
+    }
+
+    #[test]
+    fn reads_other_marker_is_x56() {
+        assert_eq!(from_arch(READS_OTHER_MARKER), Some(56));
+    }
+}

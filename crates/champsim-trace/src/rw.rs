@@ -1,0 +1,171 @@
+use std::io::{self, Read, Write};
+
+use crate::error::ChampsimTraceError;
+use crate::record::{ChampsimRecord, RECORD_BYTES};
+
+/// Streaming decoder for ChampSim 64-byte trace records.
+///
+/// Also an [`Iterator`] over `Result<ChampsimRecord, ChampsimTraceError>`.
+///
+/// # Example
+///
+/// ```
+/// use champsim_trace::{ChampsimReader, ChampsimRecord, ChampsimWriter};
+///
+/// # fn main() -> Result<(), champsim_trace::ChampsimTraceError> {
+/// let mut buf = Vec::new();
+/// ChampsimWriter::new(&mut buf).write(&ChampsimRecord::new(0x42))?;
+/// let rec = ChampsimReader::new(buf.as_slice()).read()?.expect("one record");
+/// assert_eq!(rec.ip(), 0x42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ChampsimReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> ChampsimReader<R> {
+    /// Creates a reader over `inner`.
+    pub fn new(inner: R) -> ChampsimReader<R> {
+        ChampsimReader { inner, offset: 0 }
+    }
+
+    /// Consumes the reader, returning the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Decodes the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChampsimTraceError::TruncatedRecord`] when the stream
+    /// ends mid-record.
+    pub fn read(&mut self) -> Result<Option<ChampsimRecord>, ChampsimTraceError> {
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(ChampsimTraceError::TruncatedRecord { offset: self.offset }),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.offset += RECORD_BYTES as u64;
+        Ok(Some(ChampsimRecord::from_bytes(&buf)))
+    }
+}
+
+impl<R: Read> Iterator for ChampsimReader<R> {
+    type Item = Result<ChampsimRecord, ChampsimTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read().transpose()
+    }
+}
+
+/// Streaming encoder for ChampSim 64-byte trace records.
+#[derive(Debug)]
+pub struct ChampsimWriter<W> {
+    inner: W,
+    records: u64,
+}
+
+impl<W: Write> ChampsimWriter<W> {
+    /// Creates a writer over `inner`.
+    pub fn new(inner: W) -> ChampsimWriter<W> {
+        ChampsimWriter { inner, records: 0 }
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Encodes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write(&mut self, rec: &ChampsimRecord) -> Result<(), ChampsimTraceError> {
+        self.inner.write_all(&rec.to_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn flush(&mut self) -> Result<(), ChampsimTraceError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs;
+
+    #[test]
+    fn round_trips_multiple_records() {
+        let mut recs = Vec::new();
+        for i in 0..10u64 {
+            let mut r = ChampsimRecord::new(0x1000 + 4 * i);
+            if i % 3 == 0 {
+                r.set_branch(true);
+                r.set_branch_taken(i % 2 == 0);
+                r.add_source_register(regs::INSTRUCTION_POINTER);
+                r.add_destination_register(regs::INSTRUCTION_POINTER);
+            }
+            if i % 4 == 1 {
+                r.add_source_memory(0x8000 + i);
+            }
+            recs.push(r);
+        }
+        let mut buf = Vec::new();
+        let mut w = ChampsimWriter::new(&mut buf);
+        for r in &recs {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.records_written(), recs.len() as u64);
+        w.flush().unwrap();
+        assert_eq!(buf.len(), recs.len() * RECORD_BYTES);
+        let back: Vec<ChampsimRecord> =
+            ChampsimReader::new(buf.as_slice()).collect::<Result<_, _>>().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn truncation_is_detected_with_offset() {
+        let mut buf = Vec::new();
+        let mut w = ChampsimWriter::new(&mut buf);
+        w.write(&ChampsimRecord::new(1)).unwrap();
+        w.write(&ChampsimRecord::new(2)).unwrap();
+        let cut = &buf[..RECORD_BYTES + 10];
+        let mut r = ChampsimReader::new(cut);
+        assert!(r.read().unwrap().is_some());
+        match r.read() {
+            Err(ChampsimTraceError::TruncatedRecord { offset }) => {
+                assert_eq!(offset, RECORD_BYTES as u64)
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        assert!(ChampsimReader::new(&[][..]).read().unwrap().is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for ChampSim's branch-type deduction.
+
+use champsim_trace::{regs, BranchRules, BranchType, ChampsimRecord, RECORD_BYTES};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = ChampsimRecord> {
+    prop::collection::vec(any::<u8>(), RECORD_BYTES).prop_map(|bytes| {
+        let arr: [u8; RECORD_BYTES] = bytes.try_into().expect("sized");
+        ChampsimRecord::from_bytes(&arr)
+    })
+}
+
+proptest! {
+    /// Classification is total: any decodable record classifies under
+    /// both rule sets without panicking, and a record that does not
+    /// write the instruction pointer is never a branch.
+    #[test]
+    fn classification_is_total(rec in arb_record()) {
+        for rules in [BranchRules::Original, BranchRules::Patched] {
+            let t = rules.classify(&rec);
+            if !rec.writes(regs::INSTRUCTION_POINTER) {
+                prop_assert_eq!(t, BranchType::NotBranch);
+            }
+        }
+    }
+
+    /// The patch only ever *reclassifies among branch types*: a record
+    /// that is a branch under one rule set is a branch under the other.
+    #[test]
+    fn patch_never_flips_branchness(rec in arb_record()) {
+        let a = BranchRules::Original.classify(&rec);
+        let b = BranchRules::Patched.classify(&rec);
+        prop_assert_eq!(a == BranchType::NotBranch, b == BranchType::NotBranch);
+    }
+
+    /// The patch changes nothing for records that only read special
+    /// registers — the paper's patch only affects branches carrying real
+    /// ("other") source registers.
+    #[test]
+    fn patch_is_conservative_without_other_sources(
+        ip in any::<u64>(),
+        taken in any::<bool>(),
+        src_specials in prop::collection::vec(0usize..3, 0..4),
+        dst_specials in prop::collection::vec(0usize..3, 0..2),
+    ) {
+        const SPECIALS: [u8; 3] =
+            [regs::STACK_POINTER, regs::FLAGS, regs::INSTRUCTION_POINTER];
+        let mut rec = ChampsimRecord::new(ip);
+        rec.set_branch(true);
+        rec.set_branch_taken(taken);
+        for s in src_specials {
+            rec.add_source_register(SPECIALS[s]);
+        }
+        for d in dst_specials {
+            rec.add_destination_register(SPECIALS[d]);
+        }
+        prop_assert!(!rec.reads_other());
+        prop_assert_eq!(
+            BranchRules::Original.classify(&rec),
+            BranchRules::Patched.classify(&rec)
+        );
+    }
+}

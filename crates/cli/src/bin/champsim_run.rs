@@ -1,0 +1,87 @@
+//! Runs a ChampSim trace through the core model and prints the report.
+//!
+//! ```text
+//! champsim-run <trace.champsimtrace> [--core iiswc|ipc1] [--warmup N]
+//!              [--prefetcher <name>] [--max N]
+//! ```
+//!
+//! The core presets match the paper's §4 setups; `--prefetcher` plugs one
+//! of the IPC-1 instruction prefetchers into the L1I.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use champsim_trace::ChampsimReader;
+use sim::{CoreConfig, RunOptions, Simulator};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("champsim-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_path: Option<String> = None;
+    let mut core = CoreConfig::iiswc_main();
+    let mut warmup = 0u64;
+    let mut prefetcher: Option<String> = None;
+    let mut max_records = usize::MAX;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--core" => {
+                core = match args.next().as_deref() {
+                    Some("iiswc") => CoreConfig::iiswc_main(),
+                    Some("ipc1") => CoreConfig::ipc1(),
+                    other => return Err(format!("unknown core {other:?}").into()),
+                };
+            }
+            "--warmup" => warmup = args.next().ok_or("--warmup needs a count")?.parse()?,
+            "--prefetcher" => prefetcher = Some(args.next().ok_or("--prefetcher needs a name")?),
+            "--max" => max_records = args.next().ok_or("--max needs a count")?.parse()?,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: champsim-run <trace.champsimtrace> [--core iiswc|ipc1] \
+                     [--warmup N] [--prefetcher none|next-line|djolt|jip|mana|fnl+mma|pips|epi|barca|tap] \
+                     [--max N]"
+                );
+                return Ok(());
+            }
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let trace_path = trace_path.ok_or("missing trace path")?;
+    let reader = ChampsimReader::new(BufReader::new(File::open(&trace_path)?));
+    let mut records = Vec::new();
+    for rec in reader {
+        records.push(rec?);
+        if records.len() >= max_records {
+            break;
+        }
+    }
+
+    let mut options = RunOptions::default().with_warmup(warmup);
+    if let Some(name) = prefetcher {
+        let pf = iprefetch_by_name(&name)?;
+        options = options.with_prefetcher(pf);
+    }
+    let report = Simulator::new(core).run_with_options(&records, options);
+    println!("{report}");
+    Ok(())
+}
+
+fn iprefetch_by_name(
+    name: &str,
+) -> Result<Box<dyn iprefetch::InstructionPrefetcher + Send>, String> {
+    iprefetch::by_name(name).ok_or_else(|| format!("unknown prefetcher {name:?}"))
+}

@@ -1,0 +1,81 @@
+//! The paper's converter CLI, with the artifact's interface:
+//!
+//! ```text
+//! cvp2champsim -t <trace.cvp> [-i <improvement>] [-o <out.champsimtrace>] [--stats]
+//! ```
+//!
+//! Reads a CVP-1 binary trace, converts it with the selected improvement
+//! set (`No_imp` by default, as in the original tool), and writes
+//! ChampSim 64-byte records to `-o` or standard output. `--stats` prints
+//! the conversion statistics to standard error.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use champsim_trace::ChampsimWriter;
+use converter::{Converter, ImprovementSet};
+use cvp_trace::CvpReader;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cvp2champsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut improvements = ImprovementSet::none();
+    let mut show_stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-t" | "--trace" => trace_path = Some(args.next().ok_or("-t needs a path")?),
+            "-o" | "--output" => out_path = Some(args.next().ok_or("-o needs a path")?),
+            "-i" | "--improvement" => {
+                improvements = args.next().ok_or("-i needs an improvement name")?.parse()?;
+            }
+            "--stats" => show_stats = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: cvp2champsim -t <trace.cvp> [-i <improvement>] \
+                     [-o <out.champsimtrace>] [--stats]\n\
+                     improvements: No_imp (default), All_imps, Memory_imps, Branch_imps,\n\
+                     imp_mem-regs, imp_base-update, imp_mem-footprint, imp_call-stack,\n\
+                     imp_branch-regs, imp_flag-regs"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let trace_path = trace_path.ok_or("missing -t <trace.cvp>")?;
+    let input = BufReader::new(File::open(&trace_path)?);
+    let mut reader = CvpReader::new(input);
+
+    let sink: Box<dyn Write> = match &out_path {
+        Some(p) => Box::new(BufWriter::new(File::create(p)?)),
+        None => Box::new(BufWriter::new(io::stdout().lock())),
+    };
+    let mut writer = ChampsimWriter::new(sink);
+    let mut converter = Converter::new(improvements);
+
+    while let Some(insn) = reader.read()? {
+        for rec in converter.convert(&insn) {
+            writer.write(&rec)?;
+        }
+    }
+    writer.flush()?;
+
+    if show_stats {
+        eprintln!("{}", converter.stats());
+    }
+    Ok(())
+}

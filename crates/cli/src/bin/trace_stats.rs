@@ -1,0 +1,57 @@
+//! Characterizes a CVP-1 trace: instruction mix plus the conversion
+//! statistics of the improved converter.
+//!
+//! ```text
+//! trace-stats <trace.cvp> [-i <improvement>]
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use converter::{Converter, ImprovementSet};
+use cvp_trace::{CvpReader, CvpTraceStats};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_path: Option<String> = None;
+    let mut improvements = ImprovementSet::all();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-i" | "--improvement" => {
+                improvements = args.next().ok_or("-i needs an improvement name")?.parse()?;
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: trace-stats <trace.cvp> [-i <improvement>]");
+                return Ok(());
+            }
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let trace_path = trace_path.ok_or("missing trace path")?;
+    let mut reader = CvpReader::new(BufReader::new(File::open(&trace_path)?));
+    let mut stats = CvpTraceStats::new();
+    let mut converter = Converter::new(improvements);
+    while let Some(insn) = reader.read()? {
+        stats.record(&insn);
+        converter.convert(&insn);
+    }
+    println!("instruction mix:\n{stats}\n");
+    println!("conversion ({}):\n{}", improvements, converter.stats());
+    Ok(())
+}

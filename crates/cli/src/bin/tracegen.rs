@@ -1,0 +1,104 @@
+//! Generates synthetic CVP-1 traces.
+//!
+//! ```text
+//! tracegen --kind <kind> --seed N --length N -o <out.cvp>
+//! tracegen --suite cvp1|ipc1 --name <trace> --length N -o <out.cvp>
+//! tracegen --suite cvp1|ipc1 --list
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::ExitCode;
+
+use cvp_trace::CvpWriter;
+use workloads::{cvp1_public_suite, ipc1_suite, TraceSpec, WorkloadKind};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracegen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_kind(name: &str) -> Result<WorkloadKind, String> {
+    Ok(match name {
+        "pointer-chase" => WorkloadKind::PointerChase,
+        "streaming" => WorkloadKind::Streaming,
+        "crypto" => WorkloadKind::Crypto,
+        "branchy-int" => WorkloadKind::BranchyInt,
+        "server" => WorkloadKind::Server,
+        "fp-kernel" => WorkloadKind::FpKernel,
+        other => return Err(format!("unknown kind {other:?}")),
+    })
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kind: Option<WorkloadKind> = None;
+    let mut suite: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut seed = 1u64;
+    let mut length = 100_000usize;
+    let mut out: Option<String> = None;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--kind" => kind = Some(parse_kind(&args.next().ok_or("--kind needs a name")?)?),
+            "--suite" => suite = Some(args.next().ok_or("--suite needs cvp1 or ipc1")?),
+            "--name" => name = Some(args.next().ok_or("--name needs a trace name")?),
+            "--seed" => seed = args.next().ok_or("--seed needs a value")?.parse()?,
+            "--length" => length = args.next().ok_or("--length needs a count")?.parse()?,
+            "-o" | "--output" => out = Some(args.next().ok_or("-o needs a path")?),
+            "--list" => list = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: tracegen --kind <pointer-chase|streaming|crypto|branchy-int|server|fp-kernel> \
+                     --seed N --length N -o <out.cvp>\n\
+                     \x20      tracegen --suite cvp1|ipc1 --name <trace> --length N -o <out.cvp>\n\
+                     \x20      tracegen --suite cvp1|ipc1 --list"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let suite_specs = |s: &str| -> Result<Vec<TraceSpec>, String> {
+        match s {
+            "cvp1" => Ok(cvp1_public_suite()),
+            "ipc1" => Ok(ipc1_suite()),
+            other => Err(format!("unknown suite {other:?}")),
+        }
+    };
+
+    if list {
+        let suite = suite.ok_or("--list needs --suite")?;
+        for spec in suite_specs(&suite)? {
+            println!("{:<20} kind={} seed={}", spec.name(), spec.kind(), spec.seed());
+        }
+        return Ok(());
+    }
+
+    let spec = match (&suite, &name, kind) {
+        (Some(s), Some(n), _) => suite_specs(s)?
+            .into_iter()
+            .find(|t| t.name() == n)
+            .ok_or_else(|| format!("trace {n:?} not in suite {s:?}"))?,
+        (None, None, Some(k)) => TraceSpec::new("custom", k, seed),
+        _ => return Err("give either --kind, or --suite with --name".into()),
+    }
+    .with_length(length);
+
+    let out = out.ok_or("missing -o <out.cvp>")?;
+    let mut writer = CvpWriter::new(BufWriter::new(File::create(&out)?));
+    for insn in spec.generate() {
+        writer.write(&insn)?;
+    }
+    writer.flush()?;
+    eprintln!("wrote {} instructions to {out}", writer.records_written());
+    Ok(())
+}

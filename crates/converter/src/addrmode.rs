@@ -1,0 +1,262 @@
+use cvp_trace::{CvpInstruction, Reg, RegisterFile};
+
+/// Largest immediate-offset magnitude accepted when inferring a base
+/// update.
+///
+/// Aarch64 pre/post-indexing addressing uses a signed 9-bit immediate
+/// (`-256..=255`); a candidate base register whose written value differs
+/// from the effective address by more than this cannot have been produced
+/// by an indexing increment.
+pub const BASE_UPDATE_IMMEDIATE_WINDOW: i64 = 255;
+
+/// Inferred addressing mode of a CVP-1 memory instruction.
+///
+/// CVP-1 traces do not record addressing modes; the paper's `base-update`
+/// improvement reconstructs them from the registers and the values the
+/// trace *does* record (§3.1.2). The inference is best-effort by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressingMode {
+    /// No base register update: a plain access (or a load pair / vector
+    /// load whose extra destinations are all populated from memory).
+    Simple,
+    /// Pre-indexing increment: the base register is bumped **before** the
+    /// access, so the effective address equals the updated base.
+    PreIndex {
+        /// The register that serves as updated base.
+        base: Reg,
+    },
+    /// Post-indexing increment: the access uses the old base value and the
+    /// register is bumped **after** the access.
+    PostIndex {
+        /// The register that serves as updated base.
+        base: Reg,
+    },
+}
+
+impl AddressingMode {
+    /// The updated base register, if the mode is a base update.
+    pub fn base_register(self) -> Option<Reg> {
+        match self {
+            AddressingMode::Simple => None,
+            AddressingMode::PreIndex { base } | AddressingMode::PostIndex { base } => Some(base),
+        }
+    }
+
+    /// `true` for the two base-updating modes.
+    pub fn updates_base(self) -> bool {
+        self.base_register().is_some()
+    }
+}
+
+/// Value-tracking context for addressing-mode inference.
+///
+/// Wraps the architectural [`RegisterFile`] replayed over the trace. Keep
+/// one context per trace and feed it every instruction via
+/// [`InferenceContext::commit`] after inferring.
+///
+/// # Example
+///
+/// ```
+/// use converter::{AddressingMode, InferenceContext};
+/// use cvp_trace::CvpInstruction;
+///
+/// let mut ctx = InferenceContext::new();
+/// // LDR X1, [X0], #16  — post-index: X0 starts at 0x1000, access at
+/// // 0x1000, X0 becomes 0x1010.
+/// ctx.commit(&CvpInstruction::alu(0).with_destination(0, 0x1000u64));
+/// let load = CvpInstruction::load(4, 0x1000, 8)
+///     .with_sources(&[0])
+///     .with_destination(1, 7u64)
+///     .with_destination(0, 0x1010u64);
+/// assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 0 });
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InferenceContext {
+    regs: RegisterFile,
+}
+
+impl InferenceContext {
+    /// Creates a context with all register values unknown.
+    pub fn new() -> InferenceContext {
+        InferenceContext { regs: RegisterFile::new() }
+    }
+
+    /// Read-only view of the tracked register values.
+    pub fn registers(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Commits an instruction's destination values into the tracked state.
+    ///
+    /// Call this for **every** trace instruction, after any inference on
+    /// it, so later inferences see up-to-date input values.
+    pub fn commit(&mut self, insn: &CvpInstruction) {
+        self.regs.apply(insn);
+    }
+
+    /// Infers the addressing mode of a memory instruction.
+    ///
+    /// The heuristic follows the trace maintainer's recipe as described in
+    /// the paper:
+    ///
+    /// 1. A candidate base register must appear among both the sources and
+    ///    the destinations (indexing writes the base back).
+    /// 2. The value written to the candidate (recorded in the trace) is
+    ///    compared with the effective address: an exact match means the
+    ///    update happened **before** the access (pre-index); a difference
+    ///    within the signed immediate window means it happened **after**
+    ///    (post-index).
+    /// 3. When the candidate's *old* value is known from replay, a
+    ///    post-index classification additionally requires the effective
+    ///    address to equal the old value, rejecting coincidental matches
+    ///    (e.g. a load pair that happens to load an address-like value).
+    ///
+    /// Non-memory instructions and instructions with no source/destination
+    /// overlap are [`AddressingMode::Simple`].
+    pub fn infer(&self, insn: &CvpInstruction) -> AddressingMode {
+        if !insn.is_memory() {
+            return AddressingMode::Simple;
+        }
+        for &candidate in insn.sources() {
+            if !insn.writes(candidate) {
+                continue;
+            }
+            let Some(written) = insn.value_of(candidate) else { continue };
+            if written.hi != 0 {
+                continue; // vector registers are never address bases
+            }
+            let ea = insn.mem_address;
+            if written.lo == ea {
+                return AddressingMode::PreIndex { base: candidate };
+            }
+            let delta = written.lo.wrapping_sub(ea) as i64;
+            if delta.abs() <= BASE_UPDATE_IMMEDIATE_WINDOW && delta != 0 {
+                // Post-index: access at the old base, bump afterwards.
+                // When replay knows the old value, require it to match the
+                // effective address.
+                match self.regs.value(candidate) {
+                    Some(old) if old.lo != ea => continue,
+                    _ => return AddressingMode::PostIndex { base: candidate },
+                }
+            }
+        }
+        AddressingMode::Simple
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(reg: Reg, value: u64) -> InferenceContext {
+        let mut ctx = InferenceContext::new();
+        ctx.commit(&CvpInstruction::alu(0).with_destination(reg, value));
+        ctx
+    }
+
+    #[test]
+    fn plain_load_is_simple() {
+        let ctx = InferenceContext::new();
+        let load = CvpInstruction::load(0, 0x100, 8).with_sources(&[0]).with_destination(1, 5u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::Simple);
+    }
+
+    #[test]
+    fn pre_index_matches_effective_address() {
+        // LDR X1, [X0, #8]!  with X0 old = 0x1000: EA = 0x1008 = new X0.
+        let ctx = ctx_with(0, 0x1000);
+        let load = CvpInstruction::load(4, 0x1008, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0u64)
+            .with_destination(0, 0x1008u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::PreIndex { base: 0 });
+    }
+
+    #[test]
+    fn post_index_bumps_after_access() {
+        // LDR X1, [X0], #32 with X0 old = 0x2000.
+        let ctx = ctx_with(0, 0x2000);
+        let load = CvpInstruction::load(4, 0x2000, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0u64)
+            .with_destination(0, 0x2020u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 0 });
+    }
+
+    #[test]
+    fn negative_post_index_offset_is_accepted() {
+        let ctx = ctx_with(2, 0x3000);
+        let load = CvpInstruction::load(4, 0x3000, 8)
+            .with_sources(&[2])
+            .with_destination(2, 0x2FF8u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 2 });
+    }
+
+    #[test]
+    fn load_pair_reloading_base_is_not_base_update() {
+        // LDP X1, X0, [X0]: X0 receives a memory value far from the EA.
+        let ctx = ctx_with(0, 0x4000);
+        let load = CvpInstruction::load(4, 0x4000, 8)
+            .with_sources(&[0])
+            .with_destination(1, 1u64)
+            .with_destination(0, 0xdead_beefu64);
+        assert_eq!(ctx.infer(&load), AddressingMode::Simple);
+    }
+
+    #[test]
+    fn coincidental_near_value_is_rejected_when_old_value_disagrees() {
+        // X0's memory-loaded value lands within the window of the EA, but
+        // replay knows the old X0 was nowhere near the EA, so this cannot
+        // be a post-index access through X0.
+        let ctx = ctx_with(0, 0x9999_0000);
+        let load = CvpInstruction::load(4, 0x4000, 8)
+            .with_sources(&[0])
+            .with_destination(0, 0x4010u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::Simple);
+    }
+
+    #[test]
+    fn unknown_old_value_still_allows_post_index() {
+        // Before the first write to X0, replay has no old value; the
+        // heuristic stays permissive (best effort, as in the paper).
+        let ctx = InferenceContext::new();
+        let load = CvpInstruction::load(4, 0x4000, 8)
+            .with_sources(&[0])
+            .with_destination(0, 0x4010u64);
+        assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 0 });
+    }
+
+    #[test]
+    fn store_with_base_update_is_inferred() {
+        // STR X1, [X0, #16]! — stores carry the updated base as their only
+        // destination.
+        let ctx = ctx_with(0, 0x5000);
+        let store = CvpInstruction::store(4, 0x5010, 8)
+            .with_sources(&[1, 0])
+            .with_destination(0, 0x5010u64);
+        assert_eq!(ctx.infer(&store), AddressingMode::PreIndex { base: 0 });
+    }
+
+    #[test]
+    fn vector_destination_cannot_be_base() {
+        let ctx = InferenceContext::new();
+        let load = CvpInstruction::load(4, 0x100, 16)
+            .with_sources(&[33])
+            .with_destination(33, cvp_trace::OutputValue::vector(0x100, 1));
+        assert_eq!(ctx.infer(&load), AddressingMode::Simple);
+    }
+
+    #[test]
+    fn non_memory_instruction_is_simple() {
+        let ctx = InferenceContext::new();
+        let alu = CvpInstruction::alu(0).with_sources(&[1]).with_destination(1, 0u64);
+        assert_eq!(ctx.infer(&alu), AddressingMode::Simple);
+    }
+
+    #[test]
+    fn base_register_accessor() {
+        assert_eq!(AddressingMode::Simple.base_register(), None);
+        assert_eq!(AddressingMode::PreIndex { base: 3 }.base_register(), Some(3));
+        assert!(AddressingMode::PostIndex { base: 3 }.updates_base());
+    }
+}

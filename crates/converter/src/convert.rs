@@ -1,0 +1,773 @@
+use champsim_trace::{regs, ChampsimRecord};
+use cvp_trace::{CvpClass, CvpInstruction, Reg, LINK_REG};
+
+use crate::addrmode::{AddressingMode, InferenceContext};
+use crate::improvements::{Improvement, ImprovementSet};
+use crate::stats::ConversionStats;
+
+/// Cacheline size assumed by the footprint logic, in bytes.
+const CACHELINE: u64 = 64;
+
+/// Aarch64 register the original converter used as a stand-in destination
+/// for destination-less instructions.
+const X0: Reg = 0;
+
+/// The result of converting one CVP-1 instruction: one ChampSim record,
+/// or two when the `base-update` improvement splits the instruction into
+/// an ALU micro-op plus the memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Converted {
+    records: [ChampsimRecord; 2],
+    len: usize,
+}
+
+impl Converted {
+    fn one(rec: ChampsimRecord) -> Converted {
+        Converted { records: [rec, ChampsimRecord::default()], len: 1 }
+    }
+
+    fn two(first: ChampsimRecord, second: ChampsimRecord) -> Converted {
+        Converted { records: [first, second], len: 2 }
+    }
+
+    /// The emitted records, in trace order.
+    pub fn records(&self) -> &[ChampsimRecord] {
+        &self.records[..self.len]
+    }
+}
+
+impl IntoIterator for Converted {
+    type Item = ChampsimRecord;
+    type IntoIter = std::iter::Take<std::array::IntoIter<ChampsimRecord, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter().take(self.len)
+    }
+}
+
+/// Streaming CVP-1 → ChampSim converter.
+///
+/// A `Converter` carries the replayed register file (for addressing-mode
+/// inference) and accumulated [`ConversionStats`] across calls, so one
+/// instance must be used per input trace, feeding instructions in order.
+///
+/// With [`ImprovementSet::none`] the behaviour reproduces the *original*
+/// `cvp2champsim`, bugs included: a single forced destination register
+/// (inventing `X0` where none exists), dropped branch source registers, a
+/// synthetic "reads other" marker on indirect branches, and X30
+/// read+write branches classified as returns.
+#[derive(Debug, Clone, Default)]
+pub struct Converter {
+    improvements: ImprovementSet,
+    ctx: InferenceContext,
+    stats: ConversionStats,
+}
+
+impl Converter {
+    /// Creates a converter applying `improvements`.
+    pub fn new(improvements: ImprovementSet) -> Converter {
+        Converter { improvements, ctx: InferenceContext::new(), stats: ConversionStats::new() }
+    }
+
+    /// The enabled improvement set.
+    pub fn improvements(&self) -> ImprovementSet {
+        self.improvements
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ConversionStats {
+        &self.stats
+    }
+
+    /// Clears the replayed register state and statistics, keeping the
+    /// improvement set; use before converting another trace.
+    pub fn reset(&mut self) {
+        self.ctx = InferenceContext::new();
+        self.stats = ConversionStats::new();
+    }
+
+    /// Converts one instruction, producing one or two ChampSim records.
+    pub fn convert(&mut self, insn: &CvpInstruction) -> Converted {
+        self.stats.input_instructions += 1;
+        let out = if insn.is_branch() {
+            Converted::one(self.convert_branch(insn))
+        } else if insn.is_memory() {
+            self.convert_memory(insn)
+        } else {
+            Converted::one(self.convert_compute(insn))
+        };
+        self.ctx.commit(insn);
+        self.stats.output_records += out.len as u64;
+        out
+    }
+
+    /// Converts a whole instruction stream into an in-memory record list.
+    pub fn convert_all<'a, I>(&mut self, insns: I) -> Vec<ChampsimRecord>
+    where
+        I: IntoIterator<Item = &'a CvpInstruction>,
+    {
+        let mut out = Vec::new();
+        for insn in insns {
+            out.extend(self.convert(insn));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Branches (§3.2)
+    // ------------------------------------------------------------------
+
+    fn convert_branch(&mut self, insn: &CvpInstruction) -> ChampsimRecord {
+        let on = |imp| self.improvements.contains(imp);
+        let mut rec = ChampsimRecord::new(insn.pc);
+        rec.set_branch(true);
+        rec.set_branch_taken(insn.taken);
+        rec.add_destination_register(regs::INSTRUCTION_POINTER);
+
+        if insn.class == CvpClass::CondBranch {
+            rec.add_source_register(regs::INSTRUCTION_POINTER);
+            let keep_sources = on(Improvement::BranchRegs) && !insn.sources().is_empty();
+            if keep_sources {
+                // cb(n)z / tb(n)z: the branch tests a general-purpose
+                // register, so convey that dependency instead of flags.
+                self.stats.conditional_with_sources += 1;
+                self.add_arch_sources(&mut rec, insn.sources());
+            } else {
+                // Flag-reading conditional (or `branch-regs` disabled):
+                // depend on the flags register, as x86 semantics dictate.
+                rec.add_source_register(regs::FLAGS);
+            }
+            return rec;
+        }
+
+        // Unconditional branches: refine jump/call/return from X30 usage.
+        let reads_x30 = insn.reads(LINK_REG);
+        let writes_x30 = insn.writes(LINK_REG);
+        if reads_x30 && writes_x30 {
+            self.stats.x30_read_write_branches += 1;
+        }
+        let is_return = if on(Improvement::CallStack) {
+            // §3.2.1: a return reads X30 and writes nothing at all.
+            reads_x30 && insn.destinations().is_empty()
+        } else {
+            // Original bug: any X30-reading branch is a return, even
+            // `blr x30`, which is an indirect call.
+            reads_x30
+        };
+        let indirect = insn.class == CvpClass::UncondIndirectBranch;
+
+        if is_return {
+            self.stats.returns_emitted += 1;
+            rec.add_source_register(regs::STACK_POINTER);
+            rec.add_destination_register(regs::STACK_POINTER);
+        } else if writes_x30 {
+            // A call. ChampSim's two destination slots are consumed by
+            // IP and SP, so the X30 destination cannot be conveyed
+            // (the §3.2.2 known limitation).
+            self.stats.calls_emitted += 1;
+            self.stats.x30_destinations_dropped += 1;
+            rec.add_source_register(regs::STACK_POINTER);
+            rec.add_destination_register(regs::STACK_POINTER);
+            if indirect {
+                self.add_indirect_operands(&mut rec, insn);
+            } else {
+                rec.add_source_register(regs::INSTRUCTION_POINTER);
+            }
+        } else if indirect {
+            self.add_indirect_operands(&mut rec, insn);
+        } else {
+            rec.add_source_register(regs::INSTRUCTION_POINTER);
+        }
+        rec
+    }
+
+    /// Attaches the register operands of an indirect jump or call: either
+    /// the real CVP-1 sources (`branch-regs`) or the synthetic marker the
+    /// original converter used to trip ChampSim's *reads other* test.
+    fn add_indirect_operands(&mut self, rec: &mut ChampsimRecord, insn: &CvpInstruction) {
+        let real = self.improvements.contains(Improvement::BranchRegs);
+        if real && !insn.sources().is_empty() {
+            self.add_arch_sources(rec, insn.sources());
+        } else {
+            rec.add_source_register(regs::READS_OTHER_MARKER);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory instructions (§3.1)
+    // ------------------------------------------------------------------
+
+    fn convert_memory(&mut self, insn: &CvpInstruction) -> Converted {
+        let imps = self.improvements;
+        let on = |imp| imps.contains(imp);
+        if insn.destinations().is_empty() {
+            self.stats.memory_no_destination += 1;
+        }
+        if insn.class == CvpClass::Load && insn.destinations().len() > 1 {
+            self.stats.loads_multiple_destinations += 1;
+        }
+
+        // Addressing-mode inference runs unconditionally so statistics
+        // (e.g. Figure 4's x-axis) are available even for baseline runs;
+        // the result only alters the output when the improvements are on.
+        let mode = self.ctx.infer(insn);
+        if mode.updates_base() {
+            match insn.class {
+                CvpClass::Load => self.stats.base_update_loads += 1,
+                _ => self.stats.base_update_stores += 1,
+            }
+            match mode {
+                AddressingMode::PreIndex { .. } => self.stats.pre_index += 1,
+                AddressingMode::PostIndex { .. } => self.stats.post_index += 1,
+                AddressingMode::Simple => {}
+            }
+        }
+        let split_base = if on(Improvement::BaseUpdate) { mode.base_register() } else { None };
+
+        // Destination registers of the memory record: everything the
+        // trace lists, minus the base when it is split out.
+        let mem_dests: Vec<Reg> = insn
+            .destinations()
+            .iter()
+            .copied()
+            .filter(|&d| Some(d) != split_base)
+            .collect();
+
+        let mut mem = ChampsimRecord::new(insn.pc);
+        // Source registers: the real ones. The original converter
+        // additionally echoed every destination register into the source
+        // list for read-modify-write-shaped memory instructions (a
+        // source that is also a destination — base updates and the load
+        // pairs of the paper's §3.1 example). The echo is what makes the
+        // paper's example `LDR X1, [X0, #12]!` read both X0 and X1, and
+        // it serializes consecutive base-update loads on the previous
+        // load's *data* — the hidden cost the `base-update` improvement
+        // removes.
+        self.add_arch_sources(&mut mem, insn.sources());
+        let rmw_shaped = insn.sources().iter().any(|&s| insn.writes(s));
+        if !on(Improvement::MemRegs) && split_base.is_none() && rmw_shaped {
+            for &d in insn.destinations() {
+                mem.add_source_register(regs::arch(d));
+            }
+        }
+
+        // Destination registers.
+        if on(Improvement::MemRegs) {
+            for &d in &mem_dests {
+                // ChampSim records have two destination slots; overflow
+                // (e.g. LDP with base update under a disabled
+                // base-update) keeps the first two, as in the paper.
+                mem.add_destination_register(regs::arch(d));
+            }
+        } else {
+            // Original behaviour: exactly one destination, inventing X0.
+            match mem_dests.first() {
+                Some(&d) => {
+                    mem.add_destination_register(regs::arch(d));
+                }
+                None => {
+                    mem.add_destination_register(regs::arch(X0));
+                }
+            }
+        }
+
+        // Memory addresses (§3.1.3).
+        let (lines, zva) = self.footprint(insn, &mem_dests, mode);
+        if zva {
+            self.stats.dc_zva_stores += 1;
+        }
+        if lines.1.is_some() {
+            self.stats.two_cacheline_accesses += 1;
+        }
+        let addresses = [Some(lines.0), lines.1];
+        for address in addresses.into_iter().flatten() {
+            // Address 0 marks an empty slot in the record; a (synthetic)
+            // access to page zero is nudged into the line's second word
+            // so the record stays a load/store.
+            let address = if address == 0 { 8 } else { address };
+            if insn.class == CvpClass::Load {
+                mem.add_source_memory(address);
+            } else {
+                mem.add_destination_memory(address);
+            }
+        }
+
+        // Base-update split (§3.1.2): emit the ALU bump and the access as
+        // two records at PC and PC+2, ordered by the indexing mode.
+        if let Some(base) = split_base {
+            let mut alu = ChampsimRecord::new(insn.pc);
+            alu.add_source_register(regs::arch(base));
+            alu.add_destination_register(regs::arch(base));
+            match mode {
+                AddressingMode::PreIndex { .. } => {
+                    mem.set_ip(insn.pc.wrapping_add(2));
+                    return Converted::two(alu, mem);
+                }
+                _ => {
+                    alu.set_ip(insn.pc.wrapping_add(2));
+                    return Converted::two(mem, alu);
+                }
+            }
+        }
+        Converted::one(mem)
+    }
+
+    /// Computes the cacheline(s) touched by a memory instruction and
+    /// whether it is a `DC ZVA` store.
+    ///
+    /// Returns `((first_line_address, second_line_address), is_dc_zva)`.
+    /// Without `mem-footprint` this is always the raw effective address
+    /// and no second line, reproducing the original converter.
+    fn footprint(
+        &self,
+        insn: &CvpInstruction,
+        mem_dests: &[Reg],
+        mode: AddressingMode,
+    ) -> ((u64, Option<u64>), bool) {
+        if !self.improvements.contains(Improvement::MemFootprint) {
+            return ((insn.mem_address, None), false);
+        }
+        let ea = insn.mem_address;
+        if insn.class == CvpClass::Store && insn.mem_size == 64 {
+            // DC ZVA zeroes one naturally aligned cacheline; align the
+            // address so exactly one line is touched (§3.1.3).
+            return ((ea & !(CACHELINE - 1), None), true);
+        }
+        // Total transfer size: per-register size times the number of
+        // memory-populated destination registers (load pairs and vector
+        // loads). A base-update destination is never populated from
+        // memory, so it does not count — whether or not the
+        // `base-update` improvement is splitting it out.
+        let _ = mem_dests;
+        let regs_from_memory = match insn.class {
+            CvpClass::Load => {
+                let base_dests = usize::from(mode.updates_base());
+                insn.destinations().len().saturating_sub(base_dests).max(1) as u64
+            }
+            _ => 1,
+        };
+        let total = u64::from(insn.mem_size) * regs_from_memory;
+        let first_line = ea / CACHELINE;
+        let last_line = (ea + total.max(1) - 1) / CACHELINE;
+        if last_line > first_line {
+            ((ea, Some(last_line * CACHELINE)), false)
+        } else {
+            ((ea, None), false)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compute instructions
+    // ------------------------------------------------------------------
+
+    fn convert_compute(&mut self, insn: &CvpInstruction) -> ChampsimRecord {
+        let mut rec = ChampsimRecord::new(insn.pc);
+        self.add_arch_sources(&mut rec, insn.sources());
+        if insn.destinations().is_empty() {
+            if self.improvements.contains(Improvement::FlagReg) {
+                // §3.2.3: destination-less ALU/FP instructions are flag
+                // setters (cmp, tst, fcmp); make them write the flags so
+                // conditional branches depend on them.
+                self.stats.flag_destinations_added += 1;
+                rec.add_destination_register(regs::FLAGS);
+            } else {
+                // Original behaviour: invent an X0 destination.
+                rec.add_destination_register(regs::arch(X0));
+            }
+        } else if self.improvements.contains(Improvement::MemRegs) {
+            for &d in insn.destinations() {
+                rec.add_destination_register(regs::arch(d));
+            }
+        } else {
+            rec.add_destination_register(regs::arch(insn.destinations()[0]));
+        }
+        rec
+    }
+
+    fn add_arch_sources(&mut self, rec: &mut ChampsimRecord, sources: &[Reg]) {
+        for &s in sources {
+            if !rec.add_source_register(regs::arch(s)) {
+                // ChampSim's four source slots are full (e.g. CASP); the
+                // paper drops the excess the same way.
+                self.stats.source_registers_dropped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use champsim_trace::{BranchRules, BranchType};
+
+    fn one(conv: &mut Converter, insn: &CvpInstruction) -> ChampsimRecord {
+        let out = conv.convert(insn);
+        assert_eq!(out.records().len(), 1, "expected a single record");
+        out.records()[0]
+    }
+
+    fn classify(rec: &ChampsimRecord, rules: BranchRules) -> BranchType {
+        rules.classify(rec)
+    }
+
+    // ------------------------------------------------------ compute ----
+
+    #[test]
+    fn original_invents_x0_for_flag_setting_alu() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let cmp = CvpInstruction::alu(0x10).with_sources(&[1, 2]);
+        let rec = one(&mut conv, &cmp);
+        assert!(rec.writes(regs::arch(X0)));
+        assert!(!rec.writes(regs::FLAGS));
+    }
+
+    #[test]
+    fn flag_reg_adds_flags_destination() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::FlagReg));
+        let cmp = CvpInstruction::alu(0x10).with_sources(&[1, 2]);
+        let rec = one(&mut conv, &cmp);
+        assert!(rec.writes(regs::FLAGS));
+        assert!(!rec.writes(regs::arch(X0)));
+        assert_eq!(conv.stats().flag_destinations_added, 1);
+
+        // FP compare also gets the flags (§3.2.3).
+        let fcmp = CvpInstruction::fp(0x14).with_sources(&[33, 34]);
+        let rec = one(&mut conv, &fcmp);
+        assert!(rec.writes(regs::FLAGS));
+        assert_eq!(conv.stats().flag_destinations_added, 2);
+    }
+
+    #[test]
+    fn alu_with_destination_is_untouched_by_flag_reg() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::FlagReg));
+        let add = CvpInstruction::alu(0).with_sources(&[1]).with_destination(2, 3u64);
+        let rec = one(&mut conv, &add);
+        assert!(rec.writes(regs::arch(2)));
+        assert!(!rec.writes(regs::FLAGS));
+        assert_eq!(conv.stats().flag_destinations_added, 0);
+    }
+
+    // ------------------------------------------------------- memory ----
+
+    /// The paper's running example: the original converter represents
+    /// `LDR X1, [X0, #8]!` as one load with sources {X0, X1}, destination
+    /// {X1}, one memory source.
+    #[test]
+    fn original_load_reproduces_paper_example() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let ldr = CvpInstruction::load(0x400, 0x1008, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0xdeadu64)
+            .with_destination(0, 0x1008u64);
+        let rec = one(&mut conv, &ldr);
+        assert!(rec.reads(regs::arch(0)) && rec.reads(regs::arch(1)));
+        assert_eq!(rec.destination_registers().collect::<Vec<_>>(), vec![regs::arch(1)]);
+        assert_eq!(rec.source_memory().collect::<Vec<_>>(), vec![0x1008]);
+        assert!(rec.is_load() && !rec.is_store());
+    }
+
+    #[test]
+    fn original_adds_x0_to_prefetch_loads_and_stores() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let prefetch = CvpInstruction::load(0, 0x100, 8).with_sources(&[3]);
+        assert!(one(&mut conv, &prefetch).writes(regs::arch(X0)));
+        let store = CvpInstruction::store(4, 0x200, 8).with_sources(&[3, 4]);
+        let rec = one(&mut conv, &store);
+        assert!(rec.writes(regs::arch(X0)));
+        assert!(rec.is_store());
+        assert_eq!(conv.stats().memory_no_destination, 2);
+    }
+
+    #[test]
+    fn mem_regs_keeps_all_and_only_trace_destinations() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::MemRegs));
+        let prefetch = CvpInstruction::load(0, 0x100, 8).with_sources(&[3]);
+        let rec = one(&mut conv, &prefetch);
+        assert_eq!(rec.destination_registers().count(), 0);
+        assert!(!rec.reads(regs::arch(X0)));
+
+        // Load pair keeps both destinations and does not re-add them as
+        // sources.
+        let ldp = CvpInstruction::load(4, 0x4000, 8)
+            .with_sources(&[0])
+            .with_destination(1, 1u64)
+            .with_destination(2, 2u64);
+        let rec = one(&mut conv, &ldp);
+        let dsts: Vec<u8> = rec.destination_registers().collect();
+        assert_eq!(dsts, vec![regs::arch(1), regs::arch(2)]);
+        assert!(rec.reads(regs::arch(0)));
+        assert!(!rec.reads(regs::arch(1)));
+        assert_eq!(conv.stats().loads_multiple_destinations, 1);
+    }
+
+    #[test]
+    fn base_update_splits_pre_index_alu_first() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::BaseUpdate));
+        // Establish X0 = 0x1000.
+        conv.convert(&CvpInstruction::alu(0).with_destination(0, 0x1000u64));
+        // LDR X1, [X0, #8]!
+        let ldr = CvpInstruction::load(4, 0x1008, 8)
+            .with_sources(&[0])
+            .with_destination(1, 7u64)
+            .with_destination(0, 0x1008u64);
+        let out = conv.convert(&ldr);
+        let recs = out.records();
+        assert_eq!(recs.len(), 2);
+        // First micro-op: the ALU base bump at the original PC.
+        assert_eq!(recs[0].ip(), 4);
+        assert!(recs[0].writes(regs::arch(0)) && recs[0].reads(regs::arch(0)));
+        assert!(!recs[0].is_load() && !recs[0].is_store());
+        // Second micro-op: the memory access at PC+2, not writing the base.
+        assert_eq!(recs[1].ip(), 6);
+        assert!(recs[1].is_load());
+        assert!(!recs[1].writes(regs::arch(0)));
+        assert!(recs[1].reads(regs::arch(0)));
+        assert_eq!(conv.stats().base_update_loads, 1);
+        assert_eq!(conv.stats().pre_index, 1);
+    }
+
+    #[test]
+    fn base_update_splits_post_index_memory_first() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::BaseUpdate));
+        conv.convert(&CvpInstruction::alu(0).with_destination(0, 0x2000u64));
+        // LDR X1, [X0], #16
+        let ldr = CvpInstruction::load(4, 0x2000, 8)
+            .with_sources(&[0])
+            .with_destination(1, 7u64)
+            .with_destination(0, 0x2010u64);
+        let out = conv.convert(&ldr);
+        let recs = out.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ip(), 4);
+        assert!(recs[0].is_load());
+        assert_eq!(recs[1].ip(), 6);
+        assert!(recs[1].writes(regs::arch(0)));
+        assert_eq!(conv.stats().post_index, 1);
+    }
+
+    #[test]
+    fn base_update_disabled_is_still_counted_for_statistics() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        conv.convert(&CvpInstruction::alu(0).with_destination(0, 0x1000u64));
+        let ldr = CvpInstruction::load(4, 0x1008, 8)
+            .with_sources(&[0])
+            .with_destination(1, 7u64)
+            .with_destination(0, 0x1008u64);
+        let out = conv.convert(&ldr);
+        assert_eq!(out.records().len(), 1, "no split without the improvement");
+        assert_eq!(conv.stats().base_update_loads, 1);
+    }
+
+    #[test]
+    fn mem_footprint_adds_second_cacheline_for_crossing_access() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::MemFootprint));
+        // 8-byte load at 0x103C crosses the 0x1040 line boundary.
+        let ld = CvpInstruction::load(0, 0x103C, 8).with_sources(&[2]).with_destination(1, 0u64);
+        let rec = one(&mut conv, &ld);
+        let mem: Vec<u64> = rec.source_memory().collect();
+        assert_eq!(mem, vec![0x103C, 0x1040]);
+        assert_eq!(conv.stats().two_cacheline_accesses, 1);
+    }
+
+    #[test]
+    fn mem_footprint_counts_load_pair_size() {
+        let mut conv = Converter::new(
+            ImprovementSet::only(Improvement::MemFootprint).with(Improvement::MemRegs),
+        );
+        // LDP at 0x1038, 2×8 bytes: touches 0x1038..0x1048 → two lines.
+        let ldp = CvpInstruction::load(0, 0x1038, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0u64)
+            .with_destination(2, 0u64);
+        let rec = one(&mut conv, &ldp);
+        assert_eq!(rec.source_memory().count(), 2);
+    }
+
+    #[test]
+    fn mem_footprint_excludes_base_register_from_size() {
+        let mut conv = Converter::new(ImprovementSet::memory());
+        conv.convert(&CvpInstruction::alu(0).with_destination(0, 0x1038u64));
+        // Pre-index LDR X1,[X0,#0]! at the line tail: only 8 real bytes
+        // (one memory destination), so no crossing despite two trace
+        // destinations.
+        let ldr = CvpInstruction::load(4, 0x1038, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0u64)
+            .with_destination(0, 0x1038u64);
+        let out = conv.convert(&ldr);
+        let mem_rec = out.records()[1];
+        assert_eq!(mem_rec.source_memory().count(), 1);
+        assert_eq!(conv.stats().two_cacheline_accesses, 0);
+    }
+
+    #[test]
+    fn dc_zva_store_is_aligned_to_one_line() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::MemFootprint));
+        let zva = CvpInstruction::store(0, 0x1234, 64).with_sources(&[5]);
+        let rec = one(&mut conv, &zva);
+        assert_eq!(rec.destination_memory().collect::<Vec<_>>(), vec![0x1200]);
+        assert_eq!(conv.stats().dc_zva_stores, 1);
+        assert_eq!(conv.stats().two_cacheline_accesses, 0);
+    }
+
+    #[test]
+    fn without_mem_footprint_crossing_access_touches_one_line() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let ld = CvpInstruction::load(0, 0x103C, 8).with_sources(&[2]).with_destination(1, 0u64);
+        let rec = one(&mut conv, &ld);
+        assert_eq!(rec.source_memory().count(), 1);
+        assert_eq!(conv.stats().two_cacheline_accesses, 0);
+    }
+
+    // ------------------------------------------------------ branches ---
+
+    #[test]
+    fn conditional_branch_reads_flags_under_original() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        // cbz x5: has a real source register, dropped by the original.
+        let cbz = CvpInstruction::cond_branch(0x10, true, 0x40).with_sources(&[5]);
+        let rec = one(&mut conv, &cbz);
+        assert!(rec.reads(regs::FLAGS));
+        assert!(!rec.reads(regs::arch(5)));
+        assert_eq!(classify(&rec, BranchRules::Original), BranchType::Conditional);
+    }
+
+    #[test]
+    fn branch_regs_keeps_conditional_sources() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::BranchRegs));
+        let cbz = CvpInstruction::cond_branch(0x10, false, 0).with_sources(&[5]);
+        let rec = one(&mut conv, &cbz);
+        assert!(rec.reads(regs::arch(5)));
+        assert!(!rec.reads(regs::FLAGS));
+        assert_eq!(conv.stats().conditional_with_sources, 1);
+        // Needs the patched ChampSim to classify correctly (§3.2.2).
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::Conditional);
+        assert_eq!(classify(&rec, BranchRules::Original), BranchType::Indirect);
+    }
+
+    #[test]
+    fn flag_reading_conditional_keeps_flags_under_branch_regs() {
+        let mut conv = Converter::new(ImprovementSet::only(Improvement::BranchRegs));
+        // b.eq: no source registers in the CVP-1 trace.
+        let beq = CvpInstruction::cond_branch(0x10, true, 0x40);
+        let rec = one(&mut conv, &beq);
+        assert!(rec.reads(regs::FLAGS));
+        assert_eq!(conv.stats().conditional_with_sources, 0);
+    }
+
+    #[test]
+    fn direct_branch_forms() {
+        let mut conv = Converter::new(ImprovementSet::all());
+        // b target
+        let b = CvpInstruction::direct_branch(0x10, 0x40);
+        let rec = one(&mut conv, &b);
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::DirectJump);
+        // bl target (writes X30)
+        let bl = CvpInstruction::direct_branch(0x14, 0x80).with_destination(LINK_REG, 0x18u64);
+        let rec = one(&mut conv, &bl);
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::DirectCall);
+        assert_eq!(conv.stats().x30_destinations_dropped, 1);
+    }
+
+    #[test]
+    fn indirect_branch_forms() {
+        let mut conv = Converter::new(ImprovementSet::all());
+        // br x9
+        let br = CvpInstruction::indirect_branch(0x10, 0x4000).with_sources(&[9]);
+        let rec = one(&mut conv, &br);
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::Indirect);
+        assert!(rec.reads(regs::arch(9)));
+        assert!(!rec.reads(regs::READS_OTHER_MARKER));
+        // blr x9
+        let blr = CvpInstruction::indirect_branch(0x14, 0x5000)
+            .with_sources(&[9])
+            .with_destination(LINK_REG, 0x18u64);
+        let rec = one(&mut conv, &blr);
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::IndirectCall);
+        assert!(rec.reads(regs::arch(9)));
+        // ret (reads x30, writes nothing)
+        let ret = CvpInstruction::indirect_branch(0x18, 0x2000).with_sources(&[LINK_REG]);
+        let rec = one(&mut conv, &ret);
+        assert_eq!(classify(&rec, BranchRules::Patched), BranchType::Return);
+    }
+
+    #[test]
+    fn original_uses_reads_other_marker_for_indirects() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let br = CvpInstruction::indirect_branch(0x10, 0x4000).with_sources(&[9]);
+        let rec = one(&mut conv, &br);
+        assert!(rec.reads(regs::READS_OTHER_MARKER));
+        assert!(!rec.reads(regs::arch(9)));
+        assert_eq!(classify(&rec, BranchRules::Original), BranchType::Indirect);
+    }
+
+    /// The `call-stack` bug and fix (§3.2.1): `blr x30` reads **and**
+    /// writes X30. The original converter emits a return; the fix emits
+    /// an indirect call.
+    #[test]
+    fn blr_x30_is_return_originally_and_call_when_fixed() {
+        let blr_x30 = CvpInstruction::indirect_branch(0x10, 0x7000)
+            .with_sources(&[LINK_REG])
+            .with_destination(LINK_REG, 0x14u64);
+
+        let mut original = Converter::new(ImprovementSet::none());
+        let rec = one(&mut original, &blr_x30);
+        assert_eq!(classify(&rec, BranchRules::Original), BranchType::Return);
+        assert_eq!(original.stats().x30_read_write_branches, 1);
+        assert_eq!(original.stats().returns_emitted, 1);
+
+        let mut fixed = Converter::new(ImprovementSet::only(Improvement::CallStack));
+        let rec = one(&mut fixed, &blr_x30);
+        assert_eq!(classify(&rec, BranchRules::Original), BranchType::IndirectCall);
+        assert_eq!(fixed.stats().calls_emitted, 1);
+        assert_eq!(fixed.stats().returns_emitted, 0);
+    }
+
+    // ---------------------------------------------------- plumbing -----
+
+    #[test]
+    fn convert_all_flattens_splits() {
+        let mut conv = Converter::new(ImprovementSet::all());
+        let insns = vec![
+            CvpInstruction::alu(0).with_destination(0, 0x1000u64),
+            CvpInstruction::load(4, 0x1000, 8)
+                .with_sources(&[0])
+                .with_destination(1, 0u64)
+                .with_destination(0, 0x1010u64),
+            CvpInstruction::alu(8).with_sources(&[1]).with_destination(2, 0u64),
+        ];
+        let recs = conv.convert_all(insns.iter());
+        assert_eq!(recs.len(), 4); // load split into two
+        assert_eq!(conv.stats().input_instructions, 3);
+        assert_eq!(conv.stats().output_records, 4);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_improvements() {
+        let mut conv = Converter::new(ImprovementSet::all());
+        conv.convert(&CvpInstruction::alu(0).with_destination(0, 1u64));
+        conv.reset();
+        assert_eq!(conv.stats().input_instructions, 0);
+        assert_eq!(conv.improvements(), ImprovementSet::all());
+    }
+
+    #[test]
+    fn zero_effective_address_does_not_vanish() {
+        let mut conv = Converter::new(ImprovementSet::none());
+        let mut ld = CvpInstruction::load(0, 8, 8).with_destination(1, 0u64);
+        ld.mem_address = 0;
+        let rec = one(&mut conv, &ld);
+        assert!(rec.is_load());
+    }
+
+    #[test]
+    fn source_register_overflow_is_counted() {
+        let mut conv = Converter::new(ImprovementSet::all());
+        // CASP-like: six sources; ChampSim keeps four.
+        let casp =
+            CvpInstruction::store(0, 0x100, 8).with_sources(&[1, 2, 3, 4, 5, 6]);
+        let rec = one(&mut conv, &casp);
+        assert_eq!(rec.source_registers().count(), 4);
+        assert_eq!(conv.stats().source_registers_dropped, 2);
+    }
+}

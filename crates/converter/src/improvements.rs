@@ -1,0 +1,331 @@
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the six conversion improvements of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Improvement {
+    /// §3.1.1 — keep all (and only) the destination registers the CVP-1
+    /// trace gives to memory instructions, instead of forcing exactly one.
+    MemRegs,
+    /// §3.1.2 — infer base-updating addressing modes and split such
+    /// loads/stores into an ALU micro-op plus the memory access, making
+    /// the base register available at ALU latency.
+    BaseUpdate,
+    /// §3.1.3 — compute the real transfer size and touch the second
+    /// cacheline of crossing accesses; align `DC ZVA` 64-byte stores.
+    MemFootprint,
+    /// §3.2.1 — classify branches that both read and write X30 as calls;
+    /// only X30-reading, nothing-writing branches are returns.
+    CallStack,
+    /// §3.2.2 — convey the branches' real source registers instead of the
+    /// synthetic "reads other" marker / flags-only pattern.
+    BranchRegs,
+    /// §3.2.3 — add the flags register as destination of ALU/FP
+    /// instructions that have no destination, restoring the dependency of
+    /// flag-reading conditional branches.
+    FlagReg,
+}
+
+impl Improvement {
+    /// All improvements, in Table 1 order.
+    pub const ALL: [Improvement; 6] = [
+        Improvement::MemRegs,
+        Improvement::BaseUpdate,
+        Improvement::MemFootprint,
+        Improvement::CallStack,
+        Improvement::BranchRegs,
+        Improvement::FlagReg,
+    ];
+
+    /// The paper's name for the improvement (as used in figures and the
+    /// artifact's `-i` option, without the `imp_` prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Improvement::MemRegs => "mem-regs",
+            Improvement::BaseUpdate => "base-update",
+            Improvement::MemFootprint => "mem-footprint",
+            Improvement::CallStack => "call-stack",
+            Improvement::BranchRegs => "branch-regs",
+            Improvement::FlagReg => "flag-reg",
+        }
+    }
+
+    /// `true` for the three memory-side improvements.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Improvement::MemRegs | Improvement::BaseUpdate | Improvement::MemFootprint
+        )
+    }
+
+    /// `true` for the three branch-side improvements.
+    pub fn is_branch(self) -> bool {
+        !self.is_memory()
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Improvement::MemRegs => 1 << 0,
+            Improvement::BaseUpdate => 1 << 1,
+            Improvement::MemFootprint => 1 << 2,
+            Improvement::CallStack => 1 << 3,
+            Improvement::BranchRegs => 1 << 4,
+            Improvement::FlagReg => 1 << 5,
+        }
+    }
+}
+
+impl fmt::Display for Improvement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of enabled conversion improvements.
+///
+/// The empty set reproduces the **original** `cvp2champsim` behaviour
+/// (the paper's baseline); [`ImprovementSet::all`] is the paper's
+/// `All_imps` configuration. String parsing accepts the artifact's CLI
+/// spellings: `No_imp`, `All_imps`, `Memory_imps`, `Branch_imps`, and
+/// `imp_<name>` (or the bare name) for individual improvements.
+///
+/// # Example
+///
+/// ```
+/// use converter::{Improvement, ImprovementSet};
+///
+/// let set: ImprovementSet = "Memory_imps".parse()?;
+/// assert!(set.contains(Improvement::BaseUpdate));
+/// assert!(!set.contains(Improvement::FlagReg));
+/// # Ok::<(), converter::ParseImprovementError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ImprovementSet(u8);
+
+impl ImprovementSet {
+    /// The empty set: the original converter (`No_imp`).
+    pub const fn none() -> ImprovementSet {
+        ImprovementSet(0)
+    }
+
+    /// Every improvement enabled (`All_imps`).
+    pub const fn all() -> ImprovementSet {
+        ImprovementSet(0b11_1111)
+    }
+
+    /// The three memory improvements (`Memory_imps`).
+    pub const fn memory() -> ImprovementSet {
+        ImprovementSet(0b00_0111)
+    }
+
+    /// The three branch improvements (`Branch_imps`).
+    pub const fn branch() -> ImprovementSet {
+        ImprovementSet(0b11_1000)
+    }
+
+    /// A single improvement.
+    pub fn only(imp: Improvement) -> ImprovementSet {
+        ImprovementSet(imp.bit())
+    }
+
+    /// Membership test.
+    pub fn contains(self, imp: Improvement) -> bool {
+        self.0 & imp.bit() != 0
+    }
+
+    /// This set plus `imp`.
+    #[must_use]
+    pub fn with(self, imp: Improvement) -> ImprovementSet {
+        ImprovementSet(self.0 | imp.bit())
+    }
+
+    /// This set minus `imp`.
+    #[must_use]
+    pub fn without(self, imp: Improvement) -> ImprovementSet {
+        ImprovementSet(self.0 & !imp.bit())
+    }
+
+    /// `true` when no improvement is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the enabled improvements in Table 1 order.
+    pub fn iter(self) -> impl Iterator<Item = Improvement> {
+        Improvement::ALL.into_iter().filter(move |i| self.contains(*i))
+    }
+}
+
+impl FromIterator<Improvement> for ImprovementSet {
+    fn from_iter<T: IntoIterator<Item = Improvement>>(iter: T) -> Self {
+        iter.into_iter().fold(ImprovementSet::none(), ImprovementSet::with)
+    }
+}
+
+impl Extend<Improvement> for ImprovementSet {
+    fn extend<T: IntoIterator<Item = Improvement>>(&mut self, iter: T) {
+        for imp in iter {
+            *self = self.with(imp);
+        }
+    }
+}
+
+impl fmt::Display for ImprovementSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("No_imp");
+        }
+        if *self == ImprovementSet::all() {
+            return f.write_str("All_imps");
+        }
+        if *self == ImprovementSet::memory() {
+            return f.write_str("Memory_imps");
+        }
+        if *self == ImprovementSet::branch() {
+            return f.write_str("Branch_imps");
+        }
+        let mut first = true;
+        for imp in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{imp}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing an improvement name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseImprovementError {
+    input: String,
+}
+
+impl fmt::Display for ParseImprovementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown improvement {:?}; expected No_imp, All_imps, Memory_imps, Branch_imps, \
+             or imp_<mem-regs|base-update|mem-footprint|call-stack|branch-regs|flag-reg>",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseImprovementError {}
+
+impl FromStr for Improvement {
+    type Err = ParseImprovementError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let name = s.strip_prefix("imp_").unwrap_or(s);
+        // The artifact spells the last one "imp_flag-regs"; accept both.
+        let name = if name == "flag-regs" { "flag-reg" } else { name };
+        Improvement::ALL
+            .into_iter()
+            .find(|i| i.name() == name)
+            .ok_or_else(|| ParseImprovementError { input: s.to_owned() })
+    }
+}
+
+impl FromStr for ImprovementSet {
+    type Err = ParseImprovementError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "No_imp" | "none" => Ok(ImprovementSet::none()),
+            "All_imps" | "all" => Ok(ImprovementSet::all()),
+            "Memory_imps" | "memory" => Ok(ImprovementSet::memory()),
+            "Branch_imps" | "branch" => Ok(ImprovementSet::branch()),
+            other => other
+                .split('+')
+                .map(Improvement::from_str)
+                .collect::<Result<ImprovementSet, _>>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let mut s = ImprovementSet::none();
+        assert!(s.is_empty());
+        s = s.with(Improvement::BaseUpdate);
+        assert!(s.contains(Improvement::BaseUpdate));
+        assert!(!s.contains(Improvement::MemRegs));
+        s = s.without(Improvement::BaseUpdate);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn memory_and_branch_partition_all() {
+        let union: ImprovementSet = ImprovementSet::memory()
+            .iter()
+            .chain(ImprovementSet::branch().iter())
+            .collect();
+        assert_eq!(union, ImprovementSet::all());
+        for imp in ImprovementSet::memory().iter() {
+            assert!(imp.is_memory());
+        }
+        for imp in ImprovementSet::branch().iter() {
+            assert!(imp.is_branch());
+        }
+    }
+
+    #[test]
+    fn parses_artifact_spellings() {
+        assert_eq!("No_imp".parse::<ImprovementSet>().unwrap(), ImprovementSet::none());
+        assert_eq!("All_imps".parse::<ImprovementSet>().unwrap(), ImprovementSet::all());
+        assert_eq!("Memory_imps".parse::<ImprovementSet>().unwrap(), ImprovementSet::memory());
+        assert_eq!("Branch_imps".parse::<ImprovementSet>().unwrap(), ImprovementSet::branch());
+        assert_eq!(
+            "imp_base-update".parse::<ImprovementSet>().unwrap(),
+            ImprovementSet::only(Improvement::BaseUpdate)
+        );
+        assert_eq!(
+            "imp_flag-regs".parse::<ImprovementSet>().unwrap(),
+            ImprovementSet::only(Improvement::FlagReg)
+        );
+        assert_eq!(
+            "mem-regs+call-stack".parse::<ImprovementSet>().unwrap(),
+            ImprovementSet::only(Improvement::MemRegs).with(Improvement::CallStack)
+        );
+        assert!("imp_bogus".parse::<ImprovementSet>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let sets = [
+            ImprovementSet::none(),
+            ImprovementSet::all(),
+            ImprovementSet::memory(),
+            ImprovementSet::branch(),
+            ImprovementSet::only(Improvement::CallStack),
+            ImprovementSet::only(Improvement::MemRegs).with(Improvement::FlagReg),
+        ];
+        for s in sets {
+            let text = s.to_string();
+            assert_eq!(text.parse::<ImprovementSet>().unwrap(), s, "{text}");
+        }
+    }
+
+    #[test]
+    fn iter_is_in_table_order() {
+        let names: Vec<&str> = ImprovementSet::all().iter().map(|i| i.name()).collect();
+        assert_eq!(
+            names,
+            ["mem-regs", "base-update", "mem-footprint", "call-stack", "branch-regs", "flag-reg"]
+        );
+    }
+
+    #[test]
+    fn parse_error_display_mentions_input() {
+        let e = "imp_nope".parse::<Improvement>().unwrap_err();
+        assert!(e.to_string().contains("imp_nope"));
+    }
+}

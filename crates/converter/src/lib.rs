@@ -1,0 +1,48 @@
+//! `cvp2champsim` — the improved CVP-1 → ChampSim trace converter.
+//!
+//! This crate is the primary contribution of *Rebasing Microarchitectural
+//! Research with Industry Traces* (IISWC 2023). The original converter
+//! shipped with ChampSim was written for front-end studies and takes
+//! shortcuts that distort back-end behaviour; this implementation
+//! reproduces both the original behaviour (so the paper's baseline can be
+//! regenerated) and the six improvements of the paper's Table 1, each
+//! individually toggleable:
+//!
+//! | Improvement | Section | Effect |
+//! |---|---|---|
+//! | [`Improvement::MemRegs`] | §3.1.1 | keep all (and only) the CVP-1 destination registers of memory instructions |
+//! | [`Improvement::BaseUpdate`] | §3.1.2 | split base-updating loads/stores so the base register is ready at ALU latency |
+//! | [`Improvement::MemFootprint`] | §3.1.3 | touch every cacheline the instruction accesses; align `DC ZVA` stores |
+//! | [`Improvement::CallStack`] | §3.2.1 | classify X30 read+write branches as calls, not returns |
+//! | [`Improvement::BranchRegs`] | §3.2.2 | keep the real source registers of branches |
+//! | [`Improvement::FlagReg`] | §3.2.3 | make flag-setting ALU/FP instructions write the flags register |
+//!
+//! # Example
+//!
+//! ```
+//! use converter::{Converter, ImprovementSet};
+//! use cvp_trace::CvpInstruction;
+//!
+//! // A pre-indexing load: LDR X1, [X0, #8]!  (X0 <- 0x1008, X1 <- data)
+//! let load = CvpInstruction::load(0x400, 0x1008, 8)
+//!     .with_sources(&[0])
+//!     .with_destination(1, 0xdeadu64)
+//!     .with_destination(0, 0x1008u64);
+//!
+//! let mut original = Converter::new(ImprovementSet::none());
+//! assert_eq!(original.convert(&load).records().len(), 1);
+//!
+//! let mut improved = Converter::new(ImprovementSet::all());
+//! // base-update splits the load into an ALU update plus the access.
+//! assert_eq!(improved.convert(&load).records().len(), 2);
+//! ```
+
+mod addrmode;
+mod convert;
+mod improvements;
+mod stats;
+
+pub use addrmode::{AddressingMode, InferenceContext, BASE_UPDATE_IMMEDIATE_WINDOW};
+pub use convert::{Converted, Converter};
+pub use improvements::{Improvement, ImprovementSet, ParseImprovementError};
+pub use stats::ConversionStats;

@@ -1,0 +1,67 @@
+//! Byte-level specification of the CVP-1 record layout.
+//!
+//! All multi-byte fields are little-endian. One record:
+//!
+//! ```text
+//! u64  pc
+//! u8   class                      (see CvpClass discriminants, 0..=8)
+//! if class is load or store:
+//!     u64  effective address
+//!     u8   access size            (bytes per destination register;
+//!                                  power of two in 1..=64)
+//! if class is a branch:
+//!     u8   taken                  (0 or 1)
+//!     if taken:
+//!         u64  target
+//! u8   number of source registers        (<= 8)
+//! u8 × n   source register names         (0..=64)
+//! u8   number of destination registers   (<= 4)
+//! u8 × m   destination register names    (0..=64)
+//! for each destination register:
+//!     u64      value (low half)
+//!     if the register is a vector register (32..=63):
+//!         u64  value (high half)
+//! ```
+//!
+//! The layout mirrors the record structure of the CVP-1 championship
+//! traces: variable-length records, values attached only to destination
+//! registers, 128-bit values for vector registers, and **no** addressing
+//! mode, opcode, or flags information — the omissions the paper's
+//! converter improvements work around.
+
+/// Largest possible encoded record size in bytes.
+///
+/// `8 (pc) + 1 (class) + 9 (mem) + 9 (branch) + 1 + 8 (srcs) + 1 + 4
+/// (dsts) + 4 × 16 (vector values)`.
+pub const MAX_RECORD_BYTES: usize = 8 + 1 + 9 + 9 + 1 + 8 + 1 + 4 + 64;
+
+/// Smallest possible encoded record size in bytes (register-free ALU op).
+pub const MIN_RECORD_BYTES: usize = 8 + 1 + 1 + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CvpInstruction, CvpWriter};
+
+    #[test]
+    fn min_record_bytes_matches_encoder() {
+        let mut buf = Vec::new();
+        CvpWriter::new(&mut buf).write(&CvpInstruction::alu(0)).unwrap();
+        assert_eq!(buf.len(), MIN_RECORD_BYTES);
+    }
+
+    #[test]
+    fn max_record_bytes_is_an_upper_bound() {
+        // Vector load pair with the maximum register counts.
+        let mut i = CvpInstruction::load(u64::MAX, u64::MAX, 16);
+        for r in 0..8 {
+            i.push_source(r);
+        }
+        for r in 32..36 {
+            i.push_destination(r, crate::OutputValue::vector(u64::MAX, u64::MAX));
+        }
+        let mut buf = Vec::new();
+        CvpWriter::new(&mut buf).write(&i).unwrap();
+        assert!(buf.len() <= MAX_RECORD_BYTES);
+    }
+}

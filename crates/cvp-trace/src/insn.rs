@@ -1,0 +1,465 @@
+use std::fmt;
+
+/// Architectural register name in a CVP-1 trace.
+///
+/// The CVP-1 namespace covers the Aarch64 general-purpose registers
+/// (`0..=31`, with `X30` the link register and `X31` the stack pointer),
+/// the vector/FP registers (`32..=63`, 128-bit values), and a synthetic
+/// flags register (`64`) that real CVP-1 traces never emit — the paper's
+/// `flag-reg` improvement exists precisely because the flags are missing.
+pub type Reg = u8;
+
+/// Number of general-purpose integer registers (`X0..=X31`).
+pub const NUM_INT_REGS: u8 = 32;
+/// First vector/FP register name; vector values are 128 bits wide.
+pub const VEC_REG_BASE: u8 = 32;
+/// Total number of register names in the trace namespace (including flags).
+pub const NUM_REGS: u8 = 65;
+/// The Aarch64 link register `X30`, written by calls and read by returns.
+pub const LINK_REG: Reg = 30;
+/// The Aarch64 stack pointer `X31` (as named in CVP-1 traces).
+pub const STACK_REG: Reg = 31;
+/// Synthetic flags register name (never present in real CVP-1 traces).
+pub const FLAGS_REG: Reg = 64;
+
+/// Maximum number of source registers a record may carry.
+///
+/// Real CVP-1 traces contain a handful of instructions with more than four
+/// sources (e.g. *compare-and-swap pair*); eight covers every Aarch64 case.
+pub const MAX_SRCS: usize = 8;
+/// Maximum number of destination registers a record may carry.
+///
+/// The paper observes CVP-1 destination counts ranging from zero to three;
+/// four leaves headroom for vector forms.
+pub const MAX_DSTS: usize = 4;
+
+/// Coarse instruction class recorded by the CVP-1 tracer.
+///
+/// CVP-1 does not record opcodes or instruction bytes; this nine-way class
+/// is all a consumer knows about the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum CvpClass {
+    /// Simple integer ALU operation (single-cycle).
+    Alu = 0,
+    /// Memory load (including prefetch loads, which have no destination).
+    Load = 1,
+    /// Memory store.
+    Store = 2,
+    /// Conditional branch.
+    CondBranch = 3,
+    /// Unconditional direct branch (jump or call; CVP-1 does not say which).
+    UncondDirectBranch = 4,
+    /// Unconditional indirect branch (jump, call, or return).
+    UncondIndirectBranch = 5,
+    /// Floating-point operation.
+    Fp = 6,
+    /// Long-latency integer operation (multiply, divide).
+    SlowAlu = 7,
+    /// Anything the tracer could not classify (system instructions etc.).
+    Undef = 8,
+}
+
+impl CvpClass {
+    /// All classes, in discriminant order.
+    pub const ALL: [CvpClass; 9] = [
+        CvpClass::Alu,
+        CvpClass::Load,
+        CvpClass::Store,
+        CvpClass::CondBranch,
+        CvpClass::UncondDirectBranch,
+        CvpClass::UncondIndirectBranch,
+        CvpClass::Fp,
+        CvpClass::SlowAlu,
+        CvpClass::Undef,
+    ];
+
+    /// Decodes a class byte, returning `None` for out-of-range values.
+    pub fn from_u8(v: u8) -> Option<CvpClass> {
+        CvpClass::ALL.get(v as usize).copied()
+    }
+
+    /// `true` for [`CvpClass::Load`] and [`CvpClass::Store`].
+    pub fn is_memory(self) -> bool {
+        matches!(self, CvpClass::Load | CvpClass::Store)
+    }
+
+    /// `true` for the three branch classes.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            CvpClass::CondBranch | CvpClass::UncondDirectBranch | CvpClass::UncondIndirectBranch
+        )
+    }
+}
+
+impl fmt::Display for CvpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CvpClass::Alu => "alu",
+            CvpClass::Load => "load",
+            CvpClass::Store => "store",
+            CvpClass::CondBranch => "cond-branch",
+            CvpClass::UncondDirectBranch => "uncond-direct-branch",
+            CvpClass::UncondIndirectBranch => "uncond-indirect-branch",
+            CvpClass::Fp => "fp",
+            CvpClass::SlowAlu => "slow-alu",
+            CvpClass::Undef => "undef",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Value written to one destination register.
+///
+/// Integer registers carry 64 bits (`hi` is zero); vector registers carry
+/// the full 128 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct OutputValue {
+    /// Low 64 bits (the whole value for integer registers).
+    pub lo: u64,
+    /// High 64 bits (vector registers only; zero otherwise).
+    pub hi: u64,
+}
+
+impl OutputValue {
+    /// A 64-bit scalar value.
+    pub fn scalar(lo: u64) -> OutputValue {
+        OutputValue { lo, hi: 0 }
+    }
+
+    /// A 128-bit vector value.
+    pub fn vector(lo: u64, hi: u64) -> OutputValue {
+        OutputValue { lo, hi }
+    }
+}
+
+impl From<u64> for OutputValue {
+    fn from(lo: u64) -> Self {
+        OutputValue::scalar(lo)
+    }
+}
+
+impl fmt::Display for OutputValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hi == 0 {
+            write!(f, "{:#x}", self.lo)
+        } else {
+            write!(f, "{:#x}:{:#x}", self.hi, self.lo)
+        }
+    }
+}
+
+/// One CVP-1 trace record.
+///
+/// Construct records with the class-specific constructors
+/// ([`CvpInstruction::alu`], [`CvpInstruction::load`], …) and the
+/// `with_*` builder methods, or decode them with
+/// [`CvpReader`](crate::CvpReader).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CvpInstruction {
+    /// Program counter.
+    pub pc: u64,
+    /// Instruction class.
+    pub class: CvpClass,
+    /// Effective address (loads/stores only, else 0).
+    pub mem_address: u64,
+    /// Transfer size in bytes **per destination register** (loads/stores
+    /// only, else 0). CVP-1 records a single size even for load pairs.
+    pub mem_size: u8,
+    /// Branch outcome (branches only; unconditional branches are taken).
+    pub taken: bool,
+    /// Branch target (taken branches only, else 0).
+    pub target: u64,
+    srcs: [Reg; MAX_SRCS],
+    num_srcs: u8,
+    dsts: [Reg; MAX_DSTS],
+    num_dsts: u8,
+    values: [OutputValue; MAX_DSTS],
+}
+
+impl CvpInstruction {
+    fn empty(pc: u64, class: CvpClass) -> CvpInstruction {
+        CvpInstruction {
+            pc,
+            class,
+            mem_address: 0,
+            mem_size: 0,
+            taken: false,
+            target: 0,
+            srcs: [0; MAX_SRCS],
+            num_srcs: 0,
+            dsts: [0; MAX_DSTS],
+            num_dsts: 0,
+            values: [OutputValue::default(); MAX_DSTS],
+        }
+    }
+
+    /// A simple ALU instruction at `pc` with no registers attached yet.
+    pub fn alu(pc: u64) -> CvpInstruction {
+        CvpInstruction::empty(pc, CvpClass::Alu)
+    }
+
+    /// A long-latency ALU instruction (multiply/divide).
+    pub fn slow_alu(pc: u64) -> CvpInstruction {
+        CvpInstruction::empty(pc, CvpClass::SlowAlu)
+    }
+
+    /// A floating-point instruction.
+    pub fn fp(pc: u64) -> CvpInstruction {
+        CvpInstruction::empty(pc, CvpClass::Fp)
+    }
+
+    /// An unclassified instruction.
+    pub fn undef(pc: u64) -> CvpInstruction {
+        CvpInstruction::empty(pc, CvpClass::Undef)
+    }
+
+    /// A load of `size` bytes per destination register from `address`.
+    pub fn load(pc: u64, address: u64, size: u8) -> CvpInstruction {
+        let mut i = CvpInstruction::empty(pc, CvpClass::Load);
+        i.mem_address = address;
+        i.mem_size = size;
+        i
+    }
+
+    /// A store of `size` bytes to `address`.
+    pub fn store(pc: u64, address: u64, size: u8) -> CvpInstruction {
+        let mut i = CvpInstruction::empty(pc, CvpClass::Store);
+        i.mem_address = address;
+        i.mem_size = size;
+        i
+    }
+
+    /// A conditional branch with the given outcome.
+    ///
+    /// `target` is only meaningful when `taken`.
+    pub fn cond_branch(pc: u64, taken: bool, target: u64) -> CvpInstruction {
+        let mut i = CvpInstruction::empty(pc, CvpClass::CondBranch);
+        i.taken = taken;
+        i.target = if taken { target } else { 0 };
+        i
+    }
+
+    /// An unconditional direct branch (always taken).
+    pub fn direct_branch(pc: u64, target: u64) -> CvpInstruction {
+        let mut i = CvpInstruction::empty(pc, CvpClass::UncondDirectBranch);
+        i.taken = true;
+        i.target = target;
+        i
+    }
+
+    /// An unconditional indirect branch (always taken).
+    pub fn indirect_branch(pc: u64, target: u64) -> CvpInstruction {
+        let mut i = CvpInstruction::empty(pc, CvpClass::UncondIndirectBranch);
+        i.taken = true;
+        i.target = target;
+        i
+    }
+
+    /// Appends source registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total exceeds [`MAX_SRCS`] or any register is out of
+    /// range; trace generators are expected to construct valid records.
+    #[must_use]
+    pub fn with_sources(mut self, regs: &[Reg]) -> CvpInstruction {
+        for &r in regs {
+            self.push_source(r);
+        }
+        self
+    }
+
+    /// Appends one destination register and the value written to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total exceeds [`MAX_DSTS`] or the register is out of
+    /// range.
+    #[must_use]
+    pub fn with_destination(mut self, reg: Reg, value: impl Into<OutputValue>) -> CvpInstruction {
+        self.push_destination(reg, value.into());
+        self
+    }
+
+    /// Appends one source register (in-place form of [`with_sources`]).
+    ///
+    /// [`with_sources`]: CvpInstruction::with_sources
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record already has [`MAX_SRCS`] sources or `reg` is out
+    /// of range.
+    pub fn push_source(&mut self, reg: Reg) {
+        assert!(reg < NUM_REGS, "source register {reg} out of range");
+        assert!(
+            (self.num_srcs as usize) < MAX_SRCS,
+            "too many source registers (max {MAX_SRCS})"
+        );
+        self.srcs[self.num_srcs as usize] = reg;
+        self.num_srcs += 1;
+    }
+
+    /// Appends one destination register and its value (in-place form of
+    /// [`with_destination`]).
+    ///
+    /// [`with_destination`]: CvpInstruction::with_destination
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record already has [`MAX_DSTS`] destinations or `reg`
+    /// is out of range.
+    pub fn push_destination(&mut self, reg: Reg, value: OutputValue) {
+        assert!(reg < NUM_REGS, "destination register {reg} out of range");
+        assert!(
+            (self.num_dsts as usize) < MAX_DSTS,
+            "too many destination registers (max {MAX_DSTS})"
+        );
+        self.dsts[self.num_dsts as usize] = reg;
+        self.values[self.num_dsts as usize] = value;
+        self.num_dsts += 1;
+    }
+
+    /// Source registers, in trace order.
+    pub fn sources(&self) -> &[Reg] {
+        &self.srcs[..self.num_srcs as usize]
+    }
+
+    /// Destination registers, in trace order.
+    pub fn destinations(&self) -> &[Reg] {
+        &self.dsts[..self.num_dsts as usize]
+    }
+
+    /// Values written to the destination registers, parallel to
+    /// [`destinations`](CvpInstruction::destinations).
+    pub fn output_values(&self) -> &[OutputValue] {
+        &self.values[..self.num_dsts as usize]
+    }
+
+    /// The value written to register `reg`, if `reg` is a destination.
+    pub fn value_of(&self, reg: Reg) -> Option<OutputValue> {
+        self.destinations()
+            .iter()
+            .position(|&d| d == reg)
+            .map(|i| self.values[i])
+    }
+
+    /// `true` if `reg` appears among the sources.
+    pub fn reads(&self, reg: Reg) -> bool {
+        self.sources().contains(&reg)
+    }
+
+    /// `true` if `reg` appears among the destinations.
+    pub fn writes(&self, reg: Reg) -> bool {
+        self.destinations().contains(&reg)
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_memory(&self) -> bool {
+        self.class.is_memory()
+    }
+
+    /// `true` for the three branch classes.
+    pub fn is_branch(&self) -> bool {
+        self.class.is_branch()
+    }
+}
+
+impl fmt::Display for CvpInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x} {}", self.pc, self.class)?;
+        if self.is_memory() {
+            write!(f, " @{:#x}+{}", self.mem_address, self.mem_size)?;
+        }
+        if self.is_branch() {
+            if self.taken {
+                write!(f, " taken->{:#x}", self.target)?;
+            } else {
+                write!(f, " not-taken")?;
+            }
+        }
+        write!(f, " src{:?} dst{:?}", self.sources(), self.destinations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_round_trips_through_u8() {
+        for c in CvpClass::ALL {
+            assert_eq!(CvpClass::from_u8(c as u8), Some(c));
+        }
+        assert_eq!(CvpClass::from_u8(9), None);
+        assert_eq!(CvpClass::from_u8(255), None);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(CvpClass::Load.is_memory());
+        assert!(CvpClass::Store.is_memory());
+        assert!(!CvpClass::Alu.is_memory());
+        assert!(CvpClass::CondBranch.is_branch());
+        assert!(CvpClass::UncondDirectBranch.is_branch());
+        assert!(CvpClass::UncondIndirectBranch.is_branch());
+        assert!(!CvpClass::Fp.is_branch());
+    }
+
+    #[test]
+    fn builders_populate_fields() {
+        let i = CvpInstruction::load(0x400, 0x8000, 8)
+            .with_sources(&[0])
+            .with_destination(1, 0xdead_u64)
+            .with_destination(0, 0x8008u64);
+        assert_eq!(i.class, CvpClass::Load);
+        assert_eq!(i.sources(), &[0]);
+        assert_eq!(i.destinations(), &[1, 0]);
+        assert_eq!(i.value_of(0), Some(OutputValue::scalar(0x8008)));
+        assert_eq!(i.value_of(1), Some(OutputValue::scalar(0xdead)));
+        assert_eq!(i.value_of(2), None);
+        assert!(i.reads(0));
+        assert!(!i.reads(1));
+        assert!(i.writes(1));
+        assert!(i.is_memory());
+        assert!(!i.is_branch());
+    }
+
+    #[test]
+    fn not_taken_branch_has_zero_target() {
+        let b = CvpInstruction::cond_branch(0x100, false, 0x999);
+        assert!(!b.taken);
+        assert_eq!(b.target, 0);
+        let t = CvpInstruction::cond_branch(0x100, true, 0x999);
+        assert_eq!(t.target, 0x999);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many source registers")]
+    fn too_many_sources_panics() {
+        let mut i = CvpInstruction::alu(0);
+        for r in 0..=MAX_SRCS as u8 {
+            i.push_source(r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let _ = CvpInstruction::alu(0).with_sources(&[NUM_REGS]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = CvpInstruction::direct_branch(0x10, 0x20);
+        assert!(!format!("{i}").is_empty());
+        assert!(!format!("{}", OutputValue::vector(1, 2)).is_empty());
+    }
+
+    #[test]
+    fn output_value_from_u64() {
+        let v: OutputValue = 7u64.into();
+        assert_eq!(v, OutputValue { lo: 7, hi: 0 });
+    }
+}

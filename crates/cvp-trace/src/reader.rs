@@ -1,0 +1,335 @@
+use std::io::{self, Read};
+
+use crate::error::{RegKind, TraceError};
+use crate::insn::{CvpClass, CvpInstruction, OutputValue, MAX_DSTS, MAX_SRCS, NUM_INT_REGS, NUM_REGS, VEC_REG_BASE};
+
+/// Streaming decoder for CVP-1 trace records.
+///
+/// Reads records one at a time from any [`Read`] source (a `&mut R` also
+/// works, since `Read` is implemented for mutable references). The reader
+/// is also an [`Iterator`] over `Result<CvpInstruction, TraceError>`.
+///
+/// # Example
+///
+/// ```
+/// use cvp_trace::{CvpInstruction, CvpReader, CvpWriter};
+///
+/// # fn main() -> Result<(), cvp_trace::TraceError> {
+/// let mut buf = Vec::new();
+/// let mut w = CvpWriter::new(&mut buf);
+/// w.write(&CvpInstruction::alu(0x10))?;
+/// w.write(&CvpInstruction::alu(0x14))?;
+///
+/// let pcs: Vec<u64> = CvpReader::new(buf.as_slice())
+///     .map(|r| r.map(|i| i.pc))
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(pcs, [0x10, 0x14]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CvpReader<R> {
+    inner: R,
+    offset: u64,
+    record_start: u64,
+}
+
+impl<R: Read> CvpReader<R> {
+    /// Creates a reader over `inner`.
+    pub fn new(inner: R) -> CvpReader<R> {
+        CvpReader { inner, offset: 0, record_start: 0 }
+    }
+
+    /// Consumes the reader, returning the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
+    }
+
+    /// Decodes the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::TruncatedRecord`] if the stream ends inside a
+    /// record, and the other [`TraceError`] variants for malformed fields.
+    pub fn read(&mut self) -> Result<Option<CvpInstruction>, TraceError> {
+        self.record_start = self.offset;
+        let pc = match self.read_u64_or_eof()? {
+            Some(pc) => pc,
+            None => return Ok(None),
+        };
+        let class_byte = self.read_u8()?;
+        let class = CvpClass::from_u8(class_byte).ok_or(TraceError::InvalidClass {
+            value: class_byte,
+            offset: self.record_start,
+        })?;
+
+        let mut insn = match class {
+            CvpClass::Load | CvpClass::Store => {
+                let address = self.read_u64()?;
+                let size = self.read_u8()?;
+                if !size.is_power_of_two() || size > 64 {
+                    return Err(TraceError::InvalidAccessSize {
+                        size,
+                        offset: self.record_start,
+                    });
+                }
+                if class == CvpClass::Load {
+                    CvpInstruction::load(pc, address, size)
+                } else {
+                    CvpInstruction::store(pc, address, size)
+                }
+            }
+            CvpClass::CondBranch
+            | CvpClass::UncondDirectBranch
+            | CvpClass::UncondIndirectBranch => {
+                let taken_byte = self.read_u8()?;
+                let taken = match taken_byte {
+                    0 => false,
+                    1 => true,
+                    v => {
+                        return Err(TraceError::InvalidTakenFlag {
+                            value: v,
+                            offset: self.record_start,
+                        })
+                    }
+                };
+                let target = if taken { self.read_u64()? } else { 0 };
+                match class {
+                    CvpClass::CondBranch => CvpInstruction::cond_branch(pc, taken, target),
+                    CvpClass::UncondDirectBranch => CvpInstruction::direct_branch(pc, target),
+                    _ => CvpInstruction::indirect_branch(pc, target),
+                }
+            }
+            CvpClass::Alu => CvpInstruction::alu(pc),
+            CvpClass::SlowAlu => CvpInstruction::slow_alu(pc),
+            CvpClass::Fp => CvpInstruction::fp(pc),
+            CvpClass::Undef => CvpInstruction::undef(pc),
+        };
+
+        let num_srcs = self.read_u8()?;
+        if num_srcs as usize > MAX_SRCS {
+            return Err(TraceError::TooManyRegisters {
+                kind: RegKind::Source,
+                count: num_srcs,
+                offset: self.record_start,
+            });
+        }
+        for _ in 0..num_srcs {
+            let reg = self.read_u8()?;
+            if reg >= NUM_REGS {
+                return Err(TraceError::InvalidRegister { reg, offset: self.record_start });
+            }
+            insn.push_source(reg);
+        }
+
+        let num_dsts = self.read_u8()?;
+        if num_dsts as usize > MAX_DSTS {
+            return Err(TraceError::TooManyRegisters {
+                kind: RegKind::Destination,
+                count: num_dsts,
+                offset: self.record_start,
+            });
+        }
+        let mut dsts = [0u8; MAX_DSTS];
+        for slot in dsts.iter_mut().take(num_dsts as usize) {
+            let reg = self.read_u8()?;
+            if reg >= NUM_REGS {
+                return Err(TraceError::InvalidRegister { reg, offset: self.record_start });
+            }
+            *slot = reg;
+        }
+        for &reg in dsts.iter().take(num_dsts as usize) {
+            let lo = self.read_u64()?;
+            let hi = if (VEC_REG_BASE..VEC_REG_BASE + NUM_INT_REGS).contains(&reg) {
+                self.read_u64()?
+            } else {
+                0
+            };
+            insn.push_destination(reg, OutputValue { lo, hi });
+        }
+
+        Ok(Some(insn))
+    }
+
+    fn read_u8(&mut self) -> Result<u8, TraceError> {
+        let mut b = [0u8; 1];
+        self.fill(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn read_u64(&mut self) -> Result<u64, TraceError> {
+        let mut b = [0u8; 8];
+        self.fill(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a u64 at a record boundary: clean EOF yields `None`.
+    fn read_u64_or_eof(&mut self) -> Result<Option<u64>, TraceError> {
+        let mut b = [0u8; 8];
+        let mut filled = 0;
+        while filled < b.len() {
+            match self.inner.read(&mut b[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(TraceError::TruncatedRecord { offset: self.record_start })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.offset += 8;
+        Ok(Some(u64::from_le_bytes(b)))
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                Err(TraceError::TruncatedRecord { offset: self.record_start })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl<R: Read> Iterator for CvpReader<R> {
+    type Item = Result<CvpInstruction, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CvpWriter;
+
+    fn round_trip(insns: &[CvpInstruction]) -> Vec<CvpInstruction> {
+        let mut buf = Vec::new();
+        let mut w = CvpWriter::new(&mut buf);
+        for i in insns {
+            w.write(i).unwrap();
+        }
+        CvpReader::new(buf.as_slice()).collect::<Result<_, _>>().unwrap()
+    }
+
+    #[test]
+    fn round_trips_every_class_shape() {
+        let insns = vec![
+            CvpInstruction::alu(0x1000).with_sources(&[1, 2]).with_destination(3, 9u64),
+            CvpInstruction::slow_alu(0x1004).with_destination(4, 81u64),
+            CvpInstruction::fp(0x1008)
+                .with_sources(&[33, 34])
+                .with_destination(35, OutputValue::vector(1, 2)),
+            CvpInstruction::load(0x100c, 0xffff_0000, 8)
+                .with_sources(&[0])
+                .with_destination(1, 5u64)
+                .with_destination(0, 0xffff_0008u64),
+            CvpInstruction::store(0x1010, 0x8, 4).with_sources(&[1, 2]),
+            CvpInstruction::cond_branch(0x1014, true, 0x2000).with_sources(&[5]),
+            CvpInstruction::cond_branch(0x1018, false, 0),
+            CvpInstruction::direct_branch(0x101c, 0x3000),
+            CvpInstruction::indirect_branch(0x1020, 0x4000).with_sources(&[30]),
+            CvpInstruction::undef(0x1024),
+        ];
+        assert_eq!(round_trip(&insns), insns);
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        let mut r = CvpReader::new(&[][..]);
+        assert!(r.read().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        CvpWriter::new(&mut buf).write(&CvpInstruction::alu(0x1234)).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = CvpReader::new(&buf[..cut]);
+            match r.read() {
+                Err(TraceError::TruncatedRecord { offset: 0 }) => {}
+                other => panic!("cut at {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_class_is_an_error() {
+        let mut buf = vec![0u8; 8];
+        buf.push(42); // bogus class
+        match CvpReader::new(buf.as_slice()).read() {
+            Err(TraceError::InvalidClass { value: 42, .. }) => {}
+            other => panic!("expected invalid class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_access_size_is_an_error() {
+        let mut buf = vec![0u8; 8];
+        buf.push(CvpClass::Load as u8);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.push(3); // not a power of two
+        match CvpReader::new(buf.as_slice()).read() {
+            Err(TraceError::InvalidAccessSize { size: 3, .. }) => {}
+            other => panic!("expected invalid size, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_taken_flag_is_an_error() {
+        let mut buf = vec![0u8; 8];
+        buf.push(CvpClass::CondBranch as u8);
+        buf.push(9);
+        match CvpReader::new(buf.as_slice()).read() {
+            Err(TraceError::InvalidTakenFlag { value: 9, .. }) => {}
+            other => panic!("expected invalid taken flag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_register_is_an_error() {
+        let mut buf = vec![0u8; 8];
+        buf.push(CvpClass::Alu as u8);
+        buf.push(1); // one source
+        buf.push(NUM_REGS); // out of range
+        match CvpReader::new(buf.as_slice()).read() {
+            Err(TraceError::InvalidRegister { reg, .. }) if reg == NUM_REGS => {}
+            other => panic!("expected invalid register, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn offsets_advance_per_record() {
+        let mut buf = Vec::new();
+        let mut w = CvpWriter::new(&mut buf);
+        w.write(&CvpInstruction::alu(1)).unwrap();
+        w.write(&CvpInstruction::alu(2)).unwrap();
+        let mut r = CvpReader::new(buf.as_slice());
+        r.read().unwrap();
+        let after_first = r.bytes_read();
+        assert!(after_first > 0);
+        r.read().unwrap();
+        assert_eq!(r.bytes_read(), buf.len() as u64);
+    }
+
+    #[test]
+    fn vector_register_values_keep_high_half() {
+        let i = CvpInstruction::fp(0)
+            .with_destination(40, OutputValue::vector(0x1111, 0x2222))
+            .with_destination(2, 0x3333u64);
+        let back = round_trip(std::slice::from_ref(&i));
+        assert_eq!(back[0].value_of(40), Some(OutputValue::vector(0x1111, 0x2222)));
+        assert_eq!(back[0].value_of(2), Some(OutputValue::scalar(0x3333)));
+    }
+}

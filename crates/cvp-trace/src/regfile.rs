@@ -1,0 +1,120 @@
+use crate::insn::{CvpInstruction, OutputValue, Reg, NUM_REGS};
+
+/// Architectural register value tracker.
+///
+/// CVP-1 records attach values only to **destination** registers. Consumers
+/// that need the *input* values of an instruction (e.g. the addressing-mode
+/// inference heuristic of the paper's `base-update` improvement) replay the
+/// trace, updating this register file with every committed instruction, and
+/// read the current values before applying each new one.
+///
+/// Values start as "unknown" and become known the first time the register
+/// is written by the trace.
+///
+/// # Example
+///
+/// ```
+/// use cvp_trace::{CvpInstruction, RegisterFile};
+///
+/// let mut rf = RegisterFile::new();
+/// assert_eq!(rf.value(3), None);
+/// rf.apply(&CvpInstruction::alu(0).with_destination(3, 99u64));
+/// assert_eq!(rf.value(3).map(|v| v.lo), Some(99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    values: [OutputValue; NUM_REGS as usize],
+    known: [bool; NUM_REGS as usize],
+}
+
+impl RegisterFile {
+    /// Creates a register file with every register unknown.
+    pub fn new() -> RegisterFile {
+        RegisterFile {
+            values: [OutputValue::default(); NUM_REGS as usize],
+            known: [false; NUM_REGS as usize],
+        }
+    }
+
+    /// The current value of `reg`, or `None` if it has never been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is outside the architectural namespace.
+    pub fn value(&self, reg: Reg) -> Option<OutputValue> {
+        assert!(reg < NUM_REGS, "register {reg} out of range");
+        self.known[reg as usize].then(|| self.values[reg as usize])
+    }
+
+    /// `true` once `reg` has been written at least once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is outside the architectural namespace.
+    pub fn is_known(&self, reg: Reg) -> bool {
+        assert!(reg < NUM_REGS, "register {reg} out of range");
+        self.known[reg as usize]
+    }
+
+    /// Commits `insn`, updating every destination register with the value
+    /// recorded in the trace.
+    pub fn apply(&mut self, insn: &CvpInstruction) {
+        for (&reg, &value) in insn.destinations().iter().zip(insn.output_values()) {
+            self.values[reg as usize] = value;
+            self.known[reg as usize] = true;
+        }
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CvpClass;
+
+    #[test]
+    fn starts_unknown_then_tracks_writes() {
+        let mut rf = RegisterFile::new();
+        for r in 0..NUM_REGS {
+            assert!(!rf.is_known(r));
+        }
+        rf.apply(
+            &CvpInstruction::load(0, 0x100, 8)
+                .with_destination(1, 7u64)
+                .with_destination(0, 0x108u64),
+        );
+        assert_eq!(rf.value(1).unwrap().lo, 7);
+        assert_eq!(rf.value(0).unwrap().lo, 0x108);
+        assert!(!rf.is_known(2));
+    }
+
+    #[test]
+    fn later_writes_overwrite() {
+        let mut rf = RegisterFile::new();
+        rf.apply(&CvpInstruction::alu(0).with_destination(5, 1u64));
+        rf.apply(&CvpInstruction::alu(4).with_destination(5, 2u64));
+        assert_eq!(rf.value(5).unwrap().lo, 2);
+    }
+
+    #[test]
+    fn instructions_without_destinations_change_nothing() {
+        let mut rf = RegisterFile::new();
+        rf.apply(&CvpInstruction::store(0, 0x10, 8).with_sources(&[1, 2]));
+        assert!((0..NUM_REGS).all(|r| !rf.is_known(r)));
+        let b = CvpInstruction::cond_branch(0, true, 8);
+        assert_eq!(b.class, CvpClass::CondBranch);
+        rf.apply(&b);
+        assert!((0..NUM_REGS).all(|r| !rf.is_known(r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lookup_panics() {
+        RegisterFile::new().value(NUM_REGS);
+    }
+}

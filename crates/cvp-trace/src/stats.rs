@@ -1,0 +1,222 @@
+use std::fmt;
+
+use crate::insn::{CvpClass, CvpInstruction};
+
+/// One-pass workload characterization of a CVP-1 trace.
+///
+/// Feed every instruction through [`CvpTraceStats::record`]; the
+/// accessors then report the aggregate mix. The converter and the
+/// experiment harness use these numbers both to sanity-check synthetic
+/// workloads and to reproduce the paper's §4.2 percentages.
+///
+/// # Example
+///
+/// ```
+/// use cvp_trace::{CvpInstruction, CvpTraceStats};
+///
+/// let mut stats = CvpTraceStats::new();
+/// stats.record(&CvpInstruction::alu(0));
+/// stats.record(&CvpInstruction::load(4, 0x100, 8).with_destination(1, 0u64));
+/// assert_eq!(stats.total(), 2);
+/// assert_eq!(stats.count(cvp_trace::CvpClass::Load), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CvpTraceStats {
+    per_class: [u64; 9],
+    taken_branches: u64,
+    memory_no_dest: u64,
+    loads_multi_dest: u64,
+    alu_fp_no_dest: u64,
+    src_reg_total: u64,
+    dst_reg_total: u64,
+}
+
+impl CvpTraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> CvpTraceStats {
+        CvpTraceStats::default()
+    }
+
+    /// Accumulates one instruction.
+    pub fn record(&mut self, insn: &CvpInstruction) {
+        self.per_class[insn.class as usize] += 1;
+        if insn.is_branch() && insn.taken {
+            self.taken_branches += 1;
+        }
+        if insn.is_memory() && insn.destinations().is_empty() {
+            self.memory_no_dest += 1;
+        }
+        if insn.class == CvpClass::Load && insn.destinations().len() > 1 {
+            self.loads_multi_dest += 1;
+        }
+        if matches!(insn.class, CvpClass::Alu | CvpClass::SlowAlu | CvpClass::Fp)
+            && insn.destinations().is_empty()
+        {
+            self.alu_fp_no_dest += 1;
+        }
+        self.src_reg_total += insn.sources().len() as u64;
+        self.dst_reg_total += insn.destinations().len() as u64;
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.per_class.iter().sum()
+    }
+
+    /// Instructions of one class.
+    pub fn count(&self, class: CvpClass) -> u64 {
+        self.per_class[class as usize]
+    }
+
+    /// All branch-class instructions.
+    pub fn branches(&self) -> u64 {
+        self.count(CvpClass::CondBranch)
+            + self.count(CvpClass::UncondDirectBranch)
+            + self.count(CvpClass::UncondIndirectBranch)
+    }
+
+    /// Taken branches (unconditional branches are always taken).
+    pub fn taken_branches(&self) -> u64 {
+        self.taken_branches
+    }
+
+    /// Loads and stores with **no** destination register (prefetch loads,
+    /// plain stores) — the instructions the original converter polluted
+    /// with a spurious `X0` destination (paper §3.1.1).
+    pub fn memory_no_dest(&self) -> u64 {
+        self.memory_no_dest
+    }
+
+    /// Loads with more than one destination register (base-update, load
+    /// pairs, vector loads) — the instructions whose extra destinations
+    /// the original converter dropped (paper §3.1.1).
+    pub fn loads_multi_dest(&self) -> u64 {
+        self.loads_multi_dest
+    }
+
+    /// ALU/FP instructions with no destination register — the instructions
+    /// that implicitly set flags, targeted by `flag-reg` (paper §3.2.3).
+    pub fn alu_fp_no_dest(&self) -> u64 {
+        self.alu_fp_no_dest
+    }
+
+    /// Mean source registers per instruction.
+    pub fn mean_sources(&self) -> f64 {
+        ratio(self.src_reg_total, self.total())
+    }
+
+    /// Mean destination registers per instruction.
+    pub fn mean_destinations(&self) -> f64 {
+        ratio(self.dst_reg_total, self.total())
+    }
+
+    /// Fraction (0..=1) of instructions in `class`.
+    pub fn fraction(&self, class: CvpClass) -> f64 {
+        ratio(self.count(class), self.total())
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &CvpTraceStats) {
+        for (a, b) in self.per_class.iter_mut().zip(other.per_class) {
+            *a += b;
+        }
+        self.taken_branches += other.taken_branches;
+        self.memory_no_dest += other.memory_no_dest;
+        self.loads_multi_dest += other.loads_multi_dest;
+        self.alu_fp_no_dest += other.alu_fp_no_dest;
+        self.src_reg_total += other.src_reg_total;
+        self.dst_reg_total += other.dst_reg_total;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for CvpTraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions: {}", self.total())?;
+        for class in CvpClass::ALL {
+            let n = self.count(class);
+            if n > 0 {
+                writeln!(f, "  {class:<24} {n:>12} ({:.2}%)", 100.0 * self.fraction(class))?;
+            }
+        }
+        writeln!(f, "  taken branches           {:>12}", self.taken_branches)?;
+        writeln!(f, "  memory w/o dest          {:>12}", self.memory_no_dest)?;
+        writeln!(f, "  multi-dest loads         {:>12}", self.loads_multi_dest)?;
+        write!(f, "  alu/fp w/o dest          {:>12}", self.alu_fp_no_dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CvpTraceStats {
+        let mut s = CvpTraceStats::new();
+        s.record(&CvpInstruction::alu(0).with_sources(&[1]).with_destination(2, 0u64));
+        s.record(&CvpInstruction::alu(4).with_sources(&[1, 2])); // flag-setting compare
+        s.record(&CvpInstruction::fp(8));
+        s.record(&CvpInstruction::load(12, 0x100, 8)); // prefetch load
+        s.record(
+            &CvpInstruction::load(16, 0x108, 8)
+                .with_sources(&[0])
+                .with_destination(1, 0u64)
+                .with_destination(0, 0x110u64),
+        );
+        s.record(&CvpInstruction::store(20, 0x200, 8).with_sources(&[3, 0]));
+        s.record(&CvpInstruction::cond_branch(24, true, 0x40));
+        s.record(&CvpInstruction::cond_branch(28, false, 0));
+        s.record(&CvpInstruction::direct_branch(32, 0x80));
+        s
+    }
+
+    #[test]
+    fn counts_classes_and_specials() {
+        let s = sample();
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.count(CvpClass::Alu), 2);
+        assert_eq!(s.count(CvpClass::Load), 2);
+        assert_eq!(s.branches(), 3);
+        assert_eq!(s.taken_branches(), 2);
+        assert_eq!(s.memory_no_dest(), 2); // prefetch load + store
+        assert_eq!(s.loads_multi_dest(), 1);
+        assert_eq!(s.alu_fp_no_dest(), 2); // compare + bare fp
+    }
+
+    #[test]
+    fn register_means() {
+        let s = sample();
+        assert!((s.mean_sources() - 6.0 / 9.0).abs() < 1e-12);
+        assert!((s.mean_destinations() - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 18);
+        assert_eq!(a.memory_no_dest(), 4);
+        assert_eq!(a.taken_branches(), 4);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = CvpTraceStats::new();
+        assert_eq!(s.mean_sources(), 0.0);
+        assert_eq!(s.fraction(CvpClass::Alu), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let text = sample().to_string();
+        assert!(text.contains("instructions: 9"));
+        assert!(text.contains("cond-branch"));
+    }
+}

@@ -1,0 +1,131 @@
+use std::io::Write;
+
+use crate::error::TraceError;
+use crate::insn::{CvpInstruction, NUM_INT_REGS, VEC_REG_BASE};
+
+/// Streaming encoder for CVP-1 trace records.
+///
+/// Writes records to any [`Write`] sink (a `&mut W` also works). The
+/// encoding is the exact inverse of [`CvpReader`](crate::CvpReader); see
+/// [`format`](crate::format) for the byte layout.
+///
+/// # Example
+///
+/// ```
+/// use cvp_trace::{CvpInstruction, CvpWriter};
+///
+/// # fn main() -> Result<(), cvp_trace::TraceError> {
+/// let mut buf = Vec::new();
+/// let mut writer = CvpWriter::new(&mut buf);
+/// writer.write(&CvpInstruction::alu(0x40_0000))?;
+/// assert!(!buf.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CvpWriter<W> {
+    inner: W,
+    records: u64,
+}
+
+impl<W: Write> CvpWriter<W> {
+    /// Creates a writer over `inner`.
+    pub fn new(inner: W) -> CvpWriter<W> {
+        CvpWriter { inner, records: 0 }
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Encodes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write(&mut self, insn: &CvpInstruction) -> Result<(), TraceError> {
+        let w = &mut self.inner;
+        w.write_all(&insn.pc.to_le_bytes())?;
+        w.write_all(&[insn.class as u8])?;
+        if insn.is_memory() {
+            w.write_all(&insn.mem_address.to_le_bytes())?;
+            w.write_all(&[insn.mem_size])?;
+        }
+        if insn.is_branch() {
+            w.write_all(&[insn.taken as u8])?;
+            if insn.taken {
+                w.write_all(&insn.target.to_le_bytes())?;
+            }
+        }
+        let srcs = insn.sources();
+        w.write_all(&[srcs.len() as u8])?;
+        w.write_all(srcs)?;
+        let dsts = insn.destinations();
+        w.write_all(&[dsts.len() as u8])?;
+        w.write_all(dsts)?;
+        for (&reg, value) in dsts.iter().zip(insn.output_values()) {
+            w.write_all(&value.lo.to_le_bytes())?;
+            if (VEC_REG_BASE..VEC_REG_BASE + NUM_INT_REGS).contains(&reg) {
+                w.write_all(&value.hi.to_le_bytes())?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn flush(&mut self) -> Result<(), TraceError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CvpReader;
+
+    #[test]
+    fn record_count_tracks_writes() {
+        let mut buf = Vec::new();
+        let mut w = CvpWriter::new(&mut buf);
+        assert_eq!(w.records_written(), 0);
+        w.write(&CvpInstruction::alu(0)).unwrap();
+        w.write(&CvpInstruction::alu(4)).unwrap();
+        assert_eq!(w.records_written(), 2);
+    }
+
+    #[test]
+    fn not_taken_branch_omits_target_bytes() {
+        let mut taken = Vec::new();
+        let mut not_taken = Vec::new();
+        CvpWriter::new(&mut taken)
+            .write(&CvpInstruction::cond_branch(0, true, 8))
+            .unwrap();
+        CvpWriter::new(&mut not_taken)
+            .write(&CvpInstruction::cond_branch(0, false, 0))
+            .unwrap();
+        assert_eq!(taken.len(), not_taken.len() + 8);
+    }
+
+    #[test]
+    fn into_inner_returns_sink() {
+        let mut w = CvpWriter::new(Vec::new());
+        w.write(&CvpInstruction::alu(0)).unwrap();
+        w.flush().unwrap();
+        let buf = w.into_inner();
+        let mut r = CvpReader::new(buf.as_slice());
+        assert!(r.read().unwrap().is_some());
+        assert!(r.read().unwrap().is_none());
+    }
+}

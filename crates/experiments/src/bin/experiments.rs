@@ -1,0 +1,162 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--fig 1|2|3|4|5] [--table 1|2|3] [--stats] [--all]
+//!             [--scale test|paper]
+//! ```
+//!
+//! With no selection flags, everything is regenerated (`--all`). The
+//! `paper` scale (default) runs each synthetic trace at 120k
+//! instructions; `test` runs a quick sanity pass.
+
+use experiments::figures::{
+    figure1, figure2, figure3, figure4, figure5, render_figure1, render_figure2, render_figure3,
+    render_figure4, render_figure5, Grid,
+};
+use experiments::runner::ExperimentScale;
+use experiments::tables::{
+    render_section42, render_table1, render_table2, render_table3, render_table4, section42,
+    table1, table2, table3, table4_decoupled,
+};
+
+#[derive(Default)]
+struct Selection {
+    figs: Vec<u8>,
+    tables: Vec<u8>,
+    stats: bool,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut selection = Selection::default();
+    let mut scale = ExperimentScale::paper();
+    let mut all = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                selection.figs.push(n);
+            }
+            "--table" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                selection.tables.push(n);
+            }
+            "--stats" => selection.stats = true,
+            "--csv" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                selection.csv_dir = Some(dir.into());
+            }
+            "--all" => all = true,
+            "--scale" => match args.next().as_deref() {
+                Some("test") => scale = ExperimentScale::test(),
+                Some("paper") => scale = ExperimentScale::paper(),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if all || (selection.figs.is_empty() && selection.tables.is_empty() && !selection.stats) {
+        selection.figs = vec![1, 2, 3, 4, 5];
+        selection.tables = vec![1, 2, 3, 4];
+        selection.stats = true;
+    }
+
+    // Figures 1–5 share one grid; compute it once if any are selected.
+    let grid: Option<Grid> = if selection.figs.is_empty() {
+        None
+    } else {
+        eprintln!("[experiments] computing the improvement grid (135 traces x 10 configs)...");
+        Some(Grid::compute(scale))
+    };
+
+    let csv = selection.csv_dir.as_deref();
+    let csv_write = |result: std::io::Result<()>| {
+        if let Err(e) = result {
+            eprintln!("[experiments] csv write failed: {e}");
+        }
+    };
+    for f in &selection.figs {
+        let g = grid.as_ref().expect("grid computed when figures selected");
+        let text = match f {
+            1 => {
+                let rows = figure1(g);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::figure1(dir, &rows));
+                }
+                render_figure1(&rows)
+            }
+            2 => {
+                let series = figure2(g);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::figure2(dir, &series));
+                }
+                render_figure2(&series)
+            }
+            3 => {
+                let rows = figure3(g);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::figure3(dir, &rows));
+                }
+                render_figure3(&rows)
+            }
+            4 => {
+                let rows = figure4(g);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::figure4(dir, &rows));
+                }
+                render_figure4(&rows)
+            }
+            5 => {
+                let rows = figure5(g);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::figure5(dir, &rows));
+                }
+                render_figure5(&rows)
+            }
+            _ => usage(),
+        };
+        println!("{text}");
+    }
+    for t in &selection.tables {
+        let text = match t {
+            1 => render_table1(&table1(scale)),
+            2 => {
+                let rows = table2(scale);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::table2(dir, &rows));
+                }
+                render_table2(&rows)
+            }
+            3 => {
+                eprintln!("[experiments] running the IPC-1 prefetcher study (2 x 10 x 50 runs)...");
+                let t3 = table3(scale);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::table3(dir, &t3, "tab3.csv"));
+                }
+                render_table3(&t3)
+            }
+            4 => {
+                eprintln!("[experiments] extension: re-ranking on the decoupled front-end...");
+                let t4 = table4_decoupled(scale);
+                if let Some(dir) = csv {
+                    csv_write(experiments::csv::table3(dir, &t4, "tab4.csv"));
+                }
+                render_table4(&t4)
+            }
+            _ => usage(),
+        };
+        println!("{text}");
+    }
+    if selection.stats {
+        println!("{}", render_section42(&section42(scale)));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all] \
+         [--scale test|paper] [--csv <dir>]"
+    );
+    std::process::exit(2);
+}

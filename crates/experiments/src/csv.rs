@@ -1,0 +1,191 @@
+//! CSV export of every experiment's data — the plotting-ready files the
+//! artifact's `results_*.sh` scripts produce.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::figures::{Fig1Row, Fig2Series, Fig3Row, Fig4Row, Fig5Row};
+use crate::tables::{Tab2Row, Table3};
+
+fn write_file(dir: &Path, name: &str, contents: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(name))?;
+    f.write_all(contents.as_bytes())
+}
+
+/// Writes `fig1.csv`: configuration, geomean IPC variation (%).
+pub fn figure1(dir: &Path, rows: &[Fig1Row]) -> std::io::Result<()> {
+    let mut out = String::from("config,geomean_ipc_variation_pct\n");
+    for r in rows {
+        out.push_str(&format!("{},{:.4}\n", r.label, r.geomean_ipc_variation_pct));
+    }
+    write_file(dir, "fig1.csv", &out)
+}
+
+/// Writes `fig2.csv`: one column per configuration, sorted variations.
+pub fn figure2(dir: &Path, series: &[Fig2Series]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(
+        &series.iter().map(|s| s.label.clone()).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    let rows = series.iter().map(|s| s.sorted_variations_pct.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let line: Vec<String> = series
+            .iter()
+            .map(|s| {
+                s.sorted_variations_pct
+                    .get(i)
+                    .map_or(String::new(), |v| format!("{v:.4}"))
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    write_file(dir, "fig2.csv", &out)
+}
+
+/// Writes `fig3.csv`: trace, direction MPKI, both slowdowns (%).
+pub fn figure3(dir: &Path, rows: &[Fig3Row]) -> std::io::Result<()> {
+    let mut out =
+        String::from("trace,direction_mpki,slowdown_branch_regs_pct,slowdown_flag_reg_pct\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            r.trace, r.branch_mpki, r.slowdown_branch_regs_pct, r.slowdown_flag_reg_pct
+        ));
+    }
+    write_file(dir, "fig3.csv", &out)
+}
+
+/// Writes `fig4.csv`: trace, base-update load %, speedup (%).
+pub fn figure4(dir: &Path, rows: &[Fig4Row]) -> std::io::Result<()> {
+    let mut out = String::from("trace,base_update_load_pct,speedup_pct\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            r.trace, r.base_update_load_pct, r.speedup_pct
+        ));
+    }
+    write_file(dir, "fig4.csv", &out)
+}
+
+/// Writes `fig5.csv`: trace, RAS MPKI before/after, speedup (%).
+pub fn figure5(dir: &Path, rows: &[Fig5Row]) -> std::io::Result<()> {
+    let mut out = String::from("trace,ras_mpki_original,ras_mpki_improved,speedup_pct\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            r.trace, r.ras_mpki_original, r.ras_mpki_improved, r.speedup_pct
+        ));
+    }
+    write_file(dir, "fig5.csv", &out)
+}
+
+/// Writes `tab2.csv`: the full characterization table.
+pub fn table2(dir: &Path, rows: &[Tab2Row]) -> std::io::Result<()> {
+    let mut out = String::from(
+        "trace,ipc,branch_mpki_overall,branch_mpki_direction,branch_mpki_target,\
+         l1i_mpki,l1d_mpki,l2_mpki,llc_mpki\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.trace,
+            r.ipc,
+            r.branch_mpki_overall,
+            r.branch_mpki_direction,
+            r.branch_mpki_target,
+            r.l1i_mpki,
+            r.l1d_mpki,
+            r.l2_mpki,
+            r.llc_mpki
+        ));
+    }
+    write_file(dir, "tab2.csv", &out)
+}
+
+/// Writes `tab3.csv`: both rankings side by side.
+pub fn table3(dir: &Path, t: &Table3, name: &str) -> std::io::Result<()> {
+    let mut out = String::from(
+        "rank_competition,prefetcher_competition,speedup_competition,\
+         rank_fixed,prefetcher_fixed,speedup_fixed\n",
+    );
+    for (c, f) in t.competition.iter().zip(&t.fixed) {
+        out.push_str(&format!(
+            "{},{},{:.4},{},{},{:.4}\n",
+            c.rank, c.prefetcher, c.speedup, f.rank, f.prefetcher, f.speedup
+        ));
+    }
+    write_file(dir, name, &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::Tab3Entry;
+
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new() -> ScratchDir {
+            let mut p = std::env::temp_dir();
+            p.push(format!("trace-rebase-csv-{}", std::process::id()));
+            ScratchDir(p)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn csv_files_are_written_with_headers() {
+        let dir = ScratchDir::new();
+        figure1(
+            &dir.0,
+            &[Fig1Row { label: "All_imps".into(), geomean_ipc_variation_pct: -3.5 }],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(dir.0.join("fig1.csv")).unwrap();
+        assert!(text.starts_with("config,"));
+        assert!(text.contains("All_imps,-3.5000"));
+
+        let t3 = Table3 {
+            competition: vec![Tab3Entry { rank: 1, prefetcher: "epi".into(), speedup: 1.29 }],
+            fixed: vec![Tab3Entry { rank: 1, prefetcher: "epi".into(), speedup: 1.38 }],
+            tuned_fnl_mma_fixed: 1.38,
+        };
+        table3(&dir.0, &t3, "tab3.csv").unwrap();
+        let text = std::fs::read_to_string(dir.0.join("tab3.csv")).unwrap();
+        assert!(text.contains("1,epi,1.2900,1,epi,1.3800"));
+    }
+
+    #[test]
+    fn fig2_columns_align() {
+        let dir = ScratchDir::new();
+        figure2(
+            &dir.0,
+            &[
+                Fig2Series {
+                    label: "a".into(),
+                    sorted_variations_pct: vec![1.0, 0.0],
+                    traces_beyond_5pct: 0,
+                },
+                Fig2Series {
+                    label: "b".into(),
+                    sorted_variations_pct: vec![2.0],
+                    traces_beyond_5pct: 0,
+                },
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(dir.0.join("fig2.csv")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1.0000,2.0000");
+        assert_eq!(lines[2], "0.0000,");
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared conversion + simulation plumbing for all experiments.
+
+use converter::{ConversionStats, Converter, ImprovementSet};
+use sim::{CoreConfig, RunOptions, SimReport, Simulator};
+use workloads::TraceSpec;
+
+/// How large each experiment runs. The paper uses the full traces (tens
+/// of millions of instructions); the scales here trade fidelity for
+/// wall-clock so the whole paper regenerates in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// CVP-1 instructions generated per trace.
+    pub trace_length: usize,
+    /// Records to warm up before measuring (Table 3 methodology).
+    pub warmup: u64,
+}
+
+impl ExperimentScale {
+    /// Quick scale for tests (~seconds for a handful of traces).
+    pub fn test() -> ExperimentScale {
+        ExperimentScale { trace_length: 20_000, warmup: 5_000 }
+    }
+
+    /// Default scale for regenerating the paper (~minutes for all
+    /// experiments).
+    pub fn paper() -> ExperimentScale {
+        ExperimentScale { trace_length: 120_000, warmup: 30_000 }
+    }
+}
+
+/// The result of converting one trace one way and simulating it.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// Trace name (from the [`TraceSpec`]).
+    pub trace: String,
+    /// Improvement set used for conversion.
+    pub improvements: ImprovementSet,
+    /// Simulation report.
+    pub report: SimReport,
+    /// Converter statistics for this trace.
+    pub conversion: ConversionStats,
+}
+
+/// Converts `spec`'s trace with `improvements` and simulates it on
+/// `core` (no warm-up, run to the end — the Figure 1–5 methodology).
+pub fn simulate_conversion(
+    spec: &TraceSpec,
+    improvements: ImprovementSet,
+    core: &CoreConfig,
+    scale: ExperimentScale,
+) -> TraceOutcome {
+    simulate_with_options(spec, improvements, core, scale, 0, None)
+}
+
+/// Full-control variant: explicit warm-up and optional instruction
+/// prefetcher (the Table 3 methodology).
+pub fn simulate_with_options(
+    spec: &TraceSpec,
+    improvements: ImprovementSet,
+    core: &CoreConfig,
+    scale: ExperimentScale,
+    warmup: u64,
+    prefetcher: Option<&str>,
+) -> TraceOutcome {
+    let cvp = spec.clone().with_length(scale.trace_length).generate();
+    let mut converter = Converter::new(improvements);
+    let records = converter.convert_all(cvp.iter());
+    let mut options = RunOptions::default().with_warmup(warmup);
+    if let Some(name) = prefetcher {
+        let pf = iprefetch::by_name(name)
+            .unwrap_or_else(|| panic!("unknown instruction prefetcher {name:?}"));
+        options = options.with_prefetcher(pf);
+    }
+    let report = Simulator::new(core.clone()).run_with_options(&records, options);
+    TraceOutcome {
+        trace: spec.name().to_owned(),
+        improvements,
+        report,
+        conversion: *converter.stats(),
+    }
+}
+
+/// Runs `job` for every spec in parallel (scoped threads, one queue),
+/// preserving input order in the output.
+pub fn parallel_map<T, F>(specs: &[TraceSpec], job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&TraceSpec) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(specs.len());
+    slots.resize_with(specs.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let value = job(&specs[i]);
+                slots_mutex.lock().expect("no panics while holding the lock")[i] = Some(value);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty set");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::WorkloadKind;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let specs: Vec<TraceSpec> = (0..10)
+            .map(|i| TraceSpec::new(format!("t{i}"), WorkloadKind::Crypto, i))
+            .collect();
+        let names = parallel_map(&specs, |s| s.name().to_owned());
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(n, &format!("t{i}"));
+        }
+    }
+
+    #[test]
+    fn simulate_conversion_produces_consistent_outcome() {
+        let spec = TraceSpec::new("t", WorkloadKind::Crypto, 3).with_length(5_000);
+        let out = simulate_conversion(
+            &spec,
+            ImprovementSet::all(),
+            &CoreConfig::test_small(),
+            ExperimentScale { trace_length: 5_000, warmup: 0 },
+        );
+        assert_eq!(out.trace, "t");
+        assert_eq!(out.conversion.input_instructions, 5_000);
+        assert_eq!(out.report.instructions, out.conversion.output_records);
+        assert!(out.report.ipc() > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// Barça-style branch-agnostic region-searching prefetcher.
+///
+/// The region-search intuition from the IPC-1 submission: instead of
+/// following control flow, track which *regions* of code (aligned groups
+/// of blocks) are live, record each region's block footprint, and on a
+/// miss prefetch the missing block's whole recorded region footprint —
+/// plus the footprint of the region most often observed to follow it.
+#[derive(Debug, Clone)]
+pub struct Barca {
+    regions: Vec<RegionEntry>,
+    mask: usize,
+    region_shift: u8,
+    last_region: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegionEntry {
+    region: u64,
+    /// Bit i set → block `region_base + i` was fetched.
+    footprint: u32,
+    /// Most recent successor region.
+    next_region: u64,
+}
+
+impl Barca {
+    /// Builds a tracker with `2^table_log2` regions of `2^region_shift`
+    /// blocks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_shift` is 0 or greater than 5 (footprints hold
+    /// 32 blocks).
+    pub fn new(table_log2: u8, region_shift: u8) -> Barca {
+        assert!((1..=5).contains(&region_shift), "region shift out of range");
+        Barca {
+            regions: vec![
+                RegionEntry { region: u64::MAX, footprint: 0, next_region: u64::MAX };
+                1 << table_log2
+            ],
+            mask: (1 << table_log2) - 1,
+            region_shift,
+            last_region: u64::MAX,
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> Barca {
+        Barca::new(15, 3)
+    }
+
+    fn index(&self, region: u64) -> usize {
+        ((region ^ (region >> 8)) as usize) & self.mask
+    }
+
+    fn push_region(&self, region: u64, out: &mut Vec<u64>) {
+        let e = self.regions[self.index(region)];
+        if e.region != region {
+            return;
+        }
+        let base = region << self.region_shift;
+        let mut fp = e.footprint;
+        while fp != 0 {
+            let off = fp.trailing_zeros() as u64;
+            out.push(base + off);
+            fp &= fp - 1;
+        }
+    }
+}
+
+impl InstructionPrefetcher for Barca {
+    fn name(&self) -> &'static str {
+        "barca"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let region = event.block >> self.region_shift;
+        let offset = event.block & ((1 << self.region_shift) - 1);
+
+        // Train the region footprint.
+        let idx = self.index(region);
+        let e = &mut self.regions[idx];
+        if e.region != region {
+            *e = RegionEntry { region, footprint: 0, next_region: u64::MAX };
+        }
+        e.footprint |= 1u32 << offset;
+
+        // Region transition: link predecessor → successor.
+        if self.last_region != u64::MAX && self.last_region != region {
+            let prev_idx = self.index(self.last_region);
+            let prev = &mut self.regions[prev_idx];
+            if prev.region == self.last_region {
+                prev.next_region = region;
+            }
+        }
+        self.last_region = region;
+
+        // On a miss, search out the region: prefetch its recorded
+        // footprint and the footprint of its usual successor.
+        out.push(event.block + 1);
+        if event.miss {
+            self.push_region(region, out);
+            let e = self.regions[self.index(region)];
+            if e.region == region && e.next_region != u64::MAX {
+                self.push_region(e.next_region, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn region_footprint_is_replayed_on_miss() {
+        let mut pf = Barca::new(8, 3); // 8-block regions
+        let mut out = Vec::new();
+        // Region 2 (blocks 16..24): touch 16, 18, 21.
+        for b in [16u64, 18, 21] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: false }, &mut out);
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 16, miss: true }, &mut out);
+        assert!(out.contains(&18) && out.contains(&21), "{out:?}");
+    }
+
+    #[test]
+    fn successor_region_is_chained() {
+        let mut pf = Barca::new(8, 3);
+        let mut out = Vec::new();
+        for b in [16u64, 17, 80, 81] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: false }, &mut out);
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 16, miss: true }, &mut out);
+        assert!(out.contains(&80) && out.contains(&81), "successor region missing: {out:?}");
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut Barca::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

@@ -1,0 +1,140 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// D-JOLT-style distant-lookahead prefetcher.
+///
+/// The idea from the IPC-1 submission: record, for each fetched block,
+/// the block the front-end reached a fixed *distance* later, so the
+/// prefetch runs far enough ahead to hide a full miss. Two tables cover
+/// two distances (a long "jolt" and a shorter one), each trained from a
+/// sliding window of the recent fetch-block history.
+#[derive(Debug, Clone)]
+pub struct DJolt {
+    history: Vec<u64>,
+    head: usize,
+    filled: usize,
+    long: JoltTable,
+    short: JoltTable,
+}
+
+#[derive(Debug, Clone)]
+struct JoltTable {
+    entries: Vec<(u64, u64)>, // (trigger block, distant block)
+    mask: usize,
+    distance: usize,
+}
+
+impl JoltTable {
+    fn new(log2: u8, distance: usize) -> JoltTable {
+        JoltTable { entries: vec![(u64::MAX, 0); 1 << log2], mask: (1 << log2) - 1, distance }
+    }
+
+    fn index(&self, block: u64) -> usize {
+        (block as usize ^ (block >> 13) as usize) & self.mask
+    }
+
+    fn train(&mut self, trigger: u64, distant: u64) {
+        let idx = self.index(trigger);
+        self.entries[idx] = (trigger, distant);
+    }
+
+    fn lookup(&self, trigger: u64) -> Option<u64> {
+        let (tag, distant) = self.entries[self.index(trigger)];
+        (tag == trigger).then_some(distant)
+    }
+}
+
+impl DJolt {
+    /// Builds a prefetcher with the given table sizes and distances.
+    pub fn new(table_log2: u8, long_distance: usize, short_distance: usize) -> DJolt {
+        let window = long_distance.max(short_distance) + 1;
+        DJolt {
+            history: vec![u64::MAX; window],
+            head: 0,
+            filled: 0,
+            long: JoltTable::new(table_log2, long_distance),
+            short: JoltTable::new(table_log2, short_distance),
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> DJolt {
+        DJolt::new(15, 16, 6)
+    }
+
+    /// The block fetched `distance` fetches ago (1 = most recent), before
+    /// the current fetch is recorded.
+    fn block_at_distance(&self, distance: usize) -> Option<u64> {
+        if self.filled < distance || distance == 0 {
+            return None;
+        }
+        let len = self.history.len();
+        let idx = (self.head + len - distance) % len;
+        let b = self.history[idx];
+        (b != u64::MAX).then_some(b)
+    }
+}
+
+impl InstructionPrefetcher for DJolt {
+    fn name(&self) -> &'static str {
+        "djolt"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        // Train: the block fetched `distance` ago now knows its distant
+        // successor (the current block).
+        if let Some(trigger) = self.block_at_distance(self.long.distance) {
+            self.long.train(trigger, event.block);
+        }
+        if let Some(trigger) = self.block_at_distance(self.short.distance) {
+            self.short.train(trigger, event.block);
+        }
+        // Record the current block in the history window.
+        self.history[self.head] = event.block;
+        self.head = (self.head + 1) % self.history.len();
+        self.filled = (self.filled + 1).min(self.history.len());
+
+        // Predict: jolt out to both recorded distances, plus the next
+        // line to cover straight-line runs.
+        if let Some(distant) = self.long.lookup(event.block) {
+            out.push(distant);
+            out.push(distant + 1);
+        }
+        if let Some(distant) = self.short.lookup(event.block) {
+            out.push(distant);
+        }
+        out.push(event.block + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn learns_distant_successor_on_repeat() {
+        let mut pf = DJolt::new(8, 4, 2);
+        let seq: Vec<u64> = vec![10, 11, 12, 13, 14, 15, 16, 17];
+        let mut out = Vec::new();
+        // First pass trains.
+        for &b in &seq {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: true }, &mut out);
+        }
+        // Second pass: fetching 10 must jolt toward 14 (distance 4).
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert!(out.contains(&14), "long jolt missing: {out:?}");
+        assert!(out.contains(&12), "short jolt missing: {out:?}");
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let mut pf = DJolt::default_config();
+        let with = harness::evaluate(&mut pf, &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses / 2, "{} vs {}", with.misses, without.misses);
+    }
+}

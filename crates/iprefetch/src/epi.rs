@@ -1,0 +1,163 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// EPI-style entangling prefetcher.
+///
+/// The entangling idea from the IPC-1 submission: when block `B` misses,
+/// find the block that was fetched far enough *earlier* that prefetching
+/// `B` from there would have hidden the whole miss latency, and
+/// *entangle* that source with `B`. When the source is fetched again,
+/// `B` is prefetched just in time. Each source can hold several
+/// entangled destinations.
+#[derive(Debug, Clone)]
+pub struct Epi {
+    table: Vec<EntangleEntry>,
+    mask: usize,
+    history: Vec<u64>,
+    head: usize,
+    filled: usize,
+    lookahead: usize,
+}
+
+const DESTINATIONS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct EntangleEntry {
+    source: u64,
+    destinations: [u64; DESTINATIONS],
+    cursor: u8,
+}
+
+impl EntangleEntry {
+    fn empty() -> EntangleEntry {
+        EntangleEntry { source: u64::MAX, destinations: [u64::MAX; DESTINATIONS], cursor: 0 }
+    }
+
+    fn entangle(&mut self, destination: u64) {
+        if self.destinations.contains(&destination) {
+            return;
+        }
+        self.destinations[self.cursor as usize] = destination;
+        self.cursor = (self.cursor + 1) % DESTINATIONS as u8;
+    }
+}
+
+impl Epi {
+    /// Builds an entangling table of `2^table_log2` sources with the
+    /// given lookahead distance (in fetched blocks).
+    pub fn new(table_log2: u8, lookahead: usize) -> Epi {
+        Epi {
+            table: vec![EntangleEntry::empty(); 1 << table_log2],
+            mask: (1 << table_log2) - 1,
+            history: vec![u64::MAX; lookahead.max(1) + 1],
+            head: 0,
+            filled: 0,
+            lookahead: lookahead.max(1),
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> Epi {
+        Epi::new(15, 8)
+    }
+
+    fn index(&self, block: u64) -> usize {
+        ((block ^ (block >> 14)) as usize) & self.mask
+    }
+
+    /// The block fetched `lookahead` fetches ago (1 = most recent),
+    /// before the current fetch is recorded.
+    fn source_candidate(&self) -> Option<u64> {
+        if self.filled < self.lookahead {
+            return None;
+        }
+        let len = self.history.len();
+        let idx = (self.head + len - self.lookahead) % len;
+        let b = self.history[idx];
+        (b != u64::MAX).then_some(b)
+    }
+}
+
+impl InstructionPrefetcher for Epi {
+    fn name(&self) -> &'static str {
+        "epi"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let block = event.block;
+
+        // On a miss, entangle the block fetched `lookahead` blocks ago
+        // with the missing block.
+        if event.miss {
+            if let Some(source) = self.source_candidate() {
+                let idx = self.index(source);
+                let e = &mut self.table[idx];
+                if e.source != source {
+                    *e = EntangleEntry::empty();
+                    e.source = source;
+                }
+                e.entangle(block);
+            }
+        }
+
+        // Record fetch history.
+        self.history[self.head] = block;
+        self.head = (self.head + 1) % self.history.len();
+        self.filled = (self.filled + 1).min(self.history.len());
+
+        // Fire entangled destinations, plus next-line for straight runs.
+        let e = self.table[self.index(block)];
+        if e.source == block {
+            for &d in e.destinations.iter().filter(|&&d| d != u64::MAX) {
+                out.push(d);
+                out.push(d + 1);
+            }
+        }
+        out.push(block + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn entangles_miss_with_earlier_source() {
+        let mut pf = Epi::new(8, 3);
+        let mut out = Vec::new();
+        // Sequence: 10, 11, 12, then a miss at 500. Source at lookahead 3
+        // for the miss is block 10.
+        for (b, miss) in [(10u64, false), (11, false), (12, false), (500, true)] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss }, &mut out);
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert!(out.contains(&500), "entangled destination missing: {out:?}");
+    }
+
+    #[test]
+    fn multiple_destinations_are_kept() {
+        let mut pf = Epi::new(8, 1);
+        let mut out = Vec::new();
+        // 10 is followed alternately by misses at 500 and 700.
+        for _ in 0..3 {
+            for (b, miss) in [(10u64, false), (500, true), (10, false), (700, true)] {
+                out.clear();
+                pf.on_fetch(FetchEvent { block: b, miss }, &mut out);
+            }
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert!(out.contains(&500) && out.contains(&700), "{out:?}");
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut Epi::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

@@ -1,0 +1,175 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// FNL+MMA-style prefetcher: footprint next-line plus multiple-miss-ahead.
+///
+/// Two cooperating mechanisms, following the IPC-1 submission's split:
+///
+/// * **FNL** — a footprint table predicts, per block, which of the next
+///   few sequential blocks the front-end will actually touch, avoiding
+///   blind next-N prefetching.
+/// * **MMA** — a miss table chains L1I misses: each missing block
+///   remembers the next few *misses* that followed it, so on a miss the
+///   prefetcher runs several misses ahead rather than one.
+#[derive(Debug, Clone)]
+pub struct FnlMma {
+    footprints: Vec<(u64, u8)>, // (block, bitmask of next 8 blocks touched)
+    fp_mask: usize,
+    miss_chain: Vec<(u64, [u64; MMA_DEPTH])>,
+    miss_mask: usize,
+    recent_misses: [u64; MMA_DEPTH + 1],
+    last_block: u64,
+}
+
+const MMA_DEPTH: usize = 3;
+
+impl FnlMma {
+    /// Builds the two tables with `2^log2` entries each.
+    pub fn new(log2: u8) -> FnlMma {
+        FnlMma {
+            footprints: vec![(u64::MAX, 0); 1 << log2],
+            fp_mask: (1 << log2) - 1,
+            miss_chain: vec![(u64::MAX, [0; MMA_DEPTH]); 1 << log2],
+            miss_mask: (1 << log2) - 1,
+            recent_misses: [u64::MAX; MMA_DEPTH + 1],
+            last_block: u64::MAX,
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> FnlMma {
+        FnlMma::new(15)
+    }
+
+    /// The post-contest tuned variant the paper also evaluates (§4.4):
+    /// same idea, bigger tables. The paper reports the tuned submission
+    /// would have moved up the ranking on the fixed traces.
+    pub fn tuned() -> FnlMma {
+        FnlMma::new(17)
+    }
+
+    fn fp_index(&self, block: u64) -> usize {
+        ((block ^ (block >> 10)) as usize) & self.fp_mask
+    }
+
+    fn miss_index(&self, block: u64) -> usize {
+        ((block ^ (block >> 7)) as usize) & self.miss_mask
+    }
+}
+
+impl InstructionPrefetcher for FnlMma {
+    fn name(&self) -> &'static str {
+        "fnl+mma"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let block = event.block;
+
+        // FNL training: mark the current block in the footprint of each
+        // recent predecessor within 8 blocks behind.
+        if self.last_block != u64::MAX {
+            let delta = block.wrapping_sub(self.last_block);
+            if (1..=8).contains(&delta) {
+                let idx = self.fp_index(self.last_block);
+                let e = &mut self.footprints[idx];
+                if e.0 != self.last_block {
+                    *e = (self.last_block, 0);
+                }
+                e.1 |= 1u8 << (delta - 1);
+            }
+        }
+        self.last_block = block;
+
+        // MMA training: on a miss, append this block to the chain of the
+        // miss that happened MMA_DEPTH misses ago, and shift the window.
+        if event.miss {
+            let oldest = self.recent_misses[MMA_DEPTH];
+            if oldest != u64::MAX {
+                let idx = self.miss_index(oldest);
+                let e = &mut self.miss_chain[idx];
+                if e.0 != oldest {
+                    *e = (oldest, [0; MMA_DEPTH]);
+                }
+                // Chain entries are the misses that followed `oldest`.
+                for (slot, &m) in e.1.iter_mut().zip(self.recent_misses.iter()) {
+                    *slot = m;
+                }
+            }
+            self.recent_misses.rotate_right(1);
+            self.recent_misses[0] = block;
+        }
+
+        // FNL prediction: prefetch exactly the recorded footprint.
+        let (tag, fp) = self.footprints[self.fp_index(block)];
+        if tag == block {
+            for d in 0..8u64 {
+                if fp & (1 << d) != 0 {
+                    out.push(block + d + 1);
+                }
+            }
+        } else {
+            out.push(block + 1); // cold: fall back to next-line
+        }
+
+        // MMA prediction: on a miss, fetch the recorded future misses.
+        if event.miss {
+            let (tag, chain) = self.miss_chain[self.miss_index(block)];
+            if tag == block {
+                for &m in chain.iter().filter(|&&m| m != 0 && m != u64::MAX) {
+                    out.push(m);
+                    out.push(m + 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn footprint_limits_next_line_prefetches() {
+        let mut pf = FnlMma::new(8);
+        let mut out = Vec::new();
+        // Train: 10 is always followed by 12 (skipping 11).
+        for _ in 0..3 {
+            for b in [10u64, 12, 900, 901] {
+                out.clear();
+                pf.on_fetch(FetchEvent { block: b, miss: false }, &mut out);
+            }
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert!(out.contains(&12), "footprint block missing: {out:?}");
+        assert!(!out.contains(&11), "skipped block must not be prefetched: {out:?}");
+    }
+
+    #[test]
+    fn miss_chain_prefetches_future_misses() {
+        let mut pf = FnlMma::new(8);
+        let mut out = Vec::new();
+        let misses = [100u64, 300, 500, 700, 900];
+        for _ in 0..2 {
+            for &b in &misses {
+                out.clear();
+                pf.on_fetch(FetchEvent { block: b, miss: true }, &mut out);
+            }
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 100, miss: true }, &mut out);
+        assert!(
+            out.contains(&300) || out.contains(&500) || out.contains(&700),
+            "future misses not chained: {out:?}"
+        );
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut FnlMma::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

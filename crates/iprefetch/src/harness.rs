@@ -1,0 +1,166 @@
+//! A lightweight evaluation harness for instruction prefetchers.
+//!
+//! Models a small fully-managed L1I at block granularity so prefetchers
+//! can be compared (and unit-tested) without the full core model. The
+//! real Table 3 experiments run through the `sim` crate; this harness is
+//! for fast feedback and the prefetcher benches.
+
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// Result of [`evaluate`]: demand fetch behaviour under one prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessResult {
+    /// Demand block fetches.
+    pub fetches: u64,
+    /// Demand fetches that missed.
+    pub misses: u64,
+    /// Prefetch requests issued by the prefetcher.
+    pub issued: u64,
+}
+
+impl HarnessResult {
+    /// Miss ratio in `0..=1`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.fetches as f64
+        }
+    }
+}
+
+/// A tiny fully-associative LRU block cache.
+#[derive(Debug)]
+struct BlockCache {
+    blocks: Vec<(u64, u64)>, // (block, lru)
+    capacity: usize,
+    tick: u64,
+}
+
+impl BlockCache {
+    fn new(capacity: usize) -> BlockCache {
+        BlockCache { blocks: Vec::with_capacity(capacity), capacity, tick: 0 }
+    }
+
+    fn touch(&mut self, block: u64) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.blocks.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = self.tick;
+            return true;
+        }
+        false
+    }
+
+    fn insert(&mut self, block: u64) {
+        self.tick += 1;
+        if let Some(e) = self.blocks.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.blocks.len() < self.capacity {
+            self.blocks.push((block, self.tick));
+        } else {
+            let victim = self
+                .blocks
+                .iter_mut()
+                .min_by_key(|(_, lru)| *lru)
+                .expect("cache is non-empty");
+            *victim = (block, self.tick);
+        }
+    }
+}
+
+/// Replays a block-fetch `trace` through `prefetcher` over a
+/// `capacity`-block LRU instruction cache and reports demand misses.
+pub fn evaluate(
+    prefetcher: &mut dyn InstructionPrefetcher,
+    trace: &[u64],
+    capacity: usize,
+) -> HarnessResult {
+    let mut cache = BlockCache::new(capacity);
+    let mut result = HarnessResult { fetches: 0, misses: 0, issued: 0 };
+    let mut out = Vec::new();
+    let mut previous: Option<u64> = None;
+    for &block in trace {
+        result.fetches += 1;
+        let hit = cache.touch(block);
+        if !hit {
+            result.misses += 1;
+            cache.insert(block);
+        }
+        // Report discontinuities as branches (byte addresses at block
+        // starts) so control-flow prefetchers receive their signal.
+        if let Some(prev) = previous {
+            if block != prev && block != prev + 1 {
+                prefetcher.on_branch(prev * 64, block * 64, true);
+            }
+        }
+        out.clear();
+        prefetcher.on_fetch(FetchEvent { block, miss: !hit }, &mut out);
+        for &pf in out.iter() {
+            result.issued += 1;
+            cache.insert(pf);
+        }
+        previous = Some(block);
+    }
+    result
+}
+
+/// A synthetic instruction stream: a loop over `footprint` sequential
+/// blocks with a few function-call digressions, repeated until `length`
+/// fetches. Large footprints defeat a small L1I without prefetching.
+pub fn looping_trace(length: usize, footprint: u64) -> Vec<u64> {
+    let mut trace = Vec::with_capacity(length);
+    let base = 1_000u64;
+    let callee = 500_000u64;
+    let mut i = 0u64;
+    while trace.len() < length {
+        let block = base + (i % footprint);
+        trace.push(block);
+        // Every 97 blocks, "call" an 8-block function and return.
+        if i % 97 == 42 {
+            for c in 0..8 {
+                trace.push(callee + (i % 5) * 16 + c);
+            }
+        }
+        i += 1;
+    }
+    trace.truncate(length);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nextline::{NextLine, NoInstructionPrefetcher};
+
+    #[test]
+    fn cold_trace_misses_everything_without_prefetch() {
+        let trace: Vec<u64> = (0..100).collect();
+        let r = evaluate(&mut NoInstructionPrefetcher, &trace, 32);
+        assert_eq!(r.fetches, 100);
+        assert_eq!(r.misses, 100);
+    }
+
+    #[test]
+    fn next_line_eliminates_sequential_misses() {
+        let trace: Vec<u64> = (0..100).collect();
+        let r = evaluate(&mut NextLine::new(1), &trace, 32);
+        assert_eq!(r.misses, 1, "only the first block misses");
+    }
+
+    #[test]
+    fn small_loop_fits_in_cache() {
+        let trace: Vec<u64> = (0..1000).map(|i| i % 16).collect();
+        let r = evaluate(&mut NoInstructionPrefetcher, &trace, 32);
+        assert_eq!(r.misses, 16);
+    }
+
+    #[test]
+    fn looping_trace_has_requested_length_and_reuse() {
+        let t = looping_trace(5000, 300);
+        assert_eq!(t.len(), 5000);
+        let distinct: std::collections::HashSet<u64> = t.iter().copied().collect();
+        assert!(distinct.len() < 1000, "trace must revisit blocks");
+    }
+}

@@ -1,0 +1,124 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// JIP-style "jump pointer" prefetcher.
+///
+/// Follows the run-jump-run intuition of the IPC-1 submission: code
+/// executes sequential *runs* of blocks separated by control-flow
+/// *jumps*. The prefetcher records, per jump-source block, the jump's
+/// destination and the length of the sequential run that followed. On
+/// re-fetching the source it prefetches the destination plus its whole
+/// recorded run, staying ahead across discontinuities.
+#[derive(Debug, Clone)]
+pub struct Jip {
+    jumps: Vec<JumpEntry>,
+    mask: usize,
+    // Current-run tracking.
+    last_block: u64,
+    run_start_entry: Option<usize>,
+    run_length: u8,
+    max_run: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JumpEntry {
+    source: u64,
+    destination: u64,
+    run: u8,
+}
+
+impl Jip {
+    /// Builds a table with `2^table_log2` jump entries and runs capped at
+    /// `max_run` blocks.
+    pub fn new(table_log2: u8, max_run: u8) -> Jip {
+        Jip {
+            jumps: vec![JumpEntry { source: u64::MAX, destination: 0, run: 0 }; 1 << table_log2],
+            mask: (1 << table_log2) - 1,
+            last_block: u64::MAX,
+            run_start_entry: None,
+            run_length: 0,
+            max_run: max_run.max(1),
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> Jip {
+        Jip::new(15, 8)
+    }
+
+    fn index(&self, block: u64) -> usize {
+        ((block ^ (block >> 11)) as usize) & self.mask
+    }
+}
+
+impl InstructionPrefetcher for Jip {
+    fn name(&self) -> &'static str {
+        "jip"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let block = event.block;
+        if self.last_block != u64::MAX {
+            if block == self.last_block || block == self.last_block + 1 {
+                // Still in a sequential run; extend the run length of the
+                // jump that started it.
+                if block == self.last_block + 1 {
+                    if let Some(entry) = self.run_start_entry {
+                        if self.run_length < self.max_run {
+                            self.run_length += 1;
+                            self.jumps[entry].run = self.run_length;
+                        }
+                    }
+                }
+            } else {
+                // A jump: record source → destination and start a new run.
+                let idx = self.index(self.last_block);
+                self.jumps[idx] =
+                    JumpEntry { source: self.last_block, destination: block, run: 0 };
+                self.run_start_entry = Some(idx);
+                self.run_length = 0;
+            }
+        }
+        self.last_block = block;
+
+        // Predict: next line always; recorded jump target and its run.
+        out.push(block + 1);
+        let e = self.jumps[self.index(block)];
+        if e.source == block {
+            for i in 0..=e.run as u64 {
+                out.push(e.destination + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn records_jump_and_run() {
+        let mut pf = Jip::new(8, 8);
+        let mut out = Vec::new();
+        // Run 10..=12, jump to 50, run 50..=53.
+        for b in [10u64, 11, 12, 50, 51, 52, 53] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: true }, &mut out);
+        }
+        // Re-fetch 12: the jump source must prefetch 50..=53.
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 12, miss: false }, &mut out);
+        for expect in [50u64, 51, 52, 53] {
+            assert!(out.contains(&expect), "missing {expect} in {out:?}");
+        }
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut Jip::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

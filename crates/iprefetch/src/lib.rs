@@ -1,0 +1,114 @@
+//! Instruction prefetchers of the first Instruction Prefetching
+//! Championship (IPC-1), reimplemented for the paper's Table 3 study.
+//!
+//! The paper re-evaluates the eight prefetchers accepted at IPC-1 on the
+//! fixed traces. This crate provides independent Rust implementations of
+//! the *algorithmic families* those submissions describe — distant
+//! lookahead (D-JOLT), instruction-pointer jumpers (JIP), region
+//! record/replay (MANA), footprint next-line with miss-ahead chaining
+//! (FNL+MMA), probabilistic scouts (PIPS), entangling (EPI), region
+//! search (Barça), and temporal ancestry (TAP) — behind a single
+//! [`InstructionPrefetcher`] trait, plus a next-line baseline.
+//!
+//! All prefetchers operate at cache-block granularity: the front-end
+//! reports each fetched block (and whether it missed) via
+//! [`InstructionPrefetcher::on_fetch`], and retired branches via
+//! [`InstructionPrefetcher::on_branch`]; prefetchers respond with block
+//! numbers to bring into the L1I.
+//!
+//! # Example
+//!
+//! ```
+//! use iprefetch::{FetchEvent, InstructionPrefetcher, NextLine};
+//!
+//! let mut pf = NextLine::new(2);
+//! let mut out = Vec::new();
+//! pf.on_fetch(FetchEvent { block: 100, miss: true }, &mut out);
+//! assert_eq!(out, vec![101, 102]);
+//! ```
+
+pub mod harness;
+
+mod barca;
+mod djolt;
+mod epi;
+mod fnl_mma;
+mod jip;
+mod mana;
+mod nextline;
+mod pips;
+mod tap;
+mod traits;
+
+pub use barca::Barca;
+pub use djolt::DJolt;
+pub use epi::Epi;
+pub use fnl_mma::FnlMma;
+pub use jip::Jip;
+pub use mana::Mana;
+pub use nextline::{NextLine, NoInstructionPrefetcher};
+pub use pips::Pips;
+pub use tap::Tap;
+pub use traits::{FetchEvent, InstructionPrefetcher};
+
+/// Constructs every contest prefetcher (plus the no-op baseline) by
+/// name, as used by the Table 3 harness.
+///
+/// Recognized names: `none`, `next-line`, `djolt`, `jip`, `mana`,
+/// `fnl+mma`, `pips`, `epi`, `barca`, `tap`.
+pub fn by_name(name: &str) -> Option<Box<dyn InstructionPrefetcher + Send>> {
+    let pf: Box<dyn InstructionPrefetcher + Send> = match name {
+        "none" => Box::new(NoInstructionPrefetcher),
+        "next-line" => Box::new(NextLine::new(1)),
+        "djolt" => Box::new(DJolt::default_config()),
+        "jip" => Box::new(Jip::default_config()),
+        "mana" => Box::new(Mana::default_config()),
+        "fnl+mma" => Box::new(FnlMma::default_config()),
+        "fnl+mma-tuned" => Box::new(FnlMma::tuned()),
+        "pips" => Box::new(Pips::default_config()),
+        "epi" => Box::new(Epi::default_config()),
+        "barca" => Box::new(Barca::default_config()),
+        "tap" => Box::new(Tap::default_config()),
+        _ => return None,
+    };
+    Some(pf)
+}
+
+/// The eight IPC-1 contestants, in the paper's Table 3 order.
+pub const CONTEST_NAMES: [&str; 8] =
+    ["djolt", "jip", "mana", "fnl+mma", "pips", "epi", "barca", "tap"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_all_contestants() {
+        for name in CONTEST_NAMES {
+            let pf = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(pf.name(), name);
+        }
+        assert!(by_name("none").is_some());
+        assert!(by_name("next-line").is_some());
+        assert!(by_name("bogus").is_none());
+    }
+
+    /// Every contest prefetcher must beat no-prefetch on a loopy,
+    /// large-footprint instruction stream (the workload family IPC-1
+    /// targeted).
+    #[test]
+    fn every_contestant_helps_on_looping_code() {
+        let trace = harness::looping_trace(6000, 900);
+        let baseline = harness::evaluate(&mut NoInstructionPrefetcher, &trace, 256);
+        for name in CONTEST_NAMES {
+            let mut pf = by_name(name).unwrap();
+            let result = harness::evaluate(pf.as_mut(), &trace, 256);
+            assert!(
+                result.misses < baseline.misses,
+                "{name}: {} vs baseline {}",
+                result.misses,
+                baseline.misses
+            );
+        }
+    }
+}

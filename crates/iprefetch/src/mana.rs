@@ -1,0 +1,170 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// MANA-style record/replay prefetcher.
+///
+/// Following the IPC-1 submission's core mechanism: the fetch stream is
+/// divided into *spatial regions*; for each trigger block the prefetcher
+/// records a compressed footprint — the set of blocks (as offsets within
+/// a small window) fetched shortly after the trigger — and replays that
+/// footprint when the trigger is fetched again. Chained triggers let the
+/// replay run ahead of fetch.
+#[derive(Debug, Clone)]
+pub struct Mana {
+    records: Vec<Record>,
+    mask: usize,
+    // Footprint under construction.
+    current_trigger: Option<u64>,
+    current_footprint: u64,
+    blocks_since_trigger: u8,
+    window: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    trigger: u64,
+    /// Bit i set → block `trigger + 1 + i` was fetched in the window.
+    footprint: u64,
+    /// The next trigger that followed this record (for chaining).
+    next_trigger: u64,
+}
+
+impl Mana {
+    /// Builds a table with `2^table_log2` records and a `window`-block
+    /// recording window (at most 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or greater than 64.
+    pub fn new(table_log2: u8, window: u8) -> Mana {
+        assert!((1..=64).contains(&window), "window out of range");
+        Mana {
+            records: vec![
+                Record { trigger: u64::MAX, footprint: 0, next_trigger: u64::MAX };
+                1 << table_log2
+            ],
+            mask: (1 << table_log2) - 1,
+            current_trigger: None,
+            current_footprint: 0,
+            blocks_since_trigger: 0,
+            window,
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> Mana {
+        Mana::new(15, 32)
+    }
+
+    fn index(&self, block: u64) -> usize {
+        ((block ^ (block >> 9)) as usize) & self.mask
+    }
+
+    fn close_record(&mut self, next_trigger: u64) {
+        if let Some(trigger) = self.current_trigger.take() {
+            let idx = self.index(trigger);
+            self.records[idx] =
+                Record { trigger, footprint: self.current_footprint, next_trigger };
+        }
+        self.current_footprint = 0;
+        self.blocks_since_trigger = 0;
+    }
+}
+
+impl InstructionPrefetcher for Mana {
+    fn name(&self) -> &'static str {
+        "mana"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let block = event.block;
+
+        // Record: extend the open footprint, or close it and open a new
+        // record when the window is exhausted or a miss starts a new one.
+        match self.current_trigger {
+            Some(trigger) => {
+                let delta = block.wrapping_sub(trigger + 1);
+                if delta < u64::from(self.window) {
+                    self.current_footprint |= 1u64 << delta;
+                    self.blocks_since_trigger += 1;
+                } else {
+                    self.close_record(block);
+                    self.current_trigger = Some(block);
+                }
+            }
+            None => {
+                self.current_trigger = Some(block);
+                self.current_footprint = 0;
+                self.blocks_since_trigger = 0;
+            }
+        }
+
+        // Sequential fallback plus record replay.
+        out.push(block + 1);
+        // Replay on every fetch of a known trigger; chain one record
+        // ahead so the replay outruns the fetch stream.
+        let mut trigger = block;
+        for _ in 0..2 {
+            let rec = self.records[self.index(trigger)];
+            if rec.trigger != trigger {
+                break;
+            }
+            let mut fp = rec.footprint;
+            while fp != 0 {
+                let off = fp.trailing_zeros() as u64;
+                out.push(trigger + 1 + off);
+                fp &= fp - 1;
+            }
+            if rec.next_trigger == u64::MAX || rec.next_trigger == trigger {
+                break;
+            }
+            out.push(rec.next_trigger);
+            trigger = rec.next_trigger;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn records_and_replays_footprint() {
+        let mut pf = Mana::new(8, 16);
+        let mut out = Vec::new();
+        // Trigger 100 followed by 101, 103, 105 (sparse footprint), then
+        // a far jump to close the record.
+        for b in [100u64, 101, 103, 105, 900] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: true }, &mut out);
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 100, miss: false }, &mut out);
+        for expect in [101u64, 103, 105] {
+            assert!(out.contains(&expect), "missing {expect} in {out:?}");
+        }
+    }
+
+    #[test]
+    fn chains_to_next_trigger() {
+        let mut pf = Mana::new(8, 8);
+        let mut out = Vec::new();
+        for b in [100u64, 101, 300, 301, 700] {
+            out.clear();
+            pf.on_fetch(FetchEvent { block: b, miss: true }, &mut out);
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 100, miss: false }, &mut out);
+        assert!(out.contains(&300), "chained trigger missing: {out:?}");
+        assert!(out.contains(&301), "chained footprint missing: {out:?}");
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut Mana::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

@@ -1,0 +1,57 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// The null instruction prefetcher (the Table 3 speedup baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInstructionPrefetcher;
+
+impl InstructionPrefetcher for NoInstructionPrefetcher {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_fetch(&mut self, _event: FetchEvent, _out: &mut Vec<u64>) {}
+}
+
+/// Sequential next-line instruction prefetcher of configurable degree.
+#[derive(Debug, Clone, Copy)]
+pub struct NextLine {
+    degree: u32,
+}
+
+impl NextLine {
+    /// Prefetches `degree` sequential blocks after every fetch.
+    pub fn new(degree: u32) -> NextLine {
+        NextLine { degree: degree.max(1) }
+    }
+}
+
+impl InstructionPrefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        for i in 1..=self.degree as u64 {
+            out.push(event.block + i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_controls_distance() {
+        let mut out = Vec::new();
+        NextLine::new(3).on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn zero_degree_is_clamped() {
+        let mut out = Vec::new();
+        NextLine::new(0).on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert_eq!(out, vec![11]);
+    }
+}

@@ -1,0 +1,168 @@
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// PIPS-style probabilistic-scout prefetcher.
+///
+/// The mechanism, per the IPC-1 idea: maintain, for each block, the
+/// most frequent successor blocks with confidence counters. On each
+/// fetch, a *scout* walks forward through the successor graph for a few
+/// steps, always following the highest-confidence edge, and prefetches
+/// the blocks it visits. The walk depth bounds how far ahead the scout
+/// runs.
+#[derive(Debug, Clone)]
+pub struct Pips {
+    table: Vec<SuccessorEntry>,
+    mask: usize,
+    last_block: u64,
+    depth: u8,
+}
+
+const SUCCESSORS: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct SuccessorEntry {
+    block: u64,
+    successors: [(u64, u8); SUCCESSORS], // (block, confidence)
+}
+
+impl SuccessorEntry {
+    fn empty() -> SuccessorEntry {
+        SuccessorEntry { block: u64::MAX, successors: [(u64::MAX, 0); SUCCESSORS] }
+    }
+
+    fn observe(&mut self, next: u64) {
+        // Reinforce an existing edge, decay competitors slightly.
+        if let Some(s) = self.successors.iter_mut().find(|(b, _)| *b == next) {
+            s.1 = s.1.saturating_add(2);
+            return;
+        }
+        // Replace the weakest edge.
+        let weakest = self
+            .successors
+            .iter_mut()
+            .min_by_key(|(_, c)| *c)
+            .expect("successor array is non-empty");
+        if weakest.1 == 0 {
+            *weakest = (next, 1);
+        } else {
+            weakest.1 -= 1;
+        }
+    }
+
+    fn best(&self) -> Option<u64> {
+        self.successors
+            .iter()
+            .filter(|(b, c)| *b != u64::MAX && *c > 0)
+            .max_by_key(|(_, c)| *c)
+            .map(|(b, _)| *b)
+    }
+}
+
+impl Pips {
+    /// Builds a scout with `2^table_log2` successor entries walking
+    /// `depth` steps ahead.
+    pub fn new(table_log2: u8, depth: u8) -> Pips {
+        Pips {
+            table: vec![SuccessorEntry::empty(); 1 << table_log2],
+            mask: (1 << table_log2) - 1,
+            last_block: u64::MAX,
+            depth: depth.max(1),
+        }
+    }
+
+    /// The configuration used in the Table 3 experiments.
+    pub fn default_config() -> Pips {
+        Pips::new(15, 5)
+    }
+
+    fn index(&self, block: u64) -> usize {
+        ((block ^ (block >> 12)) as usize) & self.mask
+    }
+}
+
+impl InstructionPrefetcher for Pips {
+    fn name(&self) -> &'static str {
+        "pips"
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        let block = event.block;
+        // Train the successor edge from the previous block.
+        if self.last_block != u64::MAX && self.last_block != block {
+            let idx = self.index(self.last_block);
+            let e = &mut self.table[idx];
+            if e.block != self.last_block {
+                *e = SuccessorEntry::empty();
+                e.block = self.last_block;
+            }
+            e.observe(block);
+        }
+        self.last_block = block;
+
+        // Scout walk: follow best successors for `depth` hops.
+        let mut cursor = block;
+        for _ in 0..self.depth {
+            let e = &self.table[self.index(cursor)];
+            let next = if e.block == cursor { e.best() } else { None };
+            match next {
+                Some(n) => {
+                    out.push(n);
+                    cursor = n;
+                }
+                None => {
+                    // Dead end: extend sequentially and stop scouting.
+                    out.push(cursor + 1);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn scout_walks_a_learned_path() {
+        let mut pf = Pips::new(8, 4);
+        let mut out = Vec::new();
+        let path = [10u64, 40, 70, 100, 130];
+        for _ in 0..4 {
+            for &b in &path {
+                out.clear();
+                pf.on_fetch(FetchEvent { block: b, miss: false }, &mut out);
+            }
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert!(out.contains(&40) && out.contains(&70) && out.contains(&100), "{out:?}");
+    }
+
+    #[test]
+    fn dominant_successor_wins_over_noise() {
+        let mut pf = Pips::new(8, 1);
+        let mut out = Vec::new();
+        // 10 → 40 three times for every 10 → 99 once.
+        for _ in 0..6 {
+            for pair in [[10u64, 40], [10, 40], [10, 40], [10, 99]] {
+                for &b in &pair {
+                    out.clear();
+                    pf.on_fetch(FetchEvent { block: b, miss: false }, &mut out);
+                }
+            }
+        }
+        out.clear();
+        pf.on_fetch(FetchEvent { block: 10, miss: false }, &mut out);
+        assert_eq!(out, vec![40]);
+    }
+
+    #[test]
+    fn beats_baseline_on_loops() {
+        let trace = harness::looping_trace(4000, 600);
+        let with = harness::evaluate(&mut Pips::default_config(), &trace, 128);
+        let without =
+            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
+    }
+}

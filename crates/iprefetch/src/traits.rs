@@ -1,0 +1,43 @@
+/// One instruction-fetch event at cache-block granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FetchEvent {
+    /// The fetched cache block (byte address divided by 64).
+    pub block: u64,
+    /// Whether the fetch missed in the L1I.
+    pub miss: bool,
+}
+
+/// An L1I prefetcher in the IPC-1 mold.
+///
+/// The front-end reports every fetched block and every retired branch;
+/// the prefetcher pushes block numbers to prefetch into the output
+/// vector. Implementations must be deterministic.
+pub trait InstructionPrefetcher {
+    /// Short identifier (used in reports and [`by_name`](crate::by_name)).
+    fn name(&self) -> &'static str;
+
+    /// Observes one fetched block and proposes prefetch blocks.
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>);
+
+    /// Observes a retired branch (source and target **byte addresses**).
+    ///
+    /// The default implementation ignores branches; control-flow-driven
+    /// prefetchers override it.
+    fn on_branch(&mut self, _pc: u64, _target: u64, _taken: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _assert(_: &mut dyn InstructionPrefetcher) {}
+    }
+
+    #[test]
+    fn fetch_event_is_plain_data() {
+        let e = FetchEvent { block: 7, miss: true };
+        assert_eq!(e, e);
+    }
+}

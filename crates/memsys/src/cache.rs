@@ -1,0 +1,376 @@
+use std::fmt;
+
+/// Cacheline size in bytes, fixed at 64 as in ChampSim and the paper.
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// What kind of access is probing a cache (affects statistics only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I demand).
+    InstructionFetch,
+    /// Data load.
+    Load,
+    /// Data store (write-allocate).
+    Store,
+    /// Prefetch (does not count as a demand access).
+    Prefetch,
+}
+
+impl AccessKind {
+    /// `true` for demand (non-prefetch) accesses.
+    pub fn is_demand(self) -> bool {
+        !matches!(self, AccessKind::Prefetch)
+    }
+}
+
+/// Replacement policy of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+    /// Pseudo-random victim (deterministic xorshift).
+    Random,
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in cycles (charged on every probe of this level).
+    pub latency: u64,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Convenience constructor from total size in KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into power-of-two sets.
+    pub fn with_size_kib(size_kib: usize, ways: usize, latency: u64) -> CacheConfig {
+        let lines = size_kib * 1024 / CACHELINE_BYTES as usize;
+        assert!(lines % ways == 0, "size must divide into ways");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { sets, ways, latency, replacement: ReplacementPolicy::Lru }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * CACHELINE_BYTES
+    }
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (fetch/load/store).
+    pub demand_accesses: u64,
+    /// Demand misses.
+    pub demand_misses: u64,
+    /// Lines filled by prefetch.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines brought in by prefetch (first touch).
+    pub useful_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in `0..=1`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / self.demand_accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} misses {} ({:.2}%) pf-fills {} pf-useful {}",
+            self.demand_accesses,
+            self.demand_misses,
+            100.0 * self.miss_ratio(),
+            self.prefetch_fills,
+            self.useful_prefetches
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+    rrpv: u8,
+    prefetched: bool,
+}
+
+impl Default for Line {
+    fn default() -> Line {
+        Line { tag: 0, valid: false, lru: 0, rrpv: 3, prefetched: false }
+    }
+}
+
+/// A set-associative cache with pluggable replacement.
+///
+/// Addresses are byte addresses; the cache works on 64-byte lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or any dimension is
+    /// zero.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.sets.is_power_of_two() && config.sets > 0, "sets must be a power of two");
+        assert!(config.ways > 0, "ways must be positive");
+        Cache {
+            config,
+            lines: vec![Line::default(); config.sets * config.ways],
+            tick: 0,
+            rng: 0x853c_49e6_748f_ea9b,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warm-up), keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, address: u64) -> (usize, usize) {
+        let line = address / CACHELINE_BYTES;
+        let set = (line as usize) & (self.config.sets - 1);
+        let start = set * self.config.ways;
+        (start, start + self.config.ways)
+    }
+
+    /// Probes for `address`; on a hit refreshes replacement state.
+    /// Statistics are charged according to `kind`.
+    pub fn probe(&mut self, address: u64, kind: AccessKind) -> bool {
+        self.tick += 1;
+        if kind.is_demand() {
+            self.stats.demand_accesses += 1;
+        }
+        let tag = address / CACHELINE_BYTES;
+        let (start, end) = self.set_range(address);
+        let tick = self.tick;
+        for line in &mut self.lines[start..end] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                line.rrpv = 0;
+                if kind.is_demand() && line.prefetched {
+                    line.prefetched = false;
+                    self.stats.useful_prefetches += 1;
+                }
+                return true;
+            }
+        }
+        if kind.is_demand() {
+            self.stats.demand_misses += 1;
+        }
+        false
+    }
+
+    /// Installs the line containing `address`, evicting a victim if the
+    /// set is full. Returns the evicted line's base address, if any.
+    pub fn fill(&mut self, address: u64, kind: AccessKind) -> Option<u64> {
+        self.tick += 1;
+        if kind == AccessKind::Prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        let tag = address / CACHELINE_BYTES;
+        let (start, end) = self.set_range(address);
+        let tick = self.tick;
+
+        // Already present (e.g. racing prefetch): refresh only.
+        if let Some(line) =
+            self.lines[start..end].iter_mut().find(|l| l.valid && l.tag == tag)
+        {
+            line.lru = tick;
+            line.rrpv = 0;
+            return None;
+        }
+        // Invalid way available.
+        if let Some(line) = self.lines[start..end].iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                tag,
+                valid: true,
+                lru: tick,
+                rrpv: if kind == AccessKind::Prefetch { 2 } else { 2 },
+                prefetched: kind == AccessKind::Prefetch,
+            };
+            return None;
+        }
+        // Pick a victim.
+        let victim_offset = match self.config.replacement {
+            ReplacementPolicy::Lru => {
+                let mut best = start;
+                for i in start..end {
+                    if self.lines[i].lru < self.lines[best].lru {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::Srrip => loop {
+                if let Some(i) = (start..end).find(|&i| self.lines[i].rrpv >= 3) {
+                    break i;
+                }
+                for line in &mut self.lines[start..end] {
+                    line.rrpv = (line.rrpv + 1).min(3);
+                }
+            },
+            ReplacementPolicy::Random => {
+                let mut x = self.rng;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.rng = x;
+                start + (x as usize) % (end - start)
+            }
+        };
+        let victim = &mut self.lines[victim_offset];
+        let evicted = victim.tag * CACHELINE_BYTES;
+        *victim = Line {
+            tag,
+            valid: true,
+            lru: tick,
+            rrpv: 2,
+            prefetched: kind == AccessKind::Prefetch,
+        };
+        Some(evicted)
+    }
+
+    /// `true` if the line containing `address` is resident (no state
+    /// changes, no statistics).
+    pub fn contains(&self, address: u64) -> bool {
+        let tag = address / CACHELINE_BYTES;
+        let (start, end) = self.set_range(address);
+        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig { sets: 4, ways: 2, latency: 1, replacement: policy })
+    }
+
+    #[test]
+    fn size_constructor_math() {
+        let c = CacheConfig::with_size_kib(32, 8, 4);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+        assert_eq!(c.sets, 64);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small(ReplacementPolicy::Lru);
+        assert!(!c.probe(0x1000, AccessKind::Load));
+        c.fill(0x1000, AccessKind::Load);
+        assert!(c.probe(0x1000, AccessKind::Load));
+        assert!(c.probe(0x1038, AccessKind::Load), "same line");
+        assert!(!c.probe(0x1040, AccessKind::Load), "next line");
+        assert_eq!(c.stats().demand_accesses, 4);
+        assert_eq!(c.stats().demand_misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small(ReplacementPolicy::Lru);
+        // Set stride: 4 sets × 64B = 256B. These three collide in set 0.
+        c.fill(0x0000, AccessKind::Load);
+        c.fill(0x0100, AccessKind::Load);
+        assert!(c.probe(0x0000, AccessKind::Load)); // refresh 0x0000
+        let evicted = c.fill(0x0200, AccessKind::Load);
+        assert_eq!(evicted, Some(0x0100));
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0100));
+    }
+
+    #[test]
+    fn prefetch_usefulness_is_tracked() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.fill(0x1000, AccessKind::Prefetch);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.probe(0x1000, AccessKind::Load));
+        assert_eq!(c.stats().useful_prefetches, 1);
+        // Second demand hit does not double-count usefulness.
+        assert!(c.probe(0x1000, AccessKind::Load));
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn prefetch_probe_is_not_demand() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.probe(0x1000, AccessKind::Prefetch);
+        assert_eq!(c.stats().demand_accesses, 0);
+        assert_eq!(c.stats().demand_misses, 0);
+    }
+
+    #[test]
+    fn srrip_and_random_fill_without_panic() {
+        for policy in [ReplacementPolicy::Srrip, ReplacementPolicy::Random] {
+            let mut c = small(policy);
+            for i in 0..64u64 {
+                c.fill(i * 0x100, AccessKind::Load);
+                c.probe(i * 0x100, AccessKind::Load);
+            }
+            // Working set exceeds capacity; at most 8 lines survive.
+            let live = (0..64u64).filter(|i| c.contains(i * 0x100)).count();
+            assert!(live <= 8, "{policy:?}: {live}");
+        }
+    }
+
+    #[test]
+    fn duplicate_fill_does_not_duplicate() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.fill(0x1000, AccessKind::Load);
+        assert_eq!(c.fill(0x1000, AccessKind::Load), None);
+        // The other way must still be free.
+        c.fill(0x1100, AccessKind::Load);
+        assert!(c.contains(0x1000) && c.contains(0x1100));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small(ReplacementPolicy::Lru);
+        c.fill(0x1000, AccessKind::Load);
+        c.probe(0x1000, AccessKind::Load);
+        c.reset_stats();
+        assert_eq!(c.stats().demand_accesses, 0);
+        assert!(c.contains(0x1000));
+    }
+}

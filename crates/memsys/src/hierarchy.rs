@@ -1,0 +1,340 @@
+use crate::cache::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
+use crate::tlb::{TranslationConfig, TranslationHierarchy};
+use crate::prefetch::{DataPrefetcher, IpStridePrefetcher, NextLinePrefetcher, NoPrefetcher};
+
+/// Configuration of the four-level hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Attach the paper's ip-stride prefetcher at the L1D.
+    pub l1d_ip_stride: bool,
+    /// Attach the paper's next-line prefetcher at the L2.
+    pub l2_next_line: bool,
+    /// Optional address translation (ITLB/DTLB/STLB + page walks).
+    /// The paper's §4 setup does not discuss TLBs, so both presets leave
+    /// this `None`; enable it for translation ablations.
+    pub translation: Option<TranslationConfig>,
+}
+
+impl HierarchyConfig {
+    /// The paper's §4 configuration: 32KB L1s, 1MB L2, 8MB LLC,
+    /// ip-stride at L1D, next-line at L2 (Ice Lake-style).
+    pub fn iiswc_main() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::with_size_kib(32, 8, 1),
+            l1d: CacheConfig::with_size_kib(48, 12, 2),
+            l2: CacheConfig::with_size_kib(1024, 16, 10),
+            llc: CacheConfig::with_size_kib(8 * 1024, 16, 30),
+            dram_latency: 200,
+            l1d_ip_stride: true,
+            l2_next_line: true,
+            translation: None,
+        }
+    }
+
+    /// The IPC-1 contest configuration: same geometry, no data
+    /// prefetchers (the contest varied the *instruction* prefetcher).
+    pub fn ipc1() -> HierarchyConfig {
+        HierarchyConfig { l1d_ip_stride: false, l2_next_line: false, ..HierarchyConfig::iiswc_main() }
+    }
+
+    /// Enables Ice Lake-flavoured address translation (ablations).
+    #[must_use]
+    pub fn with_translation(mut self) -> HierarchyConfig {
+        self.translation = Some(TranslationConfig::icelake());
+        self
+    }
+
+    /// Sets a replacement policy on every level (ablations).
+    #[must_use]
+    pub fn with_replacement(mut self, policy: ReplacementPolicy) -> HierarchyConfig {
+        self.l1i.replacement = policy;
+        self.l1d.replacement = policy;
+        self.l2.replacement = policy;
+        self.llc.replacement = policy;
+        self
+    }
+}
+
+/// The L1I/L1D/L2/LLC + DRAM hierarchy.
+///
+/// Demand accesses walk down the levels, accumulate latency, and fill
+/// upward. Prefetches triggered by the attached data prefetchers (and by
+/// the instruction-prefetch entry point) fill without charging demand
+/// statistics.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    dram_latency: u64,
+    l1d_prefetcher: Box<dyn DataPrefetcher + Send>,
+    l2_prefetcher: Box<dyn DataPrefetcher + Send>,
+    translation: Option<TranslationHierarchy>,
+}
+
+impl std::fmt::Debug for Box<dyn DataPrefetcher + Send> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DataPrefetcher({})", self.name())
+    }
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from `config`.
+    pub fn new(config: HierarchyConfig) -> Hierarchy {
+        let l1d_prefetcher: Box<dyn DataPrefetcher + Send> = if config.l1d_ip_stride {
+            Box::new(IpStridePrefetcher::default_l1d())
+        } else {
+            Box::new(NoPrefetcher)
+        };
+        let l2_prefetcher: Box<dyn DataPrefetcher + Send> = if config.l2_next_line {
+            Box::new(NextLinePrefetcher::new())
+        } else {
+            Box::new(NoPrefetcher)
+        };
+        Hierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            llc: Cache::new(config.llc),
+            dram_latency: config.dram_latency,
+            l1d_prefetcher,
+            l2_prefetcher,
+            translation: config.translation.map(TranslationHierarchy::new),
+        }
+    }
+
+    /// The translation hierarchy, when enabled.
+    pub fn translation(&self) -> Option<&TranslationHierarchy> {
+        self.translation.as_ref()
+    }
+
+    /// The instruction cache (for statistics).
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The data cache (for statistics).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2 (for statistics).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The last-level cache (for statistics).
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// Resets all statistics (after warm-up), keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.llc.reset_stats();
+    }
+
+    /// Fetches the instruction line containing `address`; returns the
+    /// access latency in cycles.
+    pub fn access_instruction(&mut self, address: u64) -> u64 {
+        let mut latency = self.l1i.config().latency;
+        if let Some(t) = &mut self.translation {
+            latency += t.translate_instruction(address);
+        }
+        if !self.l1i.probe(address, AccessKind::InstructionFetch) {
+            latency += self.below_l1(address, AccessKind::InstructionFetch);
+            self.l1i.fill(address, AccessKind::InstructionFetch);
+        }
+        latency
+    }
+
+    /// Performs a data access from instruction `pc`; returns latency.
+    ///
+    /// Stores are write-allocate and complete at L1 latency from the
+    /// core's perspective once the line is present.
+    pub fn access_data(&mut self, pc: u64, address: u64, is_store: bool) -> u64 {
+        let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+        let mut latency = self.l1d.config().latency;
+        if let Some(t) = &mut self.translation {
+            latency += t.translate_data(address);
+        }
+        let hit = self.l1d.probe(address, kind);
+        if !hit {
+            latency += self.below_l1(address, kind);
+            self.l1d.fill(address, kind);
+        }
+        for pf in self.l1d_prefetcher.on_access(pc, address, hit) {
+            self.prefetch_into_l1d(pf);
+        }
+        latency
+    }
+
+    /// Prefetches the instruction line containing `address` into the L1I
+    /// (entry point for the instruction prefetchers of the IPC-1 study).
+    ///
+    /// Returns the fill latency: the number of cycles until the line is
+    /// actually usable. A fetch arriving earlier sees a *late prefetch*
+    /// and stalls for the remainder — the timeliness dimension the IPC-1
+    /// designs compete on. Returns 0 when the line was already present.
+    pub fn prefetch_instruction(&mut self, address: u64) -> u64 {
+        if self.l1i.contains(address) {
+            return 0;
+        }
+        // Find the line's current home to price the fill.
+        let latency = if self.l2.contains(address) {
+            self.l2.config().latency
+        } else if self.llc.contains(address) {
+            self.l2.config().latency + self.llc.config().latency
+        } else {
+            self.l2.config().latency + self.llc.config().latency + self.dram_latency
+        };
+        self.walk_fill_below_l1(address);
+        self.l1i.fill(address, AccessKind::Prefetch);
+        latency
+    }
+
+    /// `true` if the instruction line is already in the L1I (used by
+    /// prefetchers to filter redundant requests).
+    pub fn instruction_line_present(&self, address: u64) -> bool {
+        self.l1i.contains(address)
+    }
+
+    fn prefetch_into_l1d(&mut self, address: u64) {
+        if self.l1d.contains(address) {
+            return;
+        }
+        self.walk_fill_below_l1(address);
+        self.l1d.fill(address, AccessKind::Prefetch);
+    }
+
+    /// Brings a line into L2 (and LLC) without charging demand stats.
+    fn walk_fill_below_l1(&mut self, address: u64) {
+        if !self.l2.probe(address, AccessKind::Prefetch) {
+            if !self.llc.probe(address, AccessKind::Prefetch) {
+                self.llc.fill(address, AccessKind::Prefetch);
+            }
+            self.l2.fill(address, AccessKind::Prefetch);
+        }
+    }
+
+    /// Demand walk below the L1s; returns the additional latency and
+    /// fills L2/LLC on the way back.
+    fn below_l1(&mut self, address: u64, kind: AccessKind) -> u64 {
+        let mut latency = self.l2.config().latency;
+        let l2_hit = self.l2.probe(address, kind);
+        if !l2_hit {
+            latency += self.llc.config().latency;
+            if !self.llc.probe(address, kind) {
+                latency += self.dram_latency;
+                self.llc.fill(address, kind);
+            }
+            self.l2.fill(address, kind);
+        }
+        for pf in self.l2_prefetcher.on_access(0, address, l2_hit) {
+            if !self.l2.contains(pf) {
+                if !self.llc.probe(pf, AccessKind::Prefetch) {
+                    self.llc.fill(pf, AccessKind::Prefetch);
+                }
+                self.l2.fill(pf, AccessKind::Prefetch);
+            }
+        }
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_prefetch() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            l1d_ip_stride: false,
+            l2_next_line: false,
+            ..HierarchyConfig::iiswc_main()
+        })
+    }
+
+    #[test]
+    fn latency_decreases_with_locality() {
+        let mut mem = no_prefetch();
+        let cold = mem.access_data(0x400, 0x123456, false);
+        let warm = mem.access_data(0x400, 0x123456, false);
+        assert!(cold >= 200, "cold access reaches DRAM: {cold}");
+        assert_eq!(warm, mem.l1d().config().latency);
+    }
+
+    #[test]
+    fn l2_hit_is_faster_than_llc_hit() {
+        let mut mem = no_prefetch();
+        mem.access_data(0, 0x9000, false); // fill all levels
+        // Evict from L1D only by touching many conflicting lines.
+        let sets = mem.l1d().config().sets as u64;
+        let ways = mem.l1d().config().ways as u64;
+        for i in 1..=ways + 2 {
+            mem.access_data(0, 0x9000 + i * sets * 64, false);
+        }
+        let after = mem.access_data(0, 0x9000, false);
+        assert!(after > mem.l1d().config().latency);
+        assert!(after <= mem.l1d().config().latency + mem.l2().config().latency);
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_separate() {
+        let mut mem = no_prefetch();
+        mem.access_instruction(0x1000);
+        assert_eq!(mem.l1i().stats().demand_accesses, 1);
+        assert_eq!(mem.l1d().stats().demand_accesses, 0);
+        mem.access_data(0, 0x1000, false);
+        // Shares the L2 line brought by the instruction fetch.
+        assert_eq!(mem.l2().stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn instruction_prefetch_hides_demand_miss() {
+        let mut mem = no_prefetch();
+        mem.prefetch_instruction(0x4000);
+        assert_eq!(mem.l1i().stats().demand_misses, 0);
+        let lat = mem.access_instruction(0x4000);
+        assert_eq!(lat, mem.l1i().config().latency);
+        assert_eq!(mem.l1i().stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn l1d_ip_stride_prefetcher_reduces_misses_on_streams() {
+        let mut with_pf = Hierarchy::new(HierarchyConfig::iiswc_main());
+        let mut without = no_prefetch();
+        for i in 0..2000u64 {
+            let addr = 0x10_0000 + i * 64;
+            with_pf.access_data(0x400, addr, false);
+            without.access_data(0x400, addr, false);
+        }
+        let pf_misses = with_pf.l1d().stats().demand_misses;
+        let base_misses = without.l1d().stats().demand_misses;
+        assert!(
+            pf_misses < base_misses / 2,
+            "stride prefetching should cut stream misses: {pf_misses} vs {base_misses}"
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        let mut mem = no_prefetch();
+        mem.access_data(0, 0x1000, true);
+        mem.reset_stats();
+        assert_eq!(mem.l1d().stats().demand_accesses, 0);
+        assert_eq!(mem.llc().stats().demand_misses, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Memory hierarchy substrate for the ChampSim-class core model.
+//!
+//! Provides the set-associative caches, the four-level hierarchy
+//! (L1I/L1D/L2/LLC + DRAM) and the data prefetchers the paper's
+//! evaluation configures: an ip-stride prefetcher at the L1D and a
+//! next-line prefetcher at the L2, mimicking Ice Lake-style prefetching
+//! (§4).
+//!
+//! The model is latency-based: a demand access walks down the hierarchy,
+//! accumulating per-level latencies, and fills every level on the way
+//! back. Each cache tracks demand accesses/misses (for the MPKI columns
+//! of Table 2) and prefetch usefulness.
+//!
+//! # Example
+//!
+//! ```
+//! use memsys::{Hierarchy, HierarchyConfig};
+//!
+//! let mut mem = Hierarchy::new(HierarchyConfig::iiswc_main());
+//! let cold = mem.access_data(0x400, 0x10000, false);
+//! let warm = mem.access_data(0x400, 0x10000, false);
+//! assert!(cold > warm, "second access hits in L1D");
+//! ```
+
+pub mod tlb;
+
+mod cache;
+mod hierarchy;
+mod prefetch;
+
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, ReplacementPolicy, CACHELINE_BYTES};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use prefetch::{DataPrefetcher, IpStridePrefetcher, NextLinePrefetcher, NoPrefetcher};
+pub use tlb::{TranslationConfig, TranslationHierarchy};

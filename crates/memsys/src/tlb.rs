@@ -1,0 +1,264 @@
+//! Address-translation modeling: ITLB, DTLB, STLB and page walks.
+//!
+//! ChampSim models two-level TLBs in front of the caches; the paper's
+//! configuration does not discuss them, so the core presets leave
+//! translation disabled — but the substrate is here for ablations and
+//! for front-end studies in the spirit of the CBP-5 traces the paper
+//! mentions (iTLB behaviour was one of their few measurable metrics).
+
+/// Base-2 log of the page size (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Geometry and timing of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries (must divide into power-of-two sets).
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Added latency on a hit at this level, in cycles.
+    pub latency: u64,
+}
+
+/// A set-associative TLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<(u64, u64)>>, // (page tag, lru)
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    lookups: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into power-of-two sets.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.entries > 0 && config.ways > 0, "TLB dimensions must be positive");
+        assert!(config.entries % config.ways == 0, "entries must divide into ways");
+        let sets = config.entries / config.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            ways: config.ways,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, page: u64) -> usize {
+        (page & self.set_mask) as usize
+    }
+
+    /// Probes for the page containing `vaddr`; refreshes LRU on a hit.
+    pub fn probe(&mut self, vaddr: u64) -> bool {
+        self.lookups += 1;
+        self.tick += 1;
+        let page = vaddr >> PAGE_SHIFT;
+        let tick = self.tick;
+        let set = self.set_of(page);
+        for e in &mut self.sets[set] {
+            if e.0 == page {
+                e.1 = tick;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Installs the page containing `vaddr`.
+    pub fn fill(&mut self, vaddr: u64) {
+        self.tick += 1;
+        let page = vaddr >> PAGE_SHIFT;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(page);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.0 == page) {
+            e.1 = tick;
+            return;
+        }
+        if set.len() < ways {
+            set.push((page, tick));
+        } else {
+            let victim =
+                set.iter_mut().min_by_key(|e| e.1).expect("full set is non-empty");
+            *victim = (page, tick);
+        }
+    }
+
+    /// Lookups so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Configuration of the two-level translation hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslationConfig {
+    /// First-level instruction TLB.
+    pub itlb: TlbConfig,
+    /// First-level data TLB.
+    pub dtlb: TlbConfig,
+    /// Shared second-level TLB.
+    pub stlb: TlbConfig,
+    /// Page-walk latency on an STLB miss, in cycles.
+    pub walk_latency: u64,
+}
+
+impl TranslationConfig {
+    /// An Ice Lake-flavoured configuration matching the paper's §4
+    /// microarchitectural era.
+    pub fn icelake() -> TranslationConfig {
+        TranslationConfig {
+            itlb: TlbConfig { entries: 128, ways: 8, latency: 1 },
+            dtlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
+            stlb: TlbConfig { entries: 2048, ways: 16, latency: 8 },
+            walk_latency: 60,
+        }
+    }
+}
+
+/// ITLB + DTLB backed by a shared STLB and a fixed-latency page walker.
+#[derive(Debug, Clone)]
+pub struct TranslationHierarchy {
+    itlb: Tlb,
+    dtlb: Tlb,
+    stlb: Tlb,
+    walk_latency: u64,
+    stlb_latency: u64,
+}
+
+impl TranslationHierarchy {
+    /// Builds the hierarchy from `config`.
+    pub fn new(config: TranslationConfig) -> TranslationHierarchy {
+        TranslationHierarchy {
+            itlb: Tlb::new(config.itlb),
+            dtlb: Tlb::new(config.dtlb),
+            stlb: Tlb::new(config.stlb),
+            walk_latency: config.walk_latency,
+            stlb_latency: config.stlb.latency,
+        }
+    }
+
+    /// Translates an instruction fetch; returns the added latency beyond
+    /// a first-level hit (0 on an ITLB hit).
+    pub fn translate_instruction(&mut self, vaddr: u64) -> u64 {
+        Self::translate(&mut self.itlb, &mut self.stlb, self.stlb_latency, self.walk_latency, vaddr)
+    }
+
+    /// Translates a data access; returns the added latency beyond a
+    /// first-level hit (0 on a DTLB hit).
+    pub fn translate_data(&mut self, vaddr: u64) -> u64 {
+        Self::translate(&mut self.dtlb, &mut self.stlb, self.stlb_latency, self.walk_latency, vaddr)
+    }
+
+    fn translate(l1: &mut Tlb, stlb: &mut Tlb, stlb_latency: u64, walk: u64, vaddr: u64) -> u64 {
+        if l1.probe(vaddr) {
+            return 0;
+        }
+        let penalty = if stlb.probe(vaddr) {
+            stlb_latency
+        } else {
+            stlb.fill(vaddr);
+            stlb_latency + walk
+        };
+        l1.fill(vaddr);
+        penalty
+    }
+
+    /// The instruction TLB (for statistics).
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// The data TLB (for statistics).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// The shared second-level TLB (for statistics).
+    pub fn stlb(&self) -> &Tlb {
+        &self.stlb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TranslationHierarchy {
+        TranslationHierarchy::new(TranslationConfig {
+            itlb: TlbConfig { entries: 4, ways: 2, latency: 1 },
+            dtlb: TlbConfig { entries: 4, ways: 2, latency: 1 },
+            stlb: TlbConfig { entries: 16, ways: 4, latency: 5 },
+            walk_latency: 50,
+        })
+    }
+
+    #[test]
+    fn cold_translation_walks_then_hits() {
+        let mut t = tiny();
+        assert_eq!(t.translate_data(0x1234), 55, "cold: STLB latency + walk");
+        assert_eq!(t.translate_data(0x1FFF), 0, "same page: DTLB hit");
+        assert_eq!(t.translate_data(0x2000), 55, "next page: cold again");
+    }
+
+    #[test]
+    fn stlb_catches_dtlb_capacity_misses() {
+        let mut t = tiny();
+        // Touch 8 pages: DTLB (4 entries) thrashes, STLB (16) holds.
+        for p in 0..8u64 {
+            t.translate_data(p << PAGE_SHIFT);
+        }
+        let again = t.translate_data(0);
+        assert_eq!(again, 5, "DTLB miss, STLB hit: {again}");
+    }
+
+    #[test]
+    fn instruction_and_data_share_the_stlb() {
+        let mut t = tiny();
+        t.translate_instruction(0x8000);
+        // The data side misses its DTLB but finds the page in the STLB.
+        assert_eq!(t.translate_data(0x8000), 5);
+        assert_eq!(t.stlb().misses(), 1);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut t = tiny();
+        t.translate_data(0x0);
+        t.translate_data(0x8);
+        assert_eq!(t.dtlb().lookups(), 2);
+        assert_eq!(t.dtlb().misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_page() {
+        let mut tlb = Tlb::new(TlbConfig { entries: 2, ways: 2, latency: 1 });
+        tlb.fill(0 << PAGE_SHIFT);
+        tlb.fill(1 << PAGE_SHIFT); // pages 0 and 1 map to... set 0 (1 set)
+        assert!(tlb.probe(0));
+        tlb.fill(2 << PAGE_SHIFT); // evicts page 1 (LRU)
+        assert!(!tlb.probe(1 << PAGE_SHIFT));
+        assert!(tlb.probe(2 << PAGE_SHIFT));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        Tlb::new(TlbConfig { entries: 12, ways: 4, latency: 1 });
+    }
+}

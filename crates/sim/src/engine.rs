@@ -1,0 +1,726 @@
+use std::collections::{HashMap, VecDeque};
+
+use bpred::{
+    Bimodal, Btb, DirectionPredictor, Gshare, HashedPerceptron, IndirectPredictor, Ittage,
+    ReturnAddressStack, Tage, TageConfig,
+};
+use champsim_trace::{BranchType, ChampsimRecord};
+use iprefetch::{FetchEvent, InstructionPrefetcher};
+use memsys::{Hierarchy, CACHELINE_BYTES};
+
+use crate::config::{CoreConfig, IndirectKind, PredictorKind};
+use crate::pipeline::{Scheduler, WidthLimiter};
+use crate::stats::{BranchStats, SimReport};
+
+/// Options for one simulation run.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Records to simulate before statistics start (the IPC-1 methodology
+    /// warms up for 50M instructions; tests use much less).
+    pub warmup_instructions: u64,
+    /// Optional L1I instruction prefetcher (the Table 3 plug-in point).
+    pub prefetcher: Option<Box<dyn InstructionPrefetcher + Send>>,
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("warmup_instructions", &self.warmup_instructions)
+            .field("prefetcher", &self.prefetcher.as_ref().map(|p| p.name()))
+            .finish()
+    }
+}
+
+impl RunOptions {
+    /// Warm up for `n` records before measuring.
+    #[must_use]
+    pub fn with_warmup(mut self, n: u64) -> RunOptions {
+        self.warmup_instructions = n;
+        self
+    }
+
+    /// Attach an instruction prefetcher.
+    #[must_use]
+    pub fn with_prefetcher(mut self, pf: Box<dyn InstructionPrefetcher + Send>) -> RunOptions {
+        self.prefetcher = Some(pf);
+        self
+    }
+}
+
+/// Trace-driven out-of-order core simulator.
+///
+/// Each [`run`](Simulator::run) starts from cold predictors and caches;
+/// construct once and reuse for independent runs of the same
+/// configuration.
+#[derive(Debug)]
+pub struct Simulator {
+    config: CoreConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `config`.
+    pub fn new(config: CoreConfig) -> Simulator {
+        Simulator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Simulates `records` with default options (no warm-up, no
+    /// instruction prefetcher).
+    pub fn run(&mut self, records: &[ChampsimRecord]) -> SimReport {
+        self.run_with_options(records, RunOptions::default())
+    }
+
+    /// Simulates `records` with explicit options.
+    pub fn run_with_options(
+        &mut self,
+        records: &[ChampsimRecord],
+        options: RunOptions,
+    ) -> SimReport {
+        Engine::new(&self.config, options).run(records)
+    }
+}
+
+/// Per-run machine state.
+struct Engine<'c> {
+    cfg: &'c CoreConfig,
+    memory: Hierarchy,
+    direction: Box<dyn DirectionPredictor + Send>,
+    indirect: Option<Ittage>,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    prefetcher: Option<Box<dyn InstructionPrefetcher + Send>>,
+    warmup: u64,
+
+    reg_ready: [u64; 256],
+    rob: VecDeque<u64>,
+    load_queue: VecDeque<u64>,
+    /// Completion times of outstanding L1D misses (MSHR occupancy).
+    mshrs: VecDeque<u64>,
+    fetch_slots: WidthLimiter,
+    dispatch_slots: WidthLimiter,
+    issue_slots: Scheduler,
+    retire_slots: WidthLimiter,
+    /// Earliest cycle the front-end may fetch (raised by redirects).
+    fetch_barrier: u64,
+    /// Set after a redirect: the next block fetch has no run-ahead cover.
+    refilling: bool,
+    current_block: u64,
+    /// Cycle at which the current block's fetch completes.
+    block_ready: u64,
+    last_retire: u64,
+
+    branches: BranchStats,
+    instruction_prefetches: u64,
+    /// In-flight instruction prefetches: block → cycle when usable.
+    /// Fetching a block before its prefetch completes stalls for the
+    /// remainder (a late prefetch).
+    prefetch_ready: HashMap<u64, u64>,
+}
+
+impl<'c> Engine<'c> {
+    fn new(cfg: &'c CoreConfig, options: RunOptions) -> Engine<'c> {
+        let direction: Box<dyn DirectionPredictor + Send> = match cfg.predictor {
+            PredictorKind::Bimodal(entries) => Box::new(Bimodal::new(entries)),
+            PredictorKind::Gshare(entries, hist) => Box::new(Gshare::new(entries, hist)),
+            PredictorKind::Tage64kb => Box::new(Tage::default_64kb()),
+            PredictorKind::TageSmall => Box::new(Tage::new(TageConfig::storage_small())),
+            PredictorKind::Perceptron => Box::new(HashedPerceptron::default_config()),
+        };
+        let indirect = match cfg.indirect {
+            IndirectKind::Ittage => Some(Ittage::default_64kb()),
+            IndirectKind::LastTarget => None,
+        };
+        Engine {
+            cfg,
+            memory: Hierarchy::new(cfg.hierarchy),
+            direction,
+            indirect,
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            ras: ReturnAddressStack::new(cfg.ras_size),
+            prefetcher: options.prefetcher,
+            warmup: options.warmup_instructions,
+            reg_ready: [0; 256],
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            load_queue: VecDeque::with_capacity(cfg.load_queue_size),
+            mshrs: VecDeque::with_capacity(cfg.l1d_mshrs),
+            fetch_slots: WidthLimiter::new(cfg.fetch_width),
+            dispatch_slots: WidthLimiter::new(cfg.dispatch_width),
+            issue_slots: Scheduler::new(cfg.issue_width),
+            retire_slots: WidthLimiter::new(cfg.retire_width),
+            fetch_barrier: 0,
+            refilling: true,
+            current_block: u64::MAX,
+            block_ready: 0,
+            last_retire: 0,
+            branches: BranchStats::default(),
+            instruction_prefetches: 0,
+            prefetch_ready: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, records: &[ChampsimRecord]) -> SimReport {
+        let mut warm_cycles = 0u64;
+        let mut warm_branches = BranchStats::default();
+        let mut warm_prefetches = 0u64;
+        let mut measured_start_index = 0usize;
+
+        for (i, rec) in records.iter().enumerate() {
+            let next_ip = records.get(i + 1).map(|r| r.ip());
+            self.step(rec, next_ip);
+
+            if (i as u64 + 1) == self.warmup {
+                warm_cycles = self.last_retire;
+                warm_branches = self.branches;
+                warm_prefetches = self.instruction_prefetches;
+                measured_start_index = i + 1;
+                self.memory.reset_stats();
+            }
+        }
+
+        let measured = (records.len() - measured_start_index) as u64;
+        SimReport {
+            instructions: measured,
+            cycles: self.last_retire.saturating_sub(warm_cycles).max(1),
+            branches: self.branches.delta_from(&warm_branches),
+            l1i: *self.memory.l1i().stats(),
+            l1d: *self.memory.l1d().stats(),
+            l2: *self.memory.l2().stats(),
+            llc: *self.memory.llc().stats(),
+            instruction_prefetches: self.instruction_prefetches - warm_prefetches,
+        }
+    }
+
+    /// Advances the model by one trace record.
+    fn step(&mut self, rec: &ChampsimRecord, next_ip: Option<u64>) {
+        // ------------------------------------------------- fetch -------
+        let block = rec.ip() / CACHELINE_BYTES;
+        if block != self.current_block {
+            let latency = self.memory.access_instruction(rec.ip());
+            let mut miss_penalty = latency.saturating_sub(1); // hit latency folded into fetch
+            let start = self.fetch_barrier.max(self.block_ready);
+            // A hit on a still-in-flight prefetched line stalls for the
+            // remainder of the fill (late prefetch).
+            if let Some(ready) = self.prefetch_ready.remove(&block) {
+                if miss_penalty == 0 {
+                    miss_penalty = ready.saturating_sub(start);
+                }
+            }
+            let hidden = if self.cfg.decoupled_frontend && !self.refilling {
+                self.cfg.frontend_lookahead
+            } else {
+                0
+            };
+            self.block_ready = start + miss_penalty.saturating_sub(hidden);
+            self.current_block = block;
+            self.refilling = false;
+
+            if let Some(pf) = self.prefetcher.as_mut() {
+                let mut out = Vec::new();
+                pf.on_fetch(FetchEvent { block, miss: miss_penalty > 0 }, &mut out);
+                for b in out {
+                    self.instruction_prefetches += 1;
+                    let fill = self.memory.prefetch_instruction(b * CACHELINE_BYTES);
+                    if fill > 0 {
+                        self.prefetch_ready.insert(b, start + fill);
+                    }
+                }
+                if self.prefetch_ready.len() > 16 * 1024 {
+                    // Drop long-completed fills to bound the map.
+                    self.prefetch_ready.retain(|_, ready| *ready > start);
+                }
+            }
+        }
+        let fetch_cycle = self.fetch_slots.allocate(self.fetch_barrier.max(self.block_ready));
+
+        // ---------------------------------------------- dispatch -------
+        let mut dispatch = fetch_cycle + self.cfg.decode_latency;
+        if self.rob.len() >= self.cfg.rob_size {
+            let head_retire = self.rob.pop_front().expect("ROB is full, so non-empty");
+            dispatch = dispatch.max(head_retire);
+        }
+        let dispatch = self.dispatch_slots.allocate(dispatch);
+
+        // ----------------------------------------------- execute -------
+        let mut operands_ready = dispatch;
+        for src in rec.source_registers() {
+            operands_ready = operands_ready.max(self.reg_ready[src as usize]);
+        }
+        let mut start = operands_ready;
+        if rec.is_load() && self.load_queue.len() >= self.cfg.load_queue_size {
+            let slot_free = self.load_queue.pop_front().expect("load queue full");
+            start = start.max(slot_free);
+        }
+        let start = self.issue_slots.allocate(start);
+
+        let completion = if rec.is_load() {
+            let mut latency = 0;
+            for addr in rec.source_memory() {
+                latency = latency.max(self.memory.access_data(rec.ip(), addr, false));
+            }
+            // An L1D miss needs an MSHR; with all of them busy, the miss
+            // waits for the oldest outstanding one to complete.
+            let mut start = start;
+            if latency > self.cfg.hierarchy.l1d.latency {
+                while let Some(&done) = self.mshrs.front() {
+                    if done <= start {
+                        self.mshrs.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.mshrs.len() >= self.cfg.l1d_mshrs {
+                    let oldest = self.mshrs.pop_front().expect("MSHRs are full, so non-empty");
+                    start = start.max(oldest);
+                }
+                self.mshrs.push_back(start + latency);
+            }
+            let done = start + latency;
+            self.load_queue.push_back(done);
+            done
+        } else if rec.is_store() {
+            // The write retires through the store buffer; charge the
+            // hierarchy for statistics but make results (base updates,
+            // store-exclusive status) available at ALU latency.
+            for addr in rec.destination_memory() {
+                self.memory.access_data(rec.ip(), addr, true);
+            }
+            start + 1
+        } else {
+            start + 1
+        };
+
+        for dst in rec.destination_registers() {
+            self.reg_ready[dst as usize] = completion;
+        }
+
+        // ------------------------------------------------ branch -------
+        if rec.is_branch() {
+            self.resolve_branch(rec, next_ip, completion);
+        }
+
+        // ------------------------------------------------ retire -------
+        let retire = self.retire_slots.allocate(completion.max(self.last_retire));
+        self.last_retire = self.last_retire.max(retire);
+        if self.rob.len() < self.cfg.rob_size {
+            self.rob.push_back(retire);
+        }
+    }
+
+    fn resolve_branch(&mut self, rec: &ChampsimRecord, next_ip: Option<u64>, resolve: u64) {
+        let branch_type = self.cfg.branch_rules.classify(rec);
+        let taken = rec.branch_taken();
+        // ChampSim derives targets from the trace stream: a taken
+        // branch's target is the next record's IP.
+        let target = if taken { next_ip.unwrap_or(rec.ip() + 4) } else { 0 };
+
+        // --- direction prediction -----------------------------------
+        let predicted_taken = if branch_type == BranchType::Conditional {
+            self.direction.predict(rec.ip())
+        } else {
+            true
+        };
+        let direction_wrong = predicted_taken != taken;
+        if branch_type == BranchType::Conditional {
+            if direction_wrong {
+                self.branches.direction_mispredicts += 1;
+            }
+            self.direction.update(rec.ip(), taken);
+        }
+
+        // --- target prediction ---------------------------------------
+        let btb_entry = self.btb.lookup(rec.ip());
+        let predicted_target = if self.cfg.ideal_targets {
+            target
+        } else {
+            match branch_type {
+                BranchType::Return => self.ras.pop().unwrap_or(0),
+                BranchType::Indirect | BranchType::IndirectCall => match &mut self.indirect {
+                    Some(ittage) => ittage
+                        .predict(rec.ip())
+                        .or(btb_entry.map(|e| e.target))
+                        .unwrap_or(0),
+                    None => btb_entry.map(|e| e.target).unwrap_or(0),
+                },
+                _ => btb_entry.map(|e| e.target).unwrap_or(0),
+            }
+        };
+        let target_wrong = taken && predicted_taken && predicted_target != target;
+        if target_wrong {
+            self.branches.target_mispredicts += 1;
+        }
+        // A misclassified-as-return call still *pops* the RAS above even
+        // in ideal-target mode? No: ideal mode skips RAS entirely, which
+        // is exactly why the paper's call-stack fix does not move the
+        // IPC-1 ranking (§4.4).
+        if !self.cfg.ideal_targets && branch_type.is_call() {
+            self.ras.push(rec.ip() + 4);
+        }
+
+        // --- trainers -------------------------------------------------
+        if taken {
+            self.btb.update(rec.ip(), target, branch_type);
+        }
+        if let Some(ittage) = &mut self.indirect {
+            if matches!(branch_type, BranchType::Indirect | BranchType::IndirectCall) {
+                ittage.update(rec.ip(), target);
+            }
+            ittage.push_history(taken);
+        }
+        if let Some(pf) = self.prefetcher.as_mut() {
+            pf.on_branch(rec.ip(), target, taken);
+        }
+
+        // --- redirect -------------------------------------------------
+        let mispredicted = direction_wrong || target_wrong;
+        self.branches.record(branch_type, mispredicted);
+        if mispredicted {
+            // The front-end restarts after resolution.
+            self.fetch_barrier = self.fetch_barrier.max(resolve + 1);
+            self.refilling = true;
+            self.current_block = u64::MAX;
+        } else if taken && !self.cfg.decoupled_frontend {
+            // Coupled front-ends take a one-cycle taken-branch bubble.
+            self.fetch_barrier = self.fetch_barrier.max(self.block_ready + 1);
+            self.current_block = u64::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use champsim_trace::{pattern, regs};
+
+    fn straight_line(n: u64) -> Vec<ChampsimRecord> {
+        (0..n).map(|i| ChampsimRecord::new(0x1000 + i * 4)).collect()
+    }
+
+    fn small_sim() -> Simulator {
+        Simulator::new(CoreConfig::test_small())
+    }
+
+    #[test]
+    fn straight_line_code_reaches_high_ipc() {
+        let report = small_sim().run(&straight_line(20_000));
+        assert!(report.ipc() > 3.0, "independent ALU ops should flow wide: {}", report.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        // Every instruction reads the register written by its predecessor.
+        let mut records = Vec::new();
+        for i in 0..20_000u64 {
+            let mut r = ChampsimRecord::new(0x1000 + i * 4);
+            r.add_source_register(regs::arch(1));
+            r.add_destination_register(regs::arch(1));
+            records.push(r);
+        }
+        let report = small_sim().run(&records);
+        assert!(report.ipc() < 1.05, "serial chain cannot exceed 1 IPC: {}", report.ipc());
+    }
+
+    #[test]
+    fn load_latency_slows_dependent_chain() {
+        // Pointer-chase: each load's address depends on the previous
+        // load's result, and addresses spread beyond every cache level.
+        let mut chase = Vec::new();
+        for i in 0..5_000u64 {
+            let mut r = ChampsimRecord::new(0x1000 + i * 4);
+            r.add_source_register(regs::arch(1));
+            r.add_destination_register(regs::arch(1));
+            r.add_source_memory(0x10_0000 + (i.wrapping_mul(0x9e3779b97f4a7c15) % (1 << 28)));
+            chase.push(r);
+        }
+        let chase_report = small_sim().run(&chase);
+        let alu_report = small_sim().run(&straight_line(5_000));
+        assert!(
+            chase_report.ipc() * 10.0 < alu_report.ipc(),
+            "memory chain must be far slower: {} vs {}",
+            chase_report.ipc(),
+            alu_report.ipc()
+        );
+        assert!(chase_report.l1d_mpki() > 100.0);
+    }
+
+    #[test]
+    fn predictable_branches_cost_little() {
+        // Always-taken loop branch: after warm-up, near-zero mispredicts.
+        let mut records = Vec::new();
+        for i in 0..10_000u64 {
+            records.push(ChampsimRecord::new(0x1000 + (i % 8) * 4));
+            if i % 8 == 7 {
+                let mut b = pattern::conditional(0x1000 + 8 * 4, true);
+                b.set_ip(0x1020);
+                records.push(b);
+            }
+        }
+        let report = small_sim().run(&records);
+        assert!(report.direction_mpki() < 5.0, "{}", report.direction_mpki());
+    }
+
+    #[test]
+    fn random_branches_expose_misprediction_penalty() {
+        let mut state = 42u64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 63 == 1
+        };
+        let mut predictable = Vec::new();
+        let mut random = Vec::new();
+        for i in 0..20_000u64 {
+            let ip = 0x1000 + (i % 64) * 4;
+            if i % 4 == 3 {
+                predictable.push(pattern::conditional(ip, true));
+                random.push(pattern::conditional(ip, rand_bit()));
+            } else {
+                predictable.push(ChampsimRecord::new(ip));
+                random.push(ChampsimRecord::new(ip));
+            }
+        }
+        let fast = small_sim().run(&predictable);
+        let slow = small_sim().run(&random);
+        assert!(
+            slow.ipc() < fast.ipc() * 0.7,
+            "random branches must hurt: {} vs {}",
+            slow.ipc(),
+            fast.ipc()
+        );
+        assert!(slow.direction_mpki() > 20.0);
+    }
+
+    /// The central mechanism behind the paper's `flag-reg`/`branch-regs`
+    /// slowdowns: a mispredicted branch that depends on a long-latency
+    /// load resolves late, exposing the full penalty.
+    #[test]
+    fn branch_depending_on_load_amplifies_penalty() {
+        let mut state = 7u64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 63 == 1
+        };
+        let build = |depend: bool, rand: &mut dyn FnMut() -> bool| {
+            let mut records = Vec::new();
+            for i in 0..20_000u64 {
+                let ip = 0x1000 + (i % 16) * 4;
+                match i % 4 {
+                    0 => {
+                        // A cache-hostile load into arch reg 2.
+                        let mut l = ChampsimRecord::new(ip);
+                        l.add_source_memory(
+                            0x20_0000 + (i.wrapping_mul(0x9e3779b97f4a7c15) % (1 << 28)),
+                        );
+                        l.add_destination_register(regs::arch(2));
+                        records.push(l);
+                    }
+                    3 => {
+                        let mut b = pattern::conditional(ip, rand());
+                        if depend {
+                            // cbz-style: reads the loaded register.
+                            b.remove_source_register(regs::FLAGS);
+                            b.add_source_register(regs::arch(2));
+                        }
+                        records.push(b);
+                    }
+                    _ => records.push(ChampsimRecord::new(ip)),
+                }
+            }
+            records
+        };
+        let independent = small_sim().run(&build(false, &mut rand_bit));
+        let dependent = small_sim().run(&build(true, &mut rand_bit));
+        assert!(
+            dependent.ipc() < independent.ipc() * 0.9,
+            "load-fed branches must be slower: {} vs {}",
+            dependent.ipc(),
+            independent.ipc()
+        );
+    }
+
+    /// The `call-stack` mechanism: calls misconverted as returns wreck
+    /// the RAS and the return MPKI explodes.
+    #[test]
+    fn misclassified_calls_inflate_return_mpki() {
+        // A call/return pair where the "call" is encoded as a return
+        // (the original converter's bug for `blr x30`).
+        let build = |call_is_return: bool| {
+            let mut records = Vec::new();
+            for i in 0..4_000u64 {
+                let base = 0x1000 + (i % 4) * 0x100;
+                // caller body
+                records.push(ChampsimRecord::new(base));
+                // call to function at 0x9000
+                let call_ip = base + 4;
+                if call_is_return {
+                    records.push(pattern::ret(call_ip, true));
+                } else {
+                    records.push(pattern::indirect_call(call_ip, true, regs::arch(30)));
+                }
+                // function body + genuine return to call_ip + 4
+                records.push(ChampsimRecord::new(0x9000));
+                records.push(pattern::ret(0x9004, true));
+                records.push(ChampsimRecord::new(call_ip + 4));
+            }
+            records
+        };
+        let good = small_sim().run(&build(false));
+        let bad = small_sim().run(&build(true));
+        assert!(
+            bad.return_mpki() > good.return_mpki() * 5.0,
+            "RAS desync must inflate return MPKI: {} vs {}",
+            bad.return_mpki(),
+            good.return_mpki()
+        );
+        assert!(bad.ipc() < good.ipc());
+    }
+
+    #[test]
+    fn ideal_targets_ignore_ras_damage() {
+        // Same bad encoding as above, but the IPC-1 config models ideal
+        // target prediction, so return MPKI stays zero (§4.4).
+        let mut records = Vec::new();
+        for i in 0..2_000u64 {
+            let base = 0x1000 + (i % 4) * 0x100;
+            records.push(pattern::ret(base + 4, true));
+            records.push(ChampsimRecord::new(0x9000));
+            records.push(pattern::ret(0x9004, true));
+            records.push(ChampsimRecord::new(base + 8));
+        }
+        let report = Simulator::new(CoreConfig::ipc1()).run(&records);
+        assert_eq!(report.branches.target_mispredicts, 0);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_effects() {
+        let records = straight_line(10_000);
+        let mut sim = small_sim();
+        let cold = sim.run(&records);
+        let warm = sim.run_with_options(&records, RunOptions::default().with_warmup(5_000));
+        assert_eq!(warm.instructions, 5_000);
+        assert!(warm.ipc() >= cold.ipc() * 0.95);
+    }
+
+    #[test]
+    fn instruction_prefetcher_helps_large_footprint_code() {
+        // Code footprint far beyond the 32KB L1I, looped.
+        let mut records = Vec::new();
+        for _rep in 0..6 {
+            for i in 0..40_000u64 {
+                records.push(ChampsimRecord::new(0x10_0000 + i * 4));
+            }
+        }
+        let mut ipc1 = Simulator::new(CoreConfig::ipc1());
+        let base = ipc1.run(&records);
+        let with_pf = ipc1.run_with_options(
+            &records,
+            RunOptions::default()
+                .with_prefetcher(iprefetch::by_name("next-line").expect("known name")),
+        );
+        assert!(
+            with_pf.ipc() > base.ipc() * 1.05,
+            "prefetching sequential code must help: {} vs {}",
+            with_pf.ipc(),
+            base.ipc()
+        );
+        assert!(with_pf.l1i_mpki() < base.l1i_mpki());
+        assert!(with_pf.instruction_prefetches > 0);
+    }
+
+    #[test]
+    fn decoupled_frontend_hides_instruction_misses() {
+        let mut records = Vec::new();
+        for _rep in 0..6 {
+            for i in 0..40_000u64 {
+                records.push(ChampsimRecord::new(0x10_0000 + i * 4));
+            }
+        }
+        let coupled = Simulator::new(CoreConfig {
+            decoupled_frontend: false,
+            frontend_lookahead: 0,
+            ..CoreConfig::test_small()
+        })
+        .run(&records);
+        let decoupled = small_sim().run(&records);
+        assert!(
+            decoupled.ipc() > coupled.ipc(),
+            "run-ahead fetch must help: {} vs {}",
+            decoupled.ipc(),
+            coupled.ipc()
+        );
+    }
+
+    /// MSHR scarcity must throttle memory-level parallelism: a parallel
+    /// miss stream runs slower with one MSHR than with many.
+    #[test]
+    fn mshr_limit_throttles_parallel_misses() {
+        let mut records = Vec::new();
+        for i in 0..10_000u64 {
+            let mut r = ChampsimRecord::new(0x1000 + (i % 32) * 4);
+            r.add_source_memory(0x30_0000 + (i.wrapping_mul(0x9e3779b97f4a7c15) % (1 << 28)));
+            r.add_destination_register(regs::arch(((i % 8) + 2) as u8));
+            records.push(r);
+        }
+        let wide = Simulator::new(CoreConfig { l1d_mshrs: 64, ..CoreConfig::test_small() })
+            .run(&records);
+        let narrow = Simulator::new(CoreConfig { l1d_mshrs: 1, ..CoreConfig::test_small() })
+            .run(&records);
+        assert!(
+            narrow.ipc() < wide.ipc() * 0.5,
+            "one MSHR must serialize the misses: {} vs {}",
+            narrow.ipc(),
+            wide.ipc()
+        );
+    }
+
+    /// Enabling address translation slows page-hostile access patterns
+    /// and leaves page-local ones nearly untouched.
+    #[test]
+    fn translation_penalizes_page_hostile_access() {
+        let build = |stride: u64| -> Vec<ChampsimRecord> {
+            (0..10_000u64)
+                .map(|i| {
+                    let mut r = ChampsimRecord::new(0x1000 + (i % 16) * 4);
+                    r.add_source_memory(0x40_0000 + (i * stride) % (1 << 26));
+                    r.add_destination_register(regs::arch(((i % 8) + 2) as u8));
+                    r
+                })
+                .collect()
+        };
+        let with_tlb = CoreConfig {
+            hierarchy: CoreConfig::test_small().hierarchy.with_translation(),
+            ..CoreConfig::test_small()
+        };
+        // Page-hostile: a new 4KB page every access.
+        let hostile = build(4096 + 64);
+        let base = Simulator::new(CoreConfig::test_small()).run(&hostile);
+        let translated = Simulator::new(with_tlb.clone()).run(&hostile);
+        assert!(
+            translated.ipc() < base.ipc() * 0.95,
+            "page walks must cost something: {} vs {}",
+            translated.ipc(),
+            base.ipc()
+        );
+        // Page-local: everything within a handful of pages. The relative
+        // translation cost must be far below the page-hostile pattern's.
+        let local = build(8);
+        let base_local = Simulator::new(CoreConfig::test_small()).run(&local);
+        let translated_local = Simulator::new(with_tlb).run(&local);
+        let hostile_cost = base.ipc() / translated.ipc();
+        let local_cost = base_local.ipc() / translated_local.ipc();
+        assert!(
+            local_cost < 1.0 + (hostile_cost - 1.0) / 2.0,
+            "page-local translation cost must be far smaller: {local_cost} vs {hostile_cost}"
+        );
+    }
+
+    #[test]
+    fn report_counts_match_input() {
+        let records = straight_line(1234);
+        let report = small_sim().run(&records);
+        assert_eq!(report.instructions, 1234);
+        assert!(report.cycles > 0);
+    }
+}

@@ -1,0 +1,259 @@
+use std::fmt;
+
+use champsim_trace::BranchType;
+use memsys::CacheStats;
+
+/// Per-branch-type and aggregate branch prediction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    counts: [u64; 8],
+    mispredicts: [u64; 8],
+    /// Conditional branches whose predicted direction was wrong.
+    pub direction_mispredicts: u64,
+    /// Taken branches whose predicted target was wrong (includes BTB and
+    /// RAS misses).
+    pub target_mispredicts: u64,
+}
+
+fn slot(t: BranchType) -> usize {
+    match t {
+        BranchType::NotBranch => 0,
+        BranchType::DirectJump => 1,
+        BranchType::Indirect => 2,
+        BranchType::Conditional => 3,
+        BranchType::DirectCall => 4,
+        BranchType::IndirectCall => 5,
+        BranchType::Return => 6,
+        BranchType::Other => 7,
+    }
+}
+
+impl BranchStats {
+    /// Records one executed branch of type `t`; `mispredicted` covers
+    /// direction or target being wrong.
+    pub fn record(&mut self, t: BranchType, mispredicted: bool) {
+        self.counts[slot(t)] += 1;
+        if mispredicted {
+            self.mispredicts[slot(t)] += 1;
+        }
+    }
+
+    /// Executed branches of type `t`.
+    pub fn count(&self, t: BranchType) -> u64 {
+        self.counts[slot(t)]
+    }
+
+    /// Mispredicted branches of type `t`.
+    pub fn mispredicts(&self, t: BranchType) -> u64 {
+        self.mispredicts[slot(t)]
+    }
+
+    /// All executed branches.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// All mispredicted branches (direction or target).
+    pub fn total_mispredicts(&self) -> u64 {
+        self.mispredicts.iter().sum()
+    }
+
+    /// Iterates the executed branch types with their (count,
+    /// mispredict) pairs, in a stable order, skipping empty types.
+    pub fn per_type(&self) -> impl Iterator<Item = (BranchType, u64, u64)> + '_ {
+        BranchType::BRANCHES
+            .into_iter()
+            .map(|t| (t, self.count(t), self.mispredicts(t)))
+            .filter(|(_, n, _)| *n > 0)
+    }
+
+    /// Subtracts a warm-up snapshot from the final counters.
+    pub fn delta_from(&self, snapshot: &BranchStats) -> BranchStats {
+        let mut out = *self;
+        for i in 0..8 {
+            out.counts[i] -= snapshot.counts[i];
+            out.mispredicts[i] -= snapshot.mispredicts[i];
+        }
+        out.direction_mispredicts -= snapshot.direction_mispredicts;
+        out.target_mispredicts -= snapshot.target_mispredicts;
+        out
+    }
+}
+
+/// The report produced by one simulation run.
+///
+/// All MPKI values are events per 1000 retired trace records, matching
+/// how ChampSim reports Table 2's columns.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Retired trace records.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: u64,
+    /// Branch predictor behaviour.
+    pub branches: BranchStats,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Last-level cache statistics.
+    pub llc: CacheStats,
+    /// Prefetch requests issued by the instruction prefetcher, if any.
+    pub instruction_prefetches: u64,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    fn mpki(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Overall branch MPKI (direction or target wrong).
+    pub fn branch_mpki(&self) -> f64 {
+        self.mpki(self.branches.total_mispredicts())
+    }
+
+    /// Direction-only branch MPKI.
+    pub fn direction_mpki(&self) -> f64 {
+        self.mpki(self.branches.direction_mispredicts)
+    }
+
+    /// Target-only branch MPKI (taken branches with a wrong target).
+    pub fn target_mpki(&self) -> f64 {
+        self.mpki(self.branches.target_mispredicts)
+    }
+
+    /// Return (RAS) misprediction MPKI — the Figure 5 metric.
+    pub fn return_mpki(&self) -> f64 {
+        self.mpki(self.branches.mispredicts(BranchType::Return))
+    }
+
+    /// L1I demand-miss MPKI.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.mpki(self.l1i.demand_misses)
+    }
+
+    /// L1D demand-miss MPKI.
+    pub fn l1d_mpki(&self) -> f64 {
+        self.mpki(self.l1d.demand_misses)
+    }
+
+    /// L2 demand-miss MPKI.
+    pub fn l2_mpki(&self) -> f64 {
+        self.mpki(self.l2.demand_misses)
+    }
+
+    /// LLC demand-miss MPKI.
+    pub fn llc_mpki(&self) -> f64 {
+        self.mpki(self.llc.demand_misses)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions {}  cycles {}  IPC {:.3}", self.instructions, self.cycles, self.ipc())?;
+        writeln!(
+            f,
+            "branch MPKI overall {:.2} direction {:.2} target {:.2} (returns {:.3})",
+            self.branch_mpki(),
+            self.direction_mpki(),
+            self.target_mpki(),
+            self.return_mpki()
+        )?;
+        writeln!(
+            f,
+            "MPKI l1i {:.1} l1d {:.1} l2 {:.1} llc {:.1}",
+            self.l1i_mpki(),
+            self.l1d_mpki(),
+            self.l2_mpki(),
+            self.llc_mpki()
+        )?;
+        for (t, count, miss) in self.branches.per_type() {
+            writeln!(f, "  {t:<14} {count:>10} executed, {miss:>8} mispredicted")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_stats_accumulate_per_type() {
+        let mut b = BranchStats::default();
+        b.record(BranchType::Conditional, false);
+        b.record(BranchType::Conditional, true);
+        b.record(BranchType::Return, true);
+        assert_eq!(b.count(BranchType::Conditional), 2);
+        assert_eq!(b.mispredicts(BranchType::Conditional), 1);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.total_mispredicts(), 2);
+    }
+
+    #[test]
+    fn delta_subtracts_snapshot() {
+        let mut b = BranchStats::default();
+        b.record(BranchType::Return, true);
+        let snap = b;
+        b.record(BranchType::Return, true);
+        b.record(BranchType::DirectJump, false);
+        let d = b.delta_from(&snap);
+        assert_eq!(d.count(BranchType::Return), 1);
+        assert_eq!(d.count(BranchType::DirectJump), 1);
+        assert_eq!(d.total_mispredicts(), 1);
+    }
+
+    #[test]
+    fn mpki_normalizes_per_kilo_instruction() {
+        let mut r = SimReport { instructions: 10_000, cycles: 5_000, ..SimReport::default() };
+        r.branches.record(BranchType::Conditional, true);
+        r.branches.direction_mispredicts = 1;
+        r.l1i.demand_misses = 50;
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.branch_mpki() - 0.1).abs() < 1e-12);
+        assert!((r.l1i_mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.branch_mpki(), 0.0);
+        assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn per_type_skips_empty_and_keeps_order() {
+        let mut b = BranchStats::default();
+        b.record(BranchType::Return, true);
+        b.record(BranchType::Conditional, false);
+        b.record(BranchType::Conditional, true);
+        let rows: Vec<_> = b.per_type().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (BranchType::Conditional, 2, 1));
+        assert_eq!(rows[1], (BranchType::Return, 1, 1));
+    }
+
+    #[test]
+    fn display_lists_branch_types() {
+        let mut r = SimReport { instructions: 100, cycles: 50, ..SimReport::default() };
+        r.branches.record(BranchType::DirectCall, false);
+        let text = r.to_string();
+        assert!(text.contains("direct-call"), "{text}");
+    }
+}

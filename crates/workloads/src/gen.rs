@@ -1,0 +1,906 @@
+use cvp_trace::{CvpInstruction, OutputValue, Reg, LINK_REG};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{TraceSpec, WorkloadKind};
+
+/// Deterministic "memory contents": the value stored at `address`.
+fn memory_value(address: u64, seed: u64) -> u64 {
+    mix(address ^ seed.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Streaming CVP-1 instruction generator driven by a [`TraceSpec`].
+///
+/// The generator models a tiny abstract machine: a program counter, the
+/// architectural register values (so every emitted destination value is
+/// consistent with later reads — the converter's inference heuristics
+/// depend on this), a call stack, and a deterministic memory.
+///
+/// **Code layout is PC-stable**: all *structural* decisions (which
+/// instruction shapes a loop body contains, call targets, addressing
+/// modes) are hashed from the enclosing loop nest's address, so every
+/// iteration of a nest executes the same instructions at the same PCs —
+/// branch predictors and BTBs see realistic, learnable code. Only data
+/// (register values, addresses, branch outcomes) changes per iteration.
+pub(crate) struct Generator<'s> {
+    spec: &'s TraceSpec,
+    rng: SmallRng,
+    out: Vec<CvpInstruction>,
+    pc: u64,
+    regs: [u64; 65],
+    call_stack: Vec<u64>,
+    data_base: u64,
+    data_mask: u64,
+    /// Per-function entry addresses (server kind).
+    functions: Vec<u64>,
+    /// Fixed loop-nest entry addresses; nests are revisited, so
+    /// predictors see warm, stable code.
+    nests: Vec<u64>,
+    nest_index: usize,
+    /// Iterations remaining in the current nest visit.
+    visit_left: u64,
+    loop_head: u64,
+    loop_counter: u64,
+    /// Per-group slot counter for template hashing.
+    slot: u64,
+    /// Scratch registers already assigned in the current group, so one
+    /// iteration never reuses a destination whose value is still live
+    /// across the loop back-edge.
+    picked: u16,
+    /// Base address keying structural templates (the loop nest, or the
+    /// current function while emitting a callee body).
+    template_base: u64,
+}
+
+const FUNCTION_STRIDE: u64 = 0x400; // 256 instructions of code per function
+const CODE_BASE: u64 = 0x40_0000;
+const DATA_SEED_SALT: u64 = 0x5151_e1e1;
+
+/// Register allocation: keep hot pointers away from X0 because the
+/// original converter uses X0 as its invented destination register — on
+/// real traces X0 is just one register among many, so the synthetic
+/// workloads must not make it the universal base pointer either.
+const BASE_A: Reg = 12;
+const BASE_B: Reg = 13;
+
+/// Scratch destination pool. Real compilers rotate destination
+/// registers, which matters for conversion fidelity: the original
+/// converter re-adds destinations as sources, and with a single hot
+/// destination register that would chain every load to the previous one
+/// — a pathology real traces do not exhibit (the paper measures the
+/// `mem-regs` fix at ±0.01% IPC).
+const SCRATCH: [Reg; 12] = [2, 3, 4, 5, 11, 17, 18, 19, 20, 21, 22, 23];
+
+/// Dedicated destinations for the miss-heavy "pointer" loads, outside
+/// the scratch pool so echoed sources of cache-resident loads never
+/// chain to a DRAM miss through register reuse.
+const MISS_A: Reg = 24;
+const MISS_B: Reg = 25;
+
+impl<'s> Generator<'s> {
+    pub(crate) fn new(spec: &'s TraceSpec) -> Generator<'s> {
+        let data_mask = (1u64 << spec.data_footprint_log2) - 1;
+        let functions = (0..spec.code_functions as u64)
+            .map(|i| CODE_BASE + 0x10_0000 + i * FUNCTION_STRIDE)
+            .collect();
+        // Non-overlapping nests, 256 bytes (64 instruction slots) apart —
+        // comfortably larger than any group body.
+        let region = match spec.kind() {
+            WorkloadKind::Crypto | WorkloadKind::FpKernel => 4 * 1024u64,
+            WorkloadKind::PointerChase | WorkloadKind::Streaming => 16 * 1024,
+            WorkloadKind::BranchyInt => 32 * 1024,
+            // Server instruction footprint scales with the function
+            // count; the BTB and direction predictor hold it warm while
+            // the L1I cannot — the industry-trace front-end signature.
+            // Sized so the request working set exceeds the 32KB L1I but
+            // recurs within an instruction prefetcher's reach.
+            WorkloadKind::Server => ((spec.code_functions as u64) * 64).clamp(8 * 1024, 32 * 1024),
+        };
+        let nests = (0..region / 256).map(|i| CODE_BASE + i * 256).collect();
+        Generator {
+            spec,
+            rng: SmallRng::seed_from_u64(spec.seed() ^ 0xc0ffee),
+            out: Vec::with_capacity(spec.length()),
+            pc: CODE_BASE,
+            regs: [0; 65],
+            call_stack: Vec::new(),
+            data_base: 0x10_0000_0000,
+            data_mask,
+            functions,
+            nests,
+            nest_index: 0,
+            visit_left: 0,
+            loop_head: 0,
+            loop_counter: 0,
+            slot: 0,
+            picked: 0,
+            template_base: 0,
+        }
+    }
+
+    pub(crate) fn generate(mut self) -> Vec<CvpInstruction> {
+        // Prologue: give the working registers defined values. Lives in
+        // its own code page so it cannot alias the loop nests.
+        self.pc = CODE_BASE - 0x1000;
+        for r in 0..28u8 {
+            self.emit_alu_imm(r, self.data_base + u64::from(r) * 1024);
+        }
+        while self.out.len() < self.spec.length() {
+            self.emit_group();
+        }
+        self.out.truncate(self.spec.length());
+        self.out
+    }
+
+    // ------------------------------------------------------------------
+    // Template hashing: structural randomness that is stable per nest.
+    // ------------------------------------------------------------------
+
+    /// A hash in `0..1` that depends only on (spec seed, template base,
+    /// slot) — the same on every iteration of the nest and on every call
+    /// of the same function.
+    fn template(&mut self) -> f64 {
+        self.slot += 1;
+        let h = mix(
+            self.template_base
+                ^ self.spec.seed().rotate_left(31)
+                ^ self.slot.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Structural coin flip, stable per nest.
+    fn troll(&mut self, fraction: f64) -> bool {
+        self.template() < fraction
+    }
+
+    /// Structural choice in `0..n`, stable per nest.
+    fn tchoice(&mut self, n: usize) -> usize {
+        (self.template() * n as f64) as usize % n.max(1)
+    }
+
+    /// A template-stable scratch destination register for this slot,
+    /// distinct from every other pick in the same group.
+    fn pick(&mut self) -> Reg {
+        let mut idx = self.tchoice(SCRATCH.len());
+        for _ in 0..SCRATCH.len() {
+            if self.picked & (1 << idx) == 0 {
+                self.picked |= 1 << idx;
+                return SCRATCH[idx];
+            }
+            idx = (idx + 1) % SCRATCH.len();
+        }
+        SCRATCH[idx]
+    }
+
+    // ------------------------------------------------------------------
+    // Emission helpers: each updates the register model and the PC.
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, insn: CvpInstruction) {
+        for (&d, &v) in insn.destinations().iter().zip(insn.output_values()) {
+            self.regs[d as usize] = v.lo;
+        }
+        self.out.push(insn);
+    }
+
+    /// `mov rd, #imm`-ish: ALU writing a chosen value.
+    fn emit_alu_imm(&mut self, dst: Reg, value: u64) {
+        let insn = CvpInstruction::alu(self.pc).with_destination(dst, value);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// `add rd, ra, rb`: value derived from the source registers.
+    fn emit_alu(&mut self, dst: Reg, a: Reg, b: Reg) {
+        let value = self.regs[a as usize]
+            .wrapping_add(self.regs[b as usize])
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            | 1;
+        let insn = CvpInstruction::alu(self.pc).with_sources(&[a, b]).with_destination(dst, value);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// `cmp ra, rb`: flag-setting ALU with no destination (the `flag-reg`
+    /// target).
+    fn emit_cmp(&mut self, a: Reg, b: Reg) {
+        let insn = CvpInstruction::alu(self.pc).with_sources(&[a, b]);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A plain load: `ldr rd, [base, #off]`.
+    fn emit_load(&mut self, dst: Reg, base: Reg, offset: u64, size: u8) {
+        let ea = self.clamp_data(self.regs[base as usize].wrapping_add(offset));
+        let value = memory_value(ea, self.spec.seed() ^ DATA_SEED_SALT);
+        let insn = CvpInstruction::load(self.pc, ea, size)
+            .with_sources(&[base])
+            .with_destination(dst, value);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A destination-less prefetch load (`prfm`).
+    fn emit_prefetch_load(&mut self, base: Reg) {
+        let ea = self.clamp_data(self.regs[base as usize].wrapping_add(256));
+        let insn = CvpInstruction::load(self.pc, ea, 8).with_sources(&[base]);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A base-updating load, pre- or post-indexing, with `imm` step.
+    ///
+    /// Base-update code walks *recently touched* memory (stack frames,
+    /// buffers being consumed), so the walk wraps within a small,
+    /// cache-resident ring. This matters for fidelity: the address chain
+    /// through the base register is loop-carried, so any per-link miss
+    /// latency accumulates over every iteration — real traces keep these
+    /// links at L1 latency, which is why the paper's `base-update` and
+    /// `mem-regs` effects are a few percent, not integer factors.
+    fn emit_load_base_update(&mut self, dst: Reg, base: Reg, imm: i64, pre: bool) {
+        const BU_RING_MASK: u64 = 2 * 1024 - 1;
+        let old = self.regs[base as usize];
+        let new_base = self.data_base + (old.wrapping_add(imm as u64) & BU_RING_MASK);
+        let ea = if pre { new_base } else { old };
+        let value = memory_value(ea, self.spec.seed() ^ DATA_SEED_SALT);
+        let insn = CvpInstruction::load(self.pc, ea, 8)
+            .with_sources(&[base])
+            .with_destination(dst, value)
+            .with_destination(base, new_base);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A load pair: `ldp r1, r2, [base]`, optionally crossing a line.
+    /// Pairs are naturally 16-byte aligned (as compilers emit them), so
+    /// only the explicit `cross` flag produces a line-crossing access.
+    fn emit_load_pair(&mut self, d1: Reg, d2: Reg, base: Reg, cross: bool) {
+        let mut ea = self.clamp_data(self.regs[base as usize]);
+        ea &= !15;
+        if cross {
+            ea = (ea & !63) + 56; // 16 bytes starting at offset 56 cross
+        }
+        let v1 = memory_value(ea, self.spec.seed() ^ DATA_SEED_SALT);
+        let v2 = memory_value(ea + 8, self.spec.seed() ^ DATA_SEED_SALT);
+        let insn = CvpInstruction::load(self.pc, ea, 8)
+            .with_sources(&[base])
+            .with_destination(d1, v1)
+            .with_destination(d2, v2);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A vector load writing a 128-bit register.
+    fn emit_vector_load(&mut self, dst: Reg, base: Reg) {
+        debug_assert!((32..64).contains(&dst));
+        let ea = self.clamp_data(self.regs[base as usize]) & !15;
+        let lo = memory_value(ea, self.spec.seed() ^ DATA_SEED_SALT);
+        let hi = memory_value(ea + 8, self.spec.seed() ^ DATA_SEED_SALT);
+        let insn = CvpInstruction::load(self.pc, ea, 16)
+            .with_sources(&[base])
+            .with_destination(dst, OutputValue::vector(lo, hi));
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A plain store: `str rs, [base]`.
+    fn emit_store(&mut self, src: Reg, base: Reg, size: u8) {
+        let ea = self.clamp_data(self.regs[base as usize]);
+        let insn = CvpInstruction::store(self.pc, ea, size).with_sources(&[src, base]);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A `DC ZVA`-shaped 64-byte store.
+    fn emit_zva(&mut self, base: Reg) {
+        let ea = self.clamp_data(self.regs[base as usize]);
+        let insn = CvpInstruction::store(self.pc, ea, 64).with_sources(&[base]);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A floating-point operation, possibly flag-setting (`fcmp`).
+    fn emit_fp(&mut self, dst: Option<Reg>, a: Reg, b: Reg) {
+        let mut insn = CvpInstruction::fp(self.pc).with_sources(&[a, b]);
+        if let Some(d) = dst {
+            let v = OutputValue::vector(
+                self.regs[a as usize].wrapping_add(self.regs[b as usize]),
+                self.regs[a as usize] ^ self.regs[b as usize],
+            );
+            insn = insn.with_destination(d, v);
+        }
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    /// A forward conditional branch over two filler instructions. Both
+    /// paths rejoin at `pc + 12`, so the surrounding code stays PC-stable
+    /// whatever the outcome. `reads_reg` selects cbz-style encoding.
+    fn emit_cond_skip(&mut self, taken: bool, reads_reg: Option<Reg>) {
+        let target = self.pc + 12;
+        let mut insn = CvpInstruction::cond_branch(self.pc, taken, target);
+        if let Some(r) = reads_reg {
+            insn = insn.with_sources(&[r]);
+        }
+        self.pc += 4;
+        self.push(insn);
+        if !taken {
+            // The not-taken path executes the two filler instructions.
+            self.emit_alu(6, 6, 7);
+            self.emit_alu(7, 7, 6);
+        } else {
+            self.pc = target;
+        }
+    }
+
+    /// The backward branch closing a loop iteration.
+    fn emit_loop_branch(&mut self, taken: bool, target: u64) {
+        let insn = CvpInstruction::cond_branch(self.pc, taken, target);
+        self.pc = if taken { target } else { self.pc + 4 };
+        self.push(insn);
+    }
+
+    /// `bl target`: direct call writing X30.
+    fn emit_direct_call(&mut self, target: u64) {
+        let ra = self.pc + 4;
+        let insn = CvpInstruction::direct_branch(self.pc, target).with_destination(LINK_REG, ra);
+        self.call_stack.push(ra);
+        self.pc = target;
+        self.push(insn);
+    }
+
+    /// `blr x30`: the indirect call the original converter misclassifies
+    /// (§3.2.1). Jumps to the address in X30 and overwrites X30 with the
+    /// return address.
+    fn emit_blr_x30(&mut self, target: u64) {
+        // Sequence: mov x30, target ; blr x30
+        self.emit_alu_imm(LINK_REG, target);
+        let ra = self.pc + 4;
+        let insn = CvpInstruction::indirect_branch(self.pc, target)
+            .with_sources(&[LINK_REG])
+            .with_destination(LINK_REG, ra);
+        self.call_stack.push(ra);
+        self.pc = target;
+        self.push(insn);
+    }
+
+    /// `blr rn`: an ordinary indirect call through a non-X30 register.
+    fn emit_blr(&mut self, reg: Reg, target: u64) {
+        self.emit_alu_imm(reg, target);
+        let ra = self.pc + 4;
+        let insn = CvpInstruction::indirect_branch(self.pc, target)
+            .with_sources(&[reg])
+            .with_destination(LINK_REG, ra);
+        self.call_stack.push(ra);
+        self.pc = target;
+        self.push(insn);
+    }
+
+    /// `ret`: returns to the address on the generator's call stack (which
+    /// X30 holds, by construction).
+    fn emit_ret(&mut self) {
+        let ra = self.call_stack.pop().unwrap_or(CODE_BASE);
+        let insn = CvpInstruction::indirect_branch(self.pc, ra).with_sources(&[LINK_REG]);
+        self.pc = ra;
+        self.push(insn);
+    }
+
+    fn clamp_data(&self, address: u64) -> u64 {
+        self.data_base + (address & self.data_mask)
+    }
+
+    // ------------------------------------------------------------------
+    // Group emission: one iteration of the current loop nest.
+    // ------------------------------------------------------------------
+
+    fn emit_group(&mut self) {
+        if self.visit_left == 0 {
+            // Move to the next nest in a template-random but repeating
+            // tour, so revisits find warm predictor state.
+            self.nest_index = (self.nest_index
+                + 1
+                + (mix(self.loop_counter / 8 ^ self.spec.seed()) % 3) as usize)
+                % self.nests.len();
+            let new_head = self.nests[self.nest_index];
+            let jump = CvpInstruction::direct_branch(self.pc, new_head);
+            self.pc = new_head;
+            self.push(jump);
+            self.loop_head = new_head;
+            // Visit length is nest-stable (a loop's trip count is a
+            // property of the loop), long enough for predictors to earn
+            // their keep.
+            self.template_base = new_head;
+            self.slot = u64::MAX / 2; // separate namespace for visit length
+            self.visit_left = match self.spec.kind() {
+                // Servers hop between nests quickly (one request, a few
+                // iterations), cycling an instruction working set far
+                // beyond the L1I.
+                WorkloadKind::Server => {
+                    // Bigger code bases hop between requests faster, so
+                    // the L1I miss rate grows with the footprint.
+                    let base = (2048 / self.spec.code_functions.max(64)) as u64;
+                    2 + base.min(24) + (self.template() * 8.0) as u64
+                }
+                _ => 96 + (self.template() * 256.0) as u64,
+            };
+        }
+        // Reset the template slot counter and the pick set: the same
+        // nest replays the same structural choices every iteration.
+        self.slot = 0;
+        self.picked = 0;
+        self.template_base = self.loop_head;
+        match self.spec.kind() {
+            WorkloadKind::PointerChase => self.group_pointer_chase(),
+            WorkloadKind::Streaming => self.group_streaming(),
+            WorkloadKind::Crypto => self.group_crypto(),
+            WorkloadKind::BranchyInt => self.group_branchy(),
+            WorkloadKind::Server => self.group_server(),
+            WorkloadKind::FpKernel => self.group_fp(),
+        }
+        self.loop_counter += 1;
+        self.visit_left -= 1;
+        // Shared loop structure: a predictable backward branch closing
+        // each iteration; the final trip falls through and the next
+        // group jumps onward.
+        self.emit_loop_branch(self.visit_left != 0, self.loop_head);
+    }
+
+    /// A load whose flavour is steered by the spec's knobs. The flavour
+    /// is template-stable (same instruction at the same PC every
+    /// iteration); addresses and strides vary dynamically.
+    fn emit_spec_load(&mut self, dst: Reg, base: Reg) {
+        if self.troll(self.spec.prefetch_load_fraction) {
+            self.emit_prefetch_load(base);
+        } else if self.troll(self.spec.base_update_fraction) {
+            // The stride is a property of the instruction (imm9), so it
+            // is template-stable: base-update code walks memory
+            // sequentially, hitting caches most of the time. What the
+            // original conversion serializes — and the `base-update`
+            // improvement recovers — is the few-cycle address chain per
+            // link, plus the full miss latency on the links that do miss
+            // (Figure 4's mechanism).
+            let stride = 8 * (1 + self.tchoice(4) as i64);
+            let pre = self.troll(0.5);
+            self.emit_load_base_update(dst, base, stride, pre);
+        } else if self.troll(self.spec.load_pair_fraction) {
+            let cross = self.troll(self.spec.crossing_fraction * 2.0);
+            let mut second = self.pick();
+            if second == dst {
+                second = if dst == SCRATCH[0] { SCRATCH[1] } else { SCRATCH[0] };
+            }
+            self.emit_load_pair(dst, second, base, cross);
+        } else {
+            let offset = if self.troll(self.spec.crossing_fraction) {
+                60 // 8 bytes at line offset 60 cross into the next line
+            } else {
+                8 * (self.tchoice(8) as u64) // fixed per PC: stride-friendly
+            };
+            self.emit_load(dst, base, offset, 8);
+        }
+    }
+
+    /// A conditional branch whose difficulty is steered by the knobs.
+    /// Hard branches test a recently loaded (random) value; easy ones
+    /// follow a short loop pattern. Whether this *static* branch is hard
+    /// is template-stable.
+    fn emit_spec_branch(&mut self, data_reg: Reg) {
+        let hard = self.troll(self.spec.hard_branch_fraction);
+        let taken = if hard {
+            self.regs[data_reg as usize] & 1 == 1
+        } else if self.spec.kind() == WorkloadKind::Server {
+            // Server body branches are overwhelmingly biased (error
+            // paths); visits are short, so a tighter pattern would stay
+            // mispredicted.
+            self.loop_counter % 64 != 63
+        } else {
+            self.loop_counter % 16 != 15
+        };
+        if self.troll(self.spec.register_branch_fraction) {
+            // cbz/cbnz: reads the tested register directly.
+            self.emit_cond_skip(taken, Some(data_reg));
+        } else {
+            // cmp + b.cond: the compare sets (implicit) flags.
+            self.emit_cmp(data_reg, (data_reg % 30) + 1);
+            self.emit_cond_skip(taken, None);
+        }
+    }
+
+    /// `add rd, rs, …` whose result is a valid data pointer derived from
+    /// `rs` — the "follow the loaded pointer" step of a chase.
+    fn emit_pointer_from(&mut self, dst: Reg, src: Reg) {
+        let value = self.clamp_data(memory_value(self.regs[src as usize], 0xf00d));
+        let insn =
+            CvpInstruction::alu(self.pc).with_sources(&[src]).with_destination(dst, value);
+        self.pc += 4;
+        self.push(insn);
+    }
+
+    fn group_pointer_chase(&mut self) {
+        // Walk a large buffer with base updates; dependents consume the
+        // base register quickly (address arithmetic), while the loaded
+        // data feeds an occasional branch. Every iteration re-derives
+        // the sibling pointer BASE_B from loaded data, defeating stride
+        // prefetching on its stream.
+        // The structured walk (base updates, mostly cache-resident).
+        let d1 = self.pick();
+        self.emit_spec_load(d1, BASE_A);
+        let d2 = self.pick();
+        self.emit_alu(d2, BASE_A, d1);
+        // The true pointer chase: a plain load at a data-derived address
+        // (miss-heavy under every conversion). In serial nests the next
+        // pointer comes from the missing load itself (`node =
+        // node->next`); otherwise from the resident walk's data, so the
+        // misses overlap.
+        if self.troll(self.spec.serial_chase_fraction) {
+            self.emit_pointer_from(BASE_B, MISS_A);
+        } else {
+            self.emit_pointer_from(BASE_B, d1);
+        }
+        self.emit_load(MISS_A, BASE_B, 0, 8);
+        let d4 = self.pick();
+        self.emit_alu(d4, BASE_B, MISS_A);
+        if self.troll(0.5) {
+            self.emit_spec_branch(d1);
+        }
+        if self.troll(0.2) {
+            self.emit_store(d2, BASE_A, 8);
+        }
+    }
+
+    fn group_streaming(&mut self) {
+        // March BASE_B through the buffer with a nest-stable stride so
+        // the L1D stride prefetcher has something to learn.
+        let step = 64 + 32 * self.tchoice(4) as u64;
+        let next = self.clamp_data(self.regs[BASE_B as usize].wrapping_add(step));
+        self.emit_alu_imm(BASE_B, next);
+        let d1 = self.pick();
+        self.emit_spec_load(d1, BASE_B);
+        let d2 = self.pick();
+        self.emit_alu(d2, d1, BASE_B);
+        if self.troll(0.35) {
+            self.emit_store(d2, BASE_B, 8);
+        }
+        if self.troll(0.06) {
+            self.emit_zva(BASE_B);
+        }
+        if self.troll(0.25) {
+            self.emit_spec_branch(d1);
+        }
+    }
+
+    fn group_crypto(&mut self) {
+        // Two independent rounds of ALU with flag-setting compares; tiny
+        // data footprint keeps memory quiet.
+        for i in 0..3u8 {
+            self.emit_alu(8 + (i % 3), 8 + ((i + 1) % 3), 8 + ((i + 2) % 3));
+            self.emit_alu(14 + (i % 3), 14 + ((i + 1) % 3), 14 + ((i + 2) % 3));
+        }
+        self.emit_cmp(8, 14);
+        if self.troll(0.5) {
+            let d = self.pick();
+            self.emit_spec_load(d, BASE_A);
+        }
+        if self.troll(0.35) {
+            self.emit_store(9, BASE_A, 8);
+        }
+        if self.troll(0.3) {
+            self.emit_spec_branch(8);
+        }
+    }
+
+    fn group_branchy(&mut self) {
+        // Loads feed hard branches: the flag-reg / branch-regs stress.
+        // ALU work between memory accesses (real integer code is not
+        // wall-to-wall loads).
+        let f1 = self.pick();
+        self.emit_alu(f1, BASE_A, 1);
+        for k in 0..(2 + self.tchoice(6) as u8) {
+            self.emit_alu(f1, f1, 1 + k % 8);
+        }
+        let hop = self.rng.gen::<u64>() & self.data_mask;
+        let next = self.clamp_data(self.regs[BASE_A as usize].wrapping_add(hop));
+        self.emit_alu_imm(BASE_A, next);
+        // The hop load is plain: random addresses, miss-heavy, feeding a
+        // hard branch — the flag-reg / branch-regs stress.
+        self.emit_load(MISS_B, BASE_A, 0, 8);
+        self.emit_spec_branch(MISS_B);
+        let d2 = self.pick();
+        self.emit_alu(d2, MISS_B, BASE_A);
+        if self.troll(0.5) {
+            // A structured secondary walk carries the spec-load flavours.
+            let d3 = self.pick();
+            self.emit_spec_load(d3, BASE_B);
+            self.emit_spec_branch(d3);
+        }
+    }
+
+    /// Emits a short function body at the callee's address. The body's
+    /// shape is keyed by the function address, so every caller of the
+    /// same function executes the same instructions.
+    fn emit_function_body(&mut self, function: u64) {
+        let (outer_base, outer_slot, outer_picked) =
+            (self.template_base, self.slot, self.picked);
+        self.template_base = function;
+        self.slot = 0;
+        // The function has its own register allocation: its picks are a
+        // property of the function, not of the calling nest.
+        self.picked = 0;
+        let d1 = self.pick();
+        self.emit_alu(d1, BASE_A, 1);
+        let d2 = self.pick();
+        self.emit_spec_load(d2, BASE_A);
+        let d3 = self.pick();
+        self.emit_alu(d3, d2, d1);
+        // Body length is a property of the function: longer bodies give
+        // large-footprint servers their L1I pressure and amortize the
+        // loop-exit mispredictions of short nest visits.
+        for k in 0..(8 + self.tchoice(20) as u8) {
+            self.emit_alu(d3, d3, d1.max(1 + k % 8));
+        }
+        if self.troll(0.4) {
+            // Callee-save spill: a destination-less store, as prologues
+            // emit (a large share of real traces' no-destination memory
+            // instructions).
+            self.emit_store(d1, BASE_A, 8);
+        }
+        if self.troll(0.4) {
+            self.emit_spec_branch(d2);
+        }
+        self.emit_ret();
+        self.template_base = outer_base;
+        self.slot = outer_slot;
+        self.picked = outer_picked;
+    }
+
+    fn group_server(&mut self) {
+        // Call a function (touching a big instruction footprint), run
+        // its body, return. Call sites and their usual callees are
+        // nest-stable; an occasional dynamic wobble models
+        // input-dependent dispatch. Some call sites go through X30 (the
+        // §3.2.1 bug).
+        // Each call site either calls one fixed function directly (a
+        // direct call's target is a property of the instruction) or
+        // dispatches indirectly over a small, nest-stable callee set
+        // (virtual dispatch over request types) — which is what touches
+        // a large instruction footprint quickly.
+        let base_choice = self.tchoice(self.functions.len());
+        let fanout = 2 + self.tchoice(14) as usize;
+        let x30_site = self.troll(self.spec.x30_call_fraction);
+        let blr_site = self.troll(0.25);
+        let target = if (x30_site || blr_site) && self.loop_counter % 16 == 9 {
+            // Input-dependent dispatch: occasionally the function pointer
+            // changes (and the indirect predictor mispredicts once).
+            let f = (base_choice + self.loop_counter as usize % fanout) % self.functions.len();
+            self.functions[f]
+        } else {
+            self.functions[base_choice]
+        };
+        if x30_site {
+            self.emit_blr_x30(target);
+        } else if blr_site {
+            self.emit_blr(9, target);
+        } else {
+            self.emit_direct_call(target);
+        }
+        self.emit_function_body(target);
+        // A second call from the same nest half the time.
+        if self.troll(0.5) {
+            let idx = self.tchoice(self.functions.len());
+            let g = self.functions[idx];
+            self.emit_direct_call(g);
+            self.emit_function_body(g);
+            let d = self.pick();
+            self.emit_alu(d, BASE_A, 1);
+        }
+        // Session data: a streaming read over a moderate working set
+        // (misses the L1D, lives in L2/LLC).
+        if self.troll(0.6) {
+            let step = 192 + 64 * self.tchoice(3) as u64;
+            let next = self.clamp_data(self.regs[BASE_B as usize].wrapping_add(step));
+            self.emit_alu_imm(BASE_B, next);
+            let d = self.pick();
+            self.emit_load(d, BASE_B, 0, 8);
+        }
+        // Servers with very large data footprints (the memory-bound
+        // cluster of Table 2) additionally chase cold session state.
+        if self.spec.data_footprint_log2 >= 26 {
+            self.emit_pointer_from(BASE_B, MISS_B);
+            self.emit_load(MISS_B, BASE_B, 0, 8);
+        }
+    }
+
+    fn group_fp(&mut self) {
+        self.emit_vector_load(33, BASE_B);
+        self.emit_fp(Some(34), 33, 33);
+        self.emit_fp(Some(35), 34, 33);
+        self.emit_fp(None, 34, 35); // fcmp: flag-setting FP
+        let step = 16 * (1 + self.tchoice(3) as u64);
+        let next = self.clamp_data(self.regs[BASE_B as usize].wrapping_add(step));
+        self.emit_alu_imm(BASE_B, next);
+        if self.troll(0.4) {
+            self.emit_store(8, BASE_B, 8);
+        }
+        if self.troll(0.25) {
+            self.emit_spec_branch(8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvp_trace::{CvpClass, CvpTraceStats, RegisterFile};
+
+    fn stats_of(kind: WorkloadKind, seed: u64) -> (Vec<CvpInstruction>, CvpTraceStats) {
+        let spec = TraceSpec::new("t", kind, seed).with_length(20_000);
+        let trace = spec.generate();
+        let mut stats = CvpTraceStats::new();
+        for i in &trace {
+            stats.record(i);
+        }
+        (trace, stats)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TraceSpec::new("t", WorkloadKind::Server, 99).with_length(5_000);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceSpec::new("t", WorkloadKind::Crypto, 1).with_length(2_000).generate();
+        let b = TraceSpec::new("t", WorkloadKind::Crypto, 2).with_length(2_000).generate();
+        assert_ne!(a, b);
+    }
+
+    /// Register values recorded in the trace must be consistent: replay
+    /// through a register file and check every base-update load's
+    /// effective address against the old or new base value.
+    #[test]
+    fn register_values_are_self_consistent() {
+        let spec = TraceSpec::new("t", WorkloadKind::PointerChase, 3)
+            .with_length(20_000)
+            .with_base_update_fraction(0.8);
+        let trace = spec.generate();
+        let mut rf = RegisterFile::new();
+        let mut checked = 0;
+        for insn in &trace {
+            if insn.class == CvpClass::Load {
+                for &s in insn.sources() {
+                    if insn.writes(s) {
+                        if let (Some(old), Some(new)) = (rf.value(s), insn.value_of(s)) {
+                            let pre = new.lo == insn.mem_address;
+                            let post = old.lo == insn.mem_address;
+                            assert!(
+                                pre || post,
+                                "base-update EA must match old or new base: {insn}"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+            rf.apply(insn);
+        }
+        assert!(checked > 100, "expected many base updates, got {checked}");
+    }
+
+    /// Taken branches must jump exactly where the next instruction is;
+    /// fall-through must be sequential.
+    #[test]
+    fn control_flow_is_coherent() {
+        for kind in [
+            WorkloadKind::PointerChase,
+            WorkloadKind::Streaming,
+            WorkloadKind::Crypto,
+            WorkloadKind::BranchyInt,
+            WorkloadKind::Server,
+            WorkloadKind::FpKernel,
+        ] {
+            let (trace, _) = stats_of(kind, 11);
+            for w in trace.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                if a.is_branch() && a.taken {
+                    assert_eq!(b.pc, a.target, "{kind}: taken branch target mismatch: {a}");
+                } else {
+                    assert_eq!(b.pc, a.pc + 4, "{kind}: fall-through mismatch: {a}");
+                }
+            }
+        }
+    }
+
+    /// The generated code must be PC-stable: at any given PC, the
+    /// instruction class and operand shape never change across the trace
+    /// (real programs do not morph their text).
+    #[test]
+    fn code_layout_is_pc_stable() {
+        use std::collections::HashMap;
+        for kind in [WorkloadKind::Server, WorkloadKind::BranchyInt, WorkloadKind::Crypto] {
+            let (trace, _) = stats_of(kind, 17);
+            let mut seen: HashMap<u64, (CvpClass, Vec<u8>, Vec<u8>)> = HashMap::new();
+            for insn in &trace {
+                let shape =
+                    (insn.class, insn.sources().to_vec(), insn.destinations().to_vec());
+                match seen.get(&insn.pc) {
+                    None => {
+                        seen.insert(insn.pc, shape);
+                    }
+                    Some(prev) => assert_eq!(
+                        prev, &shape,
+                        "{kind}: instruction at {:#x} changed shape",
+                        insn.pc
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_have_their_signature_mix() {
+        let (_, chase) = stats_of(WorkloadKind::PointerChase, 5);
+        assert!(chase.fraction(CvpClass::Load) > 0.2);
+
+        let (_, crypto) = stats_of(WorkloadKind::Crypto, 5);
+        assert!(crypto.fraction(CvpClass::Alu) > 0.5);
+        assert!(crypto.alu_fp_no_dest() > 500, "crypto needs flag-setting compares");
+
+        let (_, branchy) = stats_of(WorkloadKind::BranchyInt, 5);
+        assert!(branchy.fraction(CvpClass::CondBranch) > 0.1);
+
+        let (_, server) = stats_of(WorkloadKind::Server, 5);
+        assert!(
+            server.count(CvpClass::UncondDirectBranch)
+                + server.count(CvpClass::UncondIndirectBranch)
+                > 1000,
+            "server needs calls/returns"
+        );
+
+        let (_, fp) = stats_of(WorkloadKind::FpKernel, 5);
+        assert!(fp.fraction(CvpClass::Fp) > 0.2);
+    }
+
+    #[test]
+    fn x30_fraction_produces_read_write_branches() {
+        let spec = TraceSpec::new("t", WorkloadKind::Server, 8)
+            .with_length(20_000)
+            .with_x30_call_fraction(0.8);
+        let trace = spec.generate();
+        let blr_x30 = trace
+            .iter()
+            .filter(|i| {
+                i.class == CvpClass::UncondIndirectBranch
+                    && i.reads(LINK_REG)
+                    && i.writes(LINK_REG)
+            })
+            .count();
+        assert!(blr_x30 > 100, "expected many blr x30: {blr_x30}");
+
+        let none = TraceSpec::new("t", WorkloadKind::Server, 8)
+            .with_length(20_000)
+            .with_x30_call_fraction(0.0)
+            .generate();
+        let zero = none
+            .iter()
+            .filter(|i| i.is_branch() && i.reads(LINK_REG) && i.writes(LINK_REG))
+            .count();
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn requested_length_is_exact() {
+        for n in [1usize, 100, 12_345] {
+            let t = TraceSpec::new("t", WorkloadKind::Streaming, 1).with_length(n).generate();
+            assert_eq!(t.len(), n);
+        }
+    }
+}

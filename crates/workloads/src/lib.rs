@@ -1,0 +1,40 @@
+//! Synthetic CVP-1 trace generators and the two experiment suites.
+//!
+//! The paper evaluates on Qualcomm's CVP-1 industry traces (135 public +
+//! the 50 secret traces used by IPC-1), which are anonymized, ~500GB, and
+//! not redistributable here. This crate substitutes **deterministic
+//! synthetic generators** that emit true CVP-1-format instruction
+//! streams — register values included, so the converter's value-tracking
+//! heuristics run unmodified — with per-trace knobs for exactly the
+//! properties the paper's improvements key on:
+//!
+//! * the fraction of loads using pre/post-indexing base updates
+//!   (`base-update`, Figure 4),
+//! * flag-setting ALU/FP density and data-dependent branches
+//!   (`flag-reg` / `branch-regs`, Figures 1–3),
+//! * indirect calls through X30 (`call-stack`, Figure 5),
+//! * load pairs, cacheline-crossing accesses and `DC ZVA` stores
+//!   (`mem-regs` / `mem-footprint`),
+//! * instruction footprint and memory footprint (Table 2's MPKI spread).
+//!
+//! [`cvp1_public_suite`] models the 135 public traces;
+//! [`ipc1_suite`] models the 50 IPC-1 traces with the names of Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{TraceSpec, WorkloadKind};
+//!
+//! let spec = TraceSpec::new("demo", WorkloadKind::Server, 7).with_length(10_000);
+//! let trace = spec.generate();
+//! assert_eq!(trace.len(), 10_000);
+//! // Deterministic: the same spec generates the same trace.
+//! assert_eq!(spec.generate(), trace);
+//! ```
+
+mod gen;
+mod spec;
+mod suites;
+
+pub use spec::{TraceSpec, WorkloadKind};
+pub use suites::{cvp1_public_suite, ipc1_suite, CVP1_PUBLIC_COUNT, IPC1_COUNT};

@@ -1,0 +1,273 @@
+use crate::spec::{TraceSpec, WorkloadKind};
+
+/// Number of traces in the synthetic CVP-1 public suite (as in the real
+/// public release).
+pub const CVP1_PUBLIC_COUNT: usize = 135;
+
+/// Number of traces in the synthetic IPC-1 suite (as in the contest).
+pub const IPC1_COUNT: usize = 50;
+
+/// Deterministic per-index jitter in `0..1`.
+fn jitter(seed: u64, salt: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt.rotate_left(23);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 32;
+    (x & 0xffff_ffff) as f64 / u32::MAX as f64
+}
+
+/// The synthetic stand-in for the 135 CVP-1 public traces.
+///
+/// Matches the real release's category mix (compute INT/FP, crypto,
+/// server) and spreads the improvement-sensitive knobs across each
+/// category so the per-trace distributions of Figures 2–5 have the same
+/// qualitative spread: a subset of server traces carries `blr x30`
+/// calls (the paper names `srv_3` and `srv_62` as affected), base-update
+/// intensity varies trace to trace, and branch difficulty spans easy to
+/// hostile.
+///
+/// Each spec defaults to 100k instructions; scale with
+/// [`TraceSpec::with_length`] before generating.
+pub fn cvp1_public_suite() -> Vec<TraceSpec> {
+    let mut specs = Vec::with_capacity(CVP1_PUBLIC_COUNT);
+
+    // 30 compute INT traces: a blend of pointer chasing and branchy code.
+    for i in 0..30u64 {
+        let kind = if i % 2 == 0 { WorkloadKind::BranchyInt } else { WorkloadKind::PointerChase };
+        let spec = TraceSpec::new(format!("compute_int_{i}"), kind, 0x1000 + i)
+            .with_hard_branch_fraction(0.02 + 0.1 * jitter(i, 1))
+            .with_base_update_fraction(0.05 + 0.55 * jitter(i, 2))
+            .with_data_footprint_log2(match kind {
+                WorkloadKind::BranchyInt => 16 + (jitter(i, 3) * 3.0) as u8,
+                _ => 20 + (jitter(i, 3) * 7.0) as u8,
+            });
+        specs.push(spec);
+    }
+
+    // 22 compute FP traces.
+    for i in 0..22u64 {
+        let kind = if i % 3 == 0 { WorkloadKind::Streaming } else { WorkloadKind::FpKernel };
+        let spec = TraceSpec::new(format!("compute_fp_{i}"), kind, 0x2000 + i)
+            .with_hard_branch_fraction(0.005 + 0.03 * jitter(i, 4))
+            .with_base_update_fraction(0.05 + 0.35 * jitter(i, 5))
+            .with_data_footprint_log2(19 + (jitter(i, 6) * 8.0) as u8);
+        specs.push(spec);
+    }
+
+    // 13 crypto traces.
+    for i in 0..13u64 {
+        let spec = TraceSpec::new(format!("crypto_{i}"), WorkloadKind::Crypto, 0x3000 + i)
+            .with_hard_branch_fraction(0.003 + 0.02 * jitter(i, 7))
+            .with_base_update_fraction(0.1 + 0.3 * jitter(i, 8));
+        specs.push(spec);
+    }
+
+    // 70 server traces; roughly one in five has X30 indirect calls.
+    for i in 0..70u64 {
+        let x30 = if i % 5 == 3 { 0.08 + 0.15 * jitter(i, 9) } else { 0.0 };
+        let spec = TraceSpec::new(format!("srv_{i}"), WorkloadKind::Server, 0x4000 + i)
+            .with_x30_call_fraction(x30)
+            .with_hard_branch_fraction(0.01 + 0.1 * jitter(i, 10))
+            .with_base_update_fraction(0.05 + 0.4 * jitter(i, 11))
+            .with_code_functions(64 + (jitter(i, 12) * 1500.0) as usize)
+            .with_data_footprint_log2(20 + (jitter(i, 13) * 7.0) as u8);
+        specs.push(spec);
+    }
+
+    debug_assert_eq!(specs.len(), CVP1_PUBLIC_COUNT);
+    specs
+}
+
+/// The synthetic stand-in for the 50 IPC-1 traces, named as in the
+/// paper's Table 2.
+///
+/// The knob assignments follow the table's qualitative profile: client
+/// traces are moderately branchy with mid-sized footprints; server
+/// traces have very large instruction footprints (the table's L1I MPKI
+/// column grows from 17 to 122 down the list, which we mirror by
+/// scaling the function count with the trace index), with a
+/// memory-bound cluster (`server_017`–`server_022`) and `server_001`
+/// carrying the X30 calls whose return MPKI the improved converter
+/// collapses by 78%; the SPEC-derived traces match their table rows
+/// (branchy gcc/gobmk, memory-crushed gcc_002/003).
+pub fn ipc1_suite() -> Vec<TraceSpec> {
+    let mut specs = Vec::with_capacity(IPC1_COUNT);
+
+    for i in 1..=8u64 {
+        // Clients are interactive applications: call-heavy with moderate
+        // instruction and data footprints (Table 2: L1I 10–35, IPC ~2–3).
+        let spec = TraceSpec::new(format!("client_{i:03}"), WorkloadKind::Server, 0x5000 + i)
+            .with_hard_branch_fraction(0.02 + 0.04 * jitter(i, 20))
+            .with_base_update_fraction(0.3 + 0.3 * jitter(i, 21))
+            .with_code_functions(100 + (jitter(i, 22) * 300.0) as usize)
+            .with_data_footprint_log2(20 + (jitter(i, 23) * 3.0) as u8);
+        specs.push(spec);
+    }
+
+    // The paper's table lists server_001..004 and 009..039.
+    let server_ids: Vec<u64> = (1..=4).chain(9..=39).collect();
+    for (rank, &i) in server_ids.iter().enumerate() {
+        // Instruction footprint grows down the table (L1I MPKI 17→122).
+        let functions = 200 + rank * 90;
+        // The memory-bound cluster of Table 2 (server_017..022).
+        let memory_bound = (17..=22).contains(&i);
+        let mut spec = TraceSpec::new(format!("server_{i:03}"), WorkloadKind::Server, 0x6000 + i)
+            .with_code_functions(functions)
+            .with_hard_branch_fraction(0.005 + 0.03 * jitter(i, 24))
+            .with_base_update_fraction(0.3 + 0.3 * jitter(i, 25))
+            .with_data_footprint_log2(if memory_bound { 28 } else { 21 });
+        if i == 1 {
+            // server_001: the 78% return-MPKI reduction example.
+            spec = spec.with_x30_call_fraction(0.3);
+        } else if i % 11 == 5 {
+            spec = spec.with_x30_call_fraction(0.15);
+        }
+        specs.push(spec);
+    }
+
+    for i in 1..=3u64 {
+        // gcc_001 is branchy; 002/003 are memory-crushed in the table
+        // (IPC 0.16–0.20, LLC MPKI 78–96): serial chases over a huge
+        // footprint.
+        let spec = if i == 1 {
+            TraceSpec::new("spec_gcc_001", WorkloadKind::BranchyInt, 0x7001)
+                .with_hard_branch_fraction(0.15)
+                .with_data_footprint_log2(18)
+                .with_base_update_fraction(0.2)
+        } else {
+            TraceSpec::new(format!("spec_gcc_{i:03}"), WorkloadKind::PointerChase, 0x7000 + i)
+                .with_serial_chase_fraction(0.5)
+                .with_data_footprint_log2(30)
+                .with_hard_branch_fraction(0.02)
+        };
+        specs.push(spec);
+    }
+    for i in 1..=2u64 {
+        let spec =
+            TraceSpec::new(format!("spec_gobmk_{i:03}"), WorkloadKind::BranchyInt, 0x8000 + i)
+                .with_hard_branch_fraction(0.15)
+                .with_data_footprint_log2(17);
+        specs.push(spec);
+    }
+    specs.push(
+        TraceSpec::new("spec_perlbench_001", WorkloadKind::Server, 0x9001)
+            .with_code_functions(128)
+            .with_hard_branch_fraction(0.06),
+    );
+    specs.push(
+        TraceSpec::new("spec_x264_001", WorkloadKind::Streaming, 0x9002)
+            .with_hard_branch_fraction(0.03)
+            .with_data_footprint_log2(20),
+    );
+
+    debug_assert_eq!(specs.len(), IPC1_COUNT);
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_suite_has_135_unique_names() {
+        let suite = cvp1_public_suite();
+        assert_eq!(suite.len(), CVP1_PUBLIC_COUNT);
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), CVP1_PUBLIC_COUNT);
+    }
+
+    #[test]
+    fn public_suite_covers_categories() {
+        let suite = cvp1_public_suite();
+        assert_eq!(suite.iter().filter(|s| s.name().starts_with("srv_")).count(), 70);
+        assert_eq!(suite.iter().filter(|s| s.name().starts_with("compute_int_")).count(), 30);
+        assert_eq!(suite.iter().filter(|s| s.name().starts_with("compute_fp_")).count(), 22);
+        assert_eq!(suite.iter().filter(|s| s.name().starts_with("crypto_")).count(), 13);
+    }
+
+    #[test]
+    fn some_but_not_all_server_traces_have_x30_calls() {
+        let suite = cvp1_public_suite();
+        let with_x30 = suite.iter().filter(|s| s.x30_call_fraction > 0.0).count();
+        assert!(with_x30 >= 10, "enough traces for Figure 5: {with_x30}");
+        assert!(with_x30 <= 20, "but only a subset: {with_x30}");
+    }
+
+    #[test]
+    fn ipc1_suite_matches_table2_names() {
+        let suite = ipc1_suite();
+        assert_eq!(suite.len(), IPC1_COUNT);
+        let names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"client_001"));
+        assert!(names.contains(&"server_001"));
+        assert!(names.contains(&"server_039"));
+        assert!(!names.contains(&"server_005"), "the table skips 005..008");
+        assert!(names.contains(&"spec_gcc_003"));
+        assert!(names.contains(&"spec_x264_001"));
+    }
+
+    #[test]
+    fn server_001_carries_the_x30_signature() {
+        let suite = ipc1_suite();
+        let s1 = suite.iter().find(|s| s.name() == "server_001").expect("server_001 exists");
+        assert!(s1.x30_call_fraction > 0.2);
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = cvp1_public_suite();
+        let b = cvp1_public_suite();
+        assert_eq!(a, b);
+        assert_eq!(ipc1_suite(), ipc1_suite());
+    }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+
+    /// Every spec of both suites generates a valid, coherent trace.
+    #[test]
+    fn all_suite_specs_generate_coherent_traces() {
+        for spec in cvp1_public_suite().into_iter().chain(ipc1_suite()) {
+            let trace = spec.clone().with_length(1_500).generate();
+            assert_eq!(trace.len(), 1_500, "{}", spec.name());
+            for w in trace.windows(2) {
+                if w[0].is_branch() && w[0].taken {
+                    assert_eq!(w[1].pc, w[0].target, "{}: bad branch target", spec.name());
+                } else {
+                    assert_eq!(w[1].pc, w[0].pc + 4, "{}: bad fall-through", spec.name());
+                }
+            }
+        }
+    }
+
+    /// Suite traces convert cleanly under every improvement set.
+    #[test]
+    fn all_suite_specs_survive_conversion_smoke() {
+        // A light sweep (every 9th spec) to keep the test fast; the full
+        // sweep runs implicitly in the experiments harness.
+        for spec in cvp1_public_suite().into_iter().step_by(9) {
+            let trace = spec.clone().with_length(1_000).generate();
+            let stats = {
+                let mut s = cvp_trace::CvpTraceStats::new();
+                for i in &trace {
+                    s.record(i);
+                }
+                s
+            };
+            assert!(stats.branches() > 0, "{}: traces need branches", spec.name());
+            // Crypto nests only sometimes carry loads, so the load check
+            // applies to the other categories.
+            if !spec.name().starts_with("crypto") {
+                assert!(
+                    stats.count(cvp_trace::CvpClass::Load) > 0,
+                    "{}: traces need loads",
+                    spec.name()
+                );
+            }
+        }
+    }
+}

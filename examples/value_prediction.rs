@@ -1,0 +1,83 @@
+//! Value prediction: the CVP-1 traces' original purpose, exercised.
+//!
+//! The paper repurposes the CVP-1 traces for timing studies, but the
+//! reason the traces carry output register values is *value prediction*
+//! research. This example replays a synthetic CVP-1 trace the way a
+//! CVP-1 contestant harness would — predict each instruction's produced
+//! value, then learn the actual one — and reports coverage and accuracy
+//! per instruction class for three classic predictors.
+//!
+//! ```text
+//! cargo run --release --example value_prediction
+//! ```
+
+use trace_rebase::bpred::vpred::{
+    HybridValuePredictor, LastValuePredictor, StrideValuePredictor, ValuePredictor,
+};
+use trace_rebase::cvp::CvpClass;
+use trace_rebase::workloads::{TraceSpec, WorkloadKind};
+
+#[derive(Default, Clone, Copy)]
+struct Score {
+    eligible: u64,
+    predicted: u64,
+    correct: u64,
+}
+
+fn main() {
+    let spec =
+        TraceSpec::new("vp-study", WorkloadKind::PointerChase, 31).with_length(200_000);
+    let trace = spec.generate();
+
+    let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
+        Box::new(LastValuePredictor::new(14, 3)),
+        Box::new(StrideValuePredictor::new(14, 3)),
+        Box::new(HybridValuePredictor::new(14)),
+    ];
+
+    println!("trace: {} instructions of {}\n", trace.len(), spec.kind());
+    println!("{:<12} {:<22} {:>9} {:>10} {:>10}", "predictor", "class", "eligible", "coverage", "accuracy");
+
+    for predictor in &mut predictors {
+        let mut per_class: [Score; 9] = [Score::default(); 9];
+        for insn in &trace {
+            // CVP-1 scoring predicts the first destination's value.
+            let Some((&reg, _)) = insn.destinations().iter().zip(insn.output_values()).next()
+            else {
+                continue;
+            };
+            let actual = insn.value_of(reg).expect("destination has a value").lo;
+            let score = &mut per_class[insn.class as usize];
+            score.eligible += 1;
+            if let Some(guess) = predictor.predict(insn.pc) {
+                score.predicted += 1;
+                if guess == actual {
+                    score.correct += 1;
+                }
+            }
+            predictor.update(insn.pc, actual);
+        }
+        for class in CvpClass::ALL {
+            let s = per_class[class as usize];
+            if s.eligible == 0 {
+                continue;
+            }
+            println!(
+                "{:<12} {:<22} {:>9} {:>9.1}% {:>9.1}%",
+                predictor.name(),
+                class.to_string(),
+                s.eligible,
+                100.0 * s.predicted as f64 / s.eligible as f64,
+                if s.predicted == 0 { 0.0 } else { 100.0 * s.correct as f64 / s.predicted as f64 },
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Confidence gating keeps accuracy near-perfect on the covered subset;\n\
+         the interesting signal is *coverage*: address-producing destinations\n\
+         (base-update walks) are predictable, while chased data values are\n\
+         not — the contrast the CVP-1 championship was designed to explore."
+    );
+}

@@ -1,0 +1,49 @@
+//! # trace-rebase
+//!
+//! Facade crate for the reproduction of *Rebasing Microarchitectural
+//! Research with Industry Traces* (IISWC 2023). It re-exports every
+//! workspace crate under one roof so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`cvp`] — the CVP-1 trace format (reader/writer/value tracking),
+//! * [`champsim`] — the ChampSim 64-byte trace format and branch-type
+//!   deduction (original and patched, paper §3.2.2),
+//! * [`converter`] — the improved `cvp2champsim` converter (the paper's
+//!   contribution; Table 1 improvements),
+//! * [`bpred`] — TAGE-SC-L, ITTAGE, BTB, RAS branch-prediction substrate,
+//! * [`memsys`] — cache hierarchy and data prefetchers,
+//! * [`iprefetch`] — the eight IPC-1 instruction prefetchers,
+//! * [`sim`] — the ChampSim-class out-of-order core model,
+//! * [`workloads`] — synthetic CVP-1 trace suites,
+//! * [`experiments`] — the harness regenerating every figure and table.
+//!
+//! # Quickstart
+//!
+//! Generate a synthetic CVP-1 trace, convert it with all improvements,
+//! and simulate it:
+//!
+//! ```
+//! use trace_rebase::converter::{Converter, ImprovementSet};
+//! use trace_rebase::sim::{CoreConfig, Simulator};
+//! use trace_rebase::workloads::{TraceSpec, WorkloadKind};
+//!
+//! let spec = TraceSpec::new("demo", WorkloadKind::PointerChase, 42).with_length(20_000);
+//! let cvp_instructions = spec.generate();
+//!
+//! let mut converter = Converter::new(ImprovementSet::all());
+//! let champsim_trace = converter.convert_all(cvp_instructions.iter());
+//!
+//! let mut simulator = Simulator::new(CoreConfig::iiswc_main());
+//! let report = simulator.run(&champsim_trace);
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+pub use bpred;
+pub use champsim_trace as champsim;
+pub use converter;
+pub use cvp_trace as cvp;
+pub use experiments;
+pub use iprefetch;
+pub use memsys;
+pub use sim;
+pub use workloads;
