@@ -54,7 +54,7 @@ impl Btb {
     /// `ways`, or either argument is zero.
     pub fn new(entries: usize, ways: usize) -> Btb {
         assert!(entries > 0 && ways > 0, "entries and ways must be positive");
-        assert!(entries % ways == 0, "entries must divide into ways");
+        assert!(entries.is_multiple_of(ways), "entries must divide into ways");
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Btb {
@@ -103,10 +103,7 @@ impl Btb {
         if set.len() < ways {
             set.push(new_way);
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|w| w.lru)
-                .expect("set is non-empty when full");
+            let victim = set.iter_mut().min_by_key(|w| w.lru).expect("set is non-empty when full");
             *victim = new_way;
         }
     }

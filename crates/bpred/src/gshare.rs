@@ -34,7 +34,8 @@ impl Gshare {
     }
 
     fn index(&self, pc: u64) -> usize {
-        let hist = if self.history_bits == 0 { 0 } else { self.history.low_bits(self.history_bits) };
+        let hist =
+            if self.history_bits == 0 { 0 } else { self.history.low_bits(self.history_bits) };
         (((pc >> 2) ^ hist) & self.index_mask) as usize
     }
 }

@@ -78,11 +78,7 @@ impl HashedPerceptron {
     }
 
     fn sum(&self, pc: u64) -> i32 {
-        self.indices(pc)
-            .iter()
-            .zip(&self.tables)
-            .map(|(&i, t)| t[i] as i32)
-            .sum()
+        self.indices(pc).iter().zip(&self.tables).map(|(&i, t)| t[i] as i32).sum()
     }
 }
 
@@ -152,10 +148,8 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (state >> 62) & 1 == 1
         };
-        let acc = accuracy(
-            HashedPerceptron::default_config(),
-            (0..4000).map(move |_| (0x400, next())),
-        );
+        let acc =
+            accuracy(HashedPerceptron::default_config(), (0..4000).map(move |_| (0x400, next())));
         assert!(acc < 0.65, "{acc}");
     }
 

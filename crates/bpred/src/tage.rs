@@ -460,7 +460,7 @@ impl DirectionPredictor for Tage {
         }
 
         // Periodic useful-bit decay.
-        if self.updates % self.reset_period == 0 {
+        if self.updates.is_multiple_of(self.reset_period) {
             for table in &mut self.tables {
                 for e in &mut table.entries {
                     e.useful /= 2;
@@ -528,10 +528,7 @@ mod tests {
             }
         }
         let with_loop = accuracy(
-            Tage::new(TageConfig {
-                loop_predictor: true,
-                ..TageConfig::storage_small()
-            }),
+            Tage::new(TageConfig { loop_predictor: true, ..TageConfig::storage_small() }),
             outcomes.iter().copied(),
         );
         assert!(with_loop > 0.97, "loop predictor should nail trip counts: {with_loop}");

@@ -289,8 +289,7 @@ mod tests {
 
     #[test]
     fn display_names_are_distinct() {
-        let mut names: Vec<String> =
-            BranchType::BRANCHES.iter().map(|b| b.to_string()).collect();
+        let mut names: Vec<String> = BranchType::BRANCHES.iter().map(|b| b.to_string()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), BranchType::BRANCHES.len());

@@ -47,7 +47,7 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!ChampsimTraceError::TruncatedRecord { offset: 64 }.to_string().is_empty());
-        let e = ChampsimTraceError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let e = ChampsimTraceError::from(io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

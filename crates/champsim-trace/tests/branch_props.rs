@@ -1,63 +1,90 @@
-//! Property tests for ChampSim's branch-type deduction.
+//! Randomized tests for ChampSim's branch-type deduction.
+//!
+//! These were property-based tests; they now drive the same invariants
+//! from a seeded deterministic PRNG so the suite runs without external
+//! test dependencies (the workspace builds offline).
 
 use champsim_trace::{regs, BranchRules, BranchType, ChampsimRecord, RECORD_BYTES};
-use proptest::prelude::*;
 
-fn arb_record() -> impl Strategy<Value = ChampsimRecord> {
-    prop::collection::vec(any::<u8>(), RECORD_BYTES).prop_map(|bytes| {
-        let arr: [u8; RECORD_BYTES] = bytes.try_into().expect("sized");
-        ChampsimRecord::from_bytes(&arr)
-    })
+/// SplitMix64: a tiny seeded generator for test-input synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn record(&mut self) -> ChampsimRecord {
+        let mut bytes = [0u8; RECORD_BYTES];
+        for b in &mut bytes {
+            *b = self.next() as u8;
+        }
+        ChampsimRecord::from_bytes(&bytes)
+    }
 }
 
-proptest! {
-    /// Classification is total: any decodable record classifies under
-    /// both rule sets without panicking, and a record that does not
-    /// write the instruction pointer is never a branch.
-    #[test]
-    fn classification_is_total(rec in arb_record()) {
+/// Classification is total: any decodable record classifies under both
+/// rule sets without panicking, and a record that does not write the
+/// instruction pointer is never a branch.
+#[test]
+fn classification_is_total() {
+    let mut rng = Rng(0xb7a9_c1a5);
+    for _ in 0..4000 {
+        let rec = rng.record();
         for rules in [BranchRules::Original, BranchRules::Patched] {
             let t = rules.classify(&rec);
             if !rec.writes(regs::INSTRUCTION_POINTER) {
-                prop_assert_eq!(t, BranchType::NotBranch);
+                assert_eq!(t, BranchType::NotBranch, "{rec:?}");
             }
         }
     }
+}
 
-    /// The patch only ever *reclassifies among branch types*: a record
-    /// that is a branch under one rule set is a branch under the other.
-    #[test]
-    fn patch_never_flips_branchness(rec in arb_record()) {
+/// The patch only ever *reclassifies among branch types*: a record that
+/// is a branch under one rule set is a branch under the other.
+#[test]
+fn patch_never_flips_branchness() {
+    let mut rng = Rng(0xf11b_5afe);
+    for _ in 0..4000 {
+        let rec = rng.record();
         let a = BranchRules::Original.classify(&rec);
         let b = BranchRules::Patched.classify(&rec);
-        prop_assert_eq!(a == BranchType::NotBranch, b == BranchType::NotBranch);
+        assert_eq!(a == BranchType::NotBranch, b == BranchType::NotBranch, "{rec:?}");
     }
+}
 
-    /// The patch changes nothing for records that only read special
-    /// registers — the paper's patch only affects branches carrying real
-    /// ("other") source registers.
-    #[test]
-    fn patch_is_conservative_without_other_sources(
-        ip in any::<u64>(),
-        taken in any::<bool>(),
-        src_specials in prop::collection::vec(0usize..3, 0..4),
-        dst_specials in prop::collection::vec(0usize..3, 0..2),
-    ) {
-        const SPECIALS: [u8; 3] =
-            [regs::STACK_POINTER, regs::FLAGS, regs::INSTRUCTION_POINTER];
+/// The patch changes nothing for records that only read special
+/// registers — the paper's patch only affects branches carrying real
+/// ("other") source registers.
+#[test]
+fn patch_is_conservative_without_other_sources() {
+    const SPECIALS: [u8; 3] = [regs::STACK_POINTER, regs::FLAGS, regs::INSTRUCTION_POINTER];
+    let mut rng = Rng(0xc025_e2f7);
+    for _ in 0..4000 {
+        let ip = rng.next();
+        let taken = rng.next() & 1 == 1;
         let mut rec = ChampsimRecord::new(ip);
         rec.set_branch(true);
         rec.set_branch_taken(taken);
-        for s in src_specials {
-            rec.add_source_register(SPECIALS[s]);
+        for _ in 0..rng.below(4) {
+            rec.add_source_register(SPECIALS[rng.below(3) as usize]);
         }
-        for d in dst_specials {
-            rec.add_destination_register(SPECIALS[d]);
+        for _ in 0..rng.below(2) {
+            rec.add_destination_register(SPECIALS[rng.below(3) as usize]);
         }
-        prop_assert!(!rec.reads_other());
-        prop_assert_eq!(
+        assert!(!rec.reads_other());
+        assert_eq!(
             BranchRules::Original.classify(&rec),
-            BranchRules::Patched.classify(&rec)
+            BranchRules::Patched.classify(&rec),
+            "{rec:?}"
         );
     }
 }

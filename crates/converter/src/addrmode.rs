@@ -186,9 +186,8 @@ mod tests {
     #[test]
     fn negative_post_index_offset_is_accepted() {
         let ctx = ctx_with(2, 0x3000);
-        let load = CvpInstruction::load(4, 0x3000, 8)
-            .with_sources(&[2])
-            .with_destination(2, 0x2FF8u64);
+        let load =
+            CvpInstruction::load(4, 0x3000, 8).with_sources(&[2]).with_destination(2, 0x2FF8u64);
         assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 2 });
     }
 
@@ -209,9 +208,8 @@ mod tests {
         // replay knows the old X0 was nowhere near the EA, so this cannot
         // be a post-index access through X0.
         let ctx = ctx_with(0, 0x9999_0000);
-        let load = CvpInstruction::load(4, 0x4000, 8)
-            .with_sources(&[0])
-            .with_destination(0, 0x4010u64);
+        let load =
+            CvpInstruction::load(4, 0x4000, 8).with_sources(&[0]).with_destination(0, 0x4010u64);
         assert_eq!(ctx.infer(&load), AddressingMode::Simple);
     }
 
@@ -220,9 +218,8 @@ mod tests {
         // Before the first write to X0, replay has no old value; the
         // heuristic stays permissive (best effort, as in the paper).
         let ctx = InferenceContext::new();
-        let load = CvpInstruction::load(4, 0x4000, 8)
-            .with_sources(&[0])
-            .with_destination(0, 0x4010u64);
+        let load =
+            CvpInstruction::load(4, 0x4000, 8).with_sources(&[0]).with_destination(0, 0x4010u64);
         assert_eq!(ctx.infer(&load), AddressingMode::PostIndex { base: 0 });
     }
 

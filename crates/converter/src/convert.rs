@@ -107,10 +107,20 @@ impl Converter {
         I: IntoIterator<Item = &'a CvpInstruction>,
     {
         let mut out = Vec::new();
+        self.convert_into(insns, &mut out);
+        out
+    }
+
+    /// Converts a whole instruction stream, appending the records to a
+    /// caller-owned buffer. Lets callers build shared (`Arc<[_]>`)
+    /// buffers or reuse allocations across traces without an extra copy.
+    pub fn convert_into<'a, I>(&mut self, insns: I, out: &mut Vec<ChampsimRecord>)
+    where
+        I: IntoIterator<Item = &'a CvpInstruction>,
+    {
         for insn in insns {
             out.extend(self.convert(insn));
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -226,12 +236,8 @@ impl Converter {
 
         // Destination registers of the memory record: everything the
         // trace lists, minus the base when it is split out.
-        let mem_dests: Vec<Reg> = insn
-            .destinations()
-            .iter()
-            .copied()
-            .filter(|&d| Some(d) != split_base)
-            .collect();
+        let mem_dests: Vec<Reg> =
+            insn.destinations().iter().copied().filter(|&d| Some(d) != split_base).collect();
 
         let mut mem = ChampsimRecord::new(insn.pc);
         // Source registers: the real ones. The original converter
@@ -728,7 +734,7 @@ mod tests {
     #[test]
     fn convert_all_flattens_splits() {
         let mut conv = Converter::new(ImprovementSet::all());
-        let insns = vec![
+        let insns = [
             CvpInstruction::alu(0).with_destination(0, 0x1000u64),
             CvpInstruction::load(4, 0x1000, 8)
                 .with_sources(&[0])
@@ -764,8 +770,7 @@ mod tests {
     fn source_register_overflow_is_counted() {
         let mut conv = Converter::new(ImprovementSet::all());
         // CASP-like: six sources; ChampSim keeps four.
-        let casp =
-            CvpInstruction::store(0, 0x100, 8).with_sources(&[1, 2, 3, 4, 5, 6]);
+        let casp = CvpInstruction::store(0, 0x100, 8).with_sources(&[1, 2, 3, 4, 5, 6]);
         let rec = one(&mut conv, &casp);
         assert_eq!(rec.source_registers().count(), 4);
         assert_eq!(conv.stats().source_registers_dropped, 2);

@@ -53,10 +53,7 @@ impl Improvement {
 
     /// `true` for the three memory-side improvements.
     pub fn is_memory(self) -> bool {
-        matches!(
-            self,
-            Improvement::MemRegs | Improvement::BaseUpdate | Improvement::MemFootprint
-        )
+        matches!(self, Improvement::MemRegs | Improvement::BaseUpdate | Improvement::MemFootprint)
     }
 
     /// `true` for the three branch-side improvements.
@@ -239,10 +236,9 @@ impl FromStr for ImprovementSet {
             "All_imps" | "all" => Ok(ImprovementSet::all()),
             "Memory_imps" | "memory" => Ok(ImprovementSet::memory()),
             "Branch_imps" | "branch" => Ok(ImprovementSet::branch()),
-            other => other
-                .split('+')
-                .map(Improvement::from_str)
-                .collect::<Result<ImprovementSet, _>>(),
+            other => {
+                other.split('+').map(Improvement::from_str).collect::<Result<ImprovementSet, _>>()
+            }
         }
     }
 }
@@ -264,10 +260,8 @@ mod tests {
 
     #[test]
     fn memory_and_branch_partition_all() {
-        let union: ImprovementSet = ImprovementSet::memory()
-            .iter()
-            .chain(ImprovementSet::branch().iter())
-            .collect();
+        let union: ImprovementSet =
+            ImprovementSet::memory().iter().chain(ImprovementSet::branch().iter()).collect();
         assert_eq!(union, ImprovementSet::all());
         for imp in ImprovementSet::memory().iter() {
             assert!(imp.is_memory());

@@ -168,8 +168,10 @@ mod tests {
 
     #[test]
     fn merge_adds_all_fields() {
-        let mut a = ConversionStats { input_instructions: 10, base_update_loads: 2, ..Default::default() };
-        let b = ConversionStats { input_instructions: 30, base_update_loads: 6, ..Default::default() };
+        let mut a =
+            ConversionStats { input_instructions: 10, base_update_loads: 2, ..Default::default() };
+        let b =
+            ConversionStats { input_instructions: 30, base_update_loads: 6, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.input_instructions, 40);
         assert_eq!(a.base_update_loads, 8);

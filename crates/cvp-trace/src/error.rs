@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<TraceError> = vec![
-            TraceError::Io(io::Error::new(io::ErrorKind::Other, "boom")),
+            TraceError::Io(io::Error::other("boom")),
             TraceError::TruncatedRecord { offset: 12 },
             TraceError::InvalidClass { value: 0xff, offset: 3 },
             TraceError::TooManyRegisters { kind: RegKind::Source, count: 99, offset: 0 },

@@ -293,10 +293,7 @@ impl CvpInstruction {
     /// of range.
     pub fn push_source(&mut self, reg: Reg) {
         assert!(reg < NUM_REGS, "source register {reg} out of range");
-        assert!(
-            (self.num_srcs as usize) < MAX_SRCS,
-            "too many source registers (max {MAX_SRCS})"
-        );
+        assert!((self.num_srcs as usize) < MAX_SRCS, "too many source registers (max {MAX_SRCS})");
         self.srcs[self.num_srcs as usize] = reg;
         self.num_srcs += 1;
     }
@@ -339,10 +336,7 @@ impl CvpInstruction {
 
     /// The value written to register `reg`, if `reg` is a destination.
     pub fn value_of(&self, reg: Reg) -> Option<OutputValue> {
-        self.destinations()
-            .iter()
-            .position(|&d| d == reg)
-            .map(|i| self.values[i])
+        self.destinations().iter().position(|&d| d == reg).map(|i| self.values[i])
     }
 
     /// `true` if `reg` appears among the sources.

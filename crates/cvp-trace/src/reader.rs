@@ -1,13 +1,24 @@
 use std::io::{self, Read};
 
 use crate::error::{RegKind, TraceError};
-use crate::insn::{CvpClass, CvpInstruction, OutputValue, MAX_DSTS, MAX_SRCS, NUM_INT_REGS, NUM_REGS, VEC_REG_BASE};
+use crate::insn::{
+    CvpClass, CvpInstruction, OutputValue, MAX_DSTS, MAX_SRCS, NUM_INT_REGS, NUM_REGS, VEC_REG_BASE,
+};
+
+/// Default internal buffer size: large enough that even value-heavy
+/// records need one `read` syscall per ~1–2 thousand records.
+const DEFAULT_BUF_CAPACITY: usize = 64 * 1024;
 
 /// Streaming decoder for CVP-1 trace records.
 ///
 /// Reads records one at a time from any [`Read`] source (a `&mut R` also
 /// works, since `Read` is implemented for mutable references). The reader
 /// is also an [`Iterator`] over `Result<CvpInstruction, TraceError>`.
+///
+/// The reader buffers internally ([`DEFAULT_BUF_CAPACITY`] bytes, or
+/// [`CvpReader::with_buffer_capacity`]), so the per-field `u8`/`u64`
+/// decoding never issues tiny reads against an unbuffered source — do
+/// not wrap the source in another `BufReader`.
 ///
 /// # Example
 ///
@@ -30,6 +41,11 @@ use crate::insn::{CvpClass, CvpInstruction, OutputValue, MAX_DSTS, MAX_SRCS, NUM
 #[derive(Debug)]
 pub struct CvpReader<R> {
     inner: R,
+    buf: Box<[u8]>,
+    /// Next unconsumed byte in `buf`.
+    pos: usize,
+    /// One past the last valid byte in `buf`.
+    end: usize,
     offset: u64,
     record_start: u64,
 }
@@ -37,15 +53,32 @@ pub struct CvpReader<R> {
 impl<R: Read> CvpReader<R> {
     /// Creates a reader over `inner`.
     pub fn new(inner: R) -> CvpReader<R> {
-        CvpReader { inner, offset: 0, record_start: 0 }
+        CvpReader::with_buffer_capacity(inner, DEFAULT_BUF_CAPACITY)
     }
 
-    /// Consumes the reader, returning the underlying source.
+    /// Creates a reader with an explicit internal buffer size (minimum
+    /// one byte). Decoding is correct at any capacity; small buffers
+    /// only cost more `read` calls.
+    pub fn with_buffer_capacity(inner: R, capacity: usize) -> CvpReader<R> {
+        CvpReader {
+            inner,
+            buf: vec![0; capacity.max(1)].into_boxed_slice(),
+            pos: 0,
+            end: 0,
+            offset: 0,
+            record_start: 0,
+        }
+    }
+
+    /// Consumes the reader, returning the underlying source. Bytes
+    /// already pulled into the internal buffer but not yet decoded are
+    /// discarded.
     pub fn into_inner(self) -> R {
         self.inner
     }
 
-    /// Bytes consumed so far.
+    /// Bytes decoded so far (not bytes pulled from the source, which may
+    /// run ahead by up to one buffer).
     pub fn bytes_read(&self) -> u64 {
         self.offset
     }
@@ -63,20 +96,15 @@ impl<R: Read> CvpReader<R> {
             None => return Ok(None),
         };
         let class_byte = self.read_u8()?;
-        let class = CvpClass::from_u8(class_byte).ok_or(TraceError::InvalidClass {
-            value: class_byte,
-            offset: self.record_start,
-        })?;
+        let class = CvpClass::from_u8(class_byte)
+            .ok_or(TraceError::InvalidClass { value: class_byte, offset: self.record_start })?;
 
         let mut insn = match class {
             CvpClass::Load | CvpClass::Store => {
                 let address = self.read_u64()?;
                 let size = self.read_u8()?;
                 if !size.is_power_of_two() || size > 64 {
-                    return Err(TraceError::InvalidAccessSize {
-                        size,
-                        offset: self.record_start,
-                    });
+                    return Err(TraceError::InvalidAccessSize { size, offset: self.record_start });
                 }
                 if class == CvpClass::Load {
                     CvpInstruction::load(pc, address, size)
@@ -157,46 +185,70 @@ impl<R: Read> CvpReader<R> {
     }
 
     fn read_u8(&mut self) -> Result<u8, TraceError> {
+        if self.pos < self.end {
+            let b = self.buf[self.pos];
+            self.pos += 1;
+            self.offset += 1;
+            return Ok(b);
+        }
         let mut b = [0u8; 1];
-        self.fill(&mut b)?;
+        self.take_exact(&mut b)?;
         Ok(b[0])
     }
 
     fn read_u64(&mut self) -> Result<u64, TraceError> {
+        if self.end - self.pos >= 8 {
+            let b: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes");
+            self.pos += 8;
+            self.offset += 8;
+            return Ok(u64::from_le_bytes(b));
+        }
         let mut b = [0u8; 8];
-        self.fill(&mut b)?;
+        self.take_exact(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
     /// Reads a u64 at a record boundary: clean EOF yields `None`.
     fn read_u64_or_eof(&mut self) -> Result<Option<u64>, TraceError> {
-        let mut b = [0u8; 8];
+        if self.pos == self.end && !self.refill()? {
+            return Ok(None);
+        }
+        self.read_u64().map(Some)
+    }
+
+    /// Copies exactly `out.len()` buffered bytes, refilling as needed; a
+    /// source EOF mid-copy is a truncated record.
+    fn take_exact(&mut self, out: &mut [u8]) -> Result<(), TraceError> {
         let mut filled = 0;
-        while filled < b.len() {
-            match self.inner.read(&mut b[filled..]) {
-                Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => {
-                    return Err(TraceError::TruncatedRecord { offset: self.record_start })
+        while filled < out.len() {
+            if self.pos == self.end && !self.refill()? {
+                return Err(TraceError::TruncatedRecord { offset: self.record_start });
+            }
+            let n = (self.end - self.pos).min(out.len() - filled);
+            out[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            filled += n;
+        }
+        self.offset += out.len() as u64;
+        Ok(())
+    }
+
+    /// Pulls the next chunk from the source into the (drained) buffer.
+    /// Returns `false` at source EOF.
+    fn refill(&mut self) -> Result<bool, TraceError> {
+        debug_assert_eq!(self.pos, self.end, "refill only when drained");
+        self.pos = 0;
+        self.end = 0;
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.end = n;
+                    return Ok(true);
                 }
-                Ok(n) => filled += n,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e.into()),
             }
-        }
-        self.offset += 8;
-        Ok(Some(u64::from_le_bytes(b)))
-    }
-
-    fn fill(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
-        match self.inner.read_exact(buf) {
-            Ok(()) => {
-                self.offset += buf.len() as u64;
-                Ok(())
-            }
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                Err(TraceError::TruncatedRecord { offset: self.record_start })
-            }
-            Err(e) => Err(e.into()),
         }
     }
 }
@@ -319,6 +371,106 @@ mod tests {
         r.read().unwrap();
         let after_first = r.bytes_read();
         assert!(after_first > 0);
+        r.read().unwrap();
+        assert_eq!(r.bytes_read(), buf.len() as u64);
+    }
+
+    /// A source that counts how many `read` calls it serves and caps
+    /// each at `chunk` bytes.
+    struct CountingSource<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        calls: usize,
+    }
+
+    impl Read for CountingSource<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.calls += 1;
+            let n = out.len().min(self.chunk).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn encoded(insns: &[CvpInstruction]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = CvpWriter::new(&mut buf);
+        for i in insns {
+            w.write(i).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn buffering_batches_source_reads() {
+        let insns: Vec<CvpInstruction> = (0..500)
+            .map(|i| CvpInstruction::alu(i).with_sources(&[1, 2]).with_destination(3, i))
+            .collect();
+        let buf = encoded(&insns);
+        let mut source = CountingSource { data: &buf, pos: 0, chunk: usize::MAX, calls: 0 };
+        let back: Vec<CvpInstruction> =
+            CvpReader::new(&mut source).collect::<Result<_, _>>().unwrap();
+        assert_eq!(back, insns);
+        // Unbuffered decoding would issue several reads *per record*;
+        // buffered, the whole stream fits in one fill plus the EOF probe.
+        assert!(source.calls <= 2, "{} reads for {} bytes", source.calls, buf.len());
+    }
+
+    #[test]
+    fn tiny_buffer_capacities_still_decode_correctly() {
+        let insns = vec![
+            CvpInstruction::load(0x10, 0xbeef, 8).with_sources(&[4]).with_destination(5, 1u64),
+            CvpInstruction::cond_branch(0x14, true, 0x40),
+            CvpInstruction::fp(0x18).with_destination(40, OutputValue::vector(7, 9)),
+        ];
+        let buf = encoded(&insns);
+        for capacity in [1, 2, 3, 7, 8, 9, 64] {
+            let back: Vec<CvpInstruction> =
+                CvpReader::with_buffer_capacity(buf.as_slice(), capacity)
+                    .collect::<Result<_, _>>()
+                    .unwrap();
+            assert_eq!(back, insns, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn truncation_offsets_name_the_record_start_at_any_capacity() {
+        // Regression: the error offset must be the *record* start in
+        // decoded-stream coordinates, unaffected by how far the internal
+        // buffer read ahead.
+        let insns = vec![CvpInstruction::alu(1).with_destination(2, 3u64), CvpInstruction::alu(2)];
+        let buf = encoded(&insns);
+        let first_len = {
+            let mut r = CvpReader::new(buf.as_slice());
+            r.read().unwrap();
+            r.bytes_read()
+        };
+        for capacity in [1, 3, 8, 64 * 1024] {
+            for cut in (first_len as usize + 1)..buf.len() {
+                let mut r = CvpReader::with_buffer_capacity(&buf[..cut], capacity);
+                assert!(r.read().unwrap().is_some());
+                match r.read() {
+                    Err(TraceError::TruncatedRecord { offset }) => assert_eq!(
+                        offset, first_len,
+                        "capacity {capacity}, cut {cut}: offset names record 2"
+                    ),
+                    other => panic!("capacity {capacity}, cut {cut}: got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_read_tracks_decoding_not_readahead() {
+        let insns = vec![CvpInstruction::alu(1), CvpInstruction::alu(2)];
+        let buf = encoded(&insns);
+        let mut r = CvpReader::new(buf.as_slice());
+        r.read().unwrap();
+        // The 64k buffer swallowed the whole stream, but only one
+        // record's bytes are decoded.
+        assert!(r.bytes_read() < buf.len() as u64);
         r.read().unwrap();
         assert_eq!(r.bytes_read(), buf.len() as u64);
     }

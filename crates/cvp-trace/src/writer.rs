@@ -109,12 +109,8 @@ mod tests {
     fn not_taken_branch_omits_target_bytes() {
         let mut taken = Vec::new();
         let mut not_taken = Vec::new();
-        CvpWriter::new(&mut taken)
-            .write(&CvpInstruction::cond_branch(0, true, 8))
-            .unwrap();
-        CvpWriter::new(&mut not_taken)
-            .write(&CvpInstruction::cond_branch(0, false, 0))
-            .unwrap();
+        CvpWriter::new(&mut taken).write(&CvpInstruction::cond_branch(0, true, 8)).unwrap();
+        CvpWriter::new(&mut not_taken).write(&CvpInstruction::cond_branch(0, false, 0)).unwrap();
         assert_eq!(taken.len(), not_taken.len() + 8);
     }
 

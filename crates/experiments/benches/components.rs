@@ -1,11 +1,11 @@
 //! Component micro-benchmarks: throughput of every substrate the paper's
 //! pipeline is built from.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use bpred::{Btb, DirectionPredictor, IndirectPredictor, Ittage, ReturnAddressStack, Tage};
 use converter::{Converter, ImprovementSet};
+use experiments::bench::BenchGroup;
 use iprefetch::harness::{evaluate, looping_trace};
 use memsys::{Hierarchy, HierarchyConfig};
 use sim::{CoreConfig, Simulator};
@@ -13,175 +13,136 @@ use workloads::{TraceSpec, WorkloadKind};
 
 const N: usize = 20_000;
 
-fn bench_generator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generator");
-    group.throughput(Throughput::Elements(N as u64));
+fn bench_generator() {
+    let mut group = BenchGroup::new("generator");
     for kind in [WorkloadKind::Server, WorkloadKind::PointerChase, WorkloadKind::Crypto] {
-        group.bench_function(format!("{kind}"), |b| {
-            let spec = TraceSpec::new("bench", kind, 1).with_length(N);
-            b.iter(|| black_box(spec.generate()));
-        });
+        let spec = TraceSpec::new("bench", kind, 1).with_length(N);
+        group.bench_function(format!("{kind}"), || black_box(spec.generate()));
     }
     group.finish();
 }
 
-fn bench_converter(c: &mut Criterion) {
+fn bench_converter() {
     let trace = TraceSpec::new("bench", WorkloadKind::Server, 2).with_length(N).generate();
-    let mut group = c.benchmark_group("converter");
-    group.throughput(Throughput::Elements(N as u64));
+    let mut group = BenchGroup::new("converter");
     for imps in [ImprovementSet::none(), ImprovementSet::all()] {
-        group.bench_function(imps.to_string(), |b| {
-            b.iter(|| {
-                let mut converter = Converter::new(imps);
-                black_box(converter.convert_all(trace.iter()))
-            });
+        group.bench_function(imps.to_string(), || {
+            let mut converter = Converter::new(imps);
+            black_box(converter.convert_all(trace.iter()))
         });
     }
     group.finish();
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs() {
     let trace = TraceSpec::new("bench", WorkloadKind::Streaming, 3).with_length(N).generate();
-    let mut group = c.benchmark_group("codecs");
-    group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("cvp_encode", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(N * 32);
-            let mut w = cvp_trace::CvpWriter::new(&mut buf);
-            for i in &trace {
-                w.write(i).unwrap();
-            }
-            black_box(buf.len())
-        });
+    let mut group = BenchGroup::new("codecs");
+    group.bench_function("cvp_encode", || {
+        let mut buf = Vec::with_capacity(N * 32);
+        let mut w = cvp_trace::CvpWriter::new(&mut buf);
+        for i in &trace {
+            w.write(i).unwrap();
+        }
+        black_box(buf.len())
     });
     let mut encoded = Vec::new();
     let mut w = cvp_trace::CvpWriter::new(&mut encoded);
     for i in &trace {
         w.write(i).unwrap();
     }
-    group.bench_function("cvp_decode", |b| {
-        b.iter(|| {
-            let n = cvp_trace::CvpReader::new(encoded.as_slice()).count();
-            black_box(n)
-        });
+    group.bench_function("cvp_decode", || {
+        let n = cvp_trace::CvpReader::new(encoded.as_slice()).count();
+        black_box(n)
     });
     group.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predictors");
-    group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("tage_64kb", |b| {
+fn bench_predictors() {
+    let mut group = BenchGroup::new("predictors");
+    group.bench_function("tage_64kb", || {
         let mut tage = Tage::default_64kb();
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..N {
-                i = i.wrapping_add(1);
-                let pc = 0x400 + (i % 512) * 4;
-                let taken = (i * i) % 3 != 0;
-                let p = tage.predict(pc);
-                tage.update(pc, taken);
-                black_box(p);
-            }
-        });
+        for i in 1..=N as u64 {
+            let pc = 0x400 + (i % 512) * 4;
+            let taken = (i * i) % 3 != 0;
+            let p = tage.predict(pc);
+            tage.update(pc, taken);
+            black_box(p);
+        }
     });
-    group.bench_function("ittage_64kb", |b| {
+    group.bench_function("ittage_64kb", || {
         let mut ittage = Ittage::default_64kb();
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..N {
-                i = i.wrapping_add(1);
-                let pc = 0x800 + (i % 64) * 8;
-                let p = ittage.predict(pc);
-                ittage.update(pc, 0x9000 + (i % 4) * 0x100);
-                ittage.push_history(i % 2 == 0);
-                black_box(p);
-            }
-        });
+        for i in 1..=N as u64 {
+            let pc = 0x800 + (i % 64) * 8;
+            let p = ittage.predict(pc);
+            ittage.update(pc, 0x9000 + (i % 4) * 0x100);
+            ittage.push_history(i % 2 == 0);
+            black_box(p);
+        }
     });
-    group.bench_function("btb_16k", |b| {
+    group.bench_function("btb_16k", || {
         let mut btb = Btb::new(16 * 1024, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..N {
-                i = i.wrapping_add(1);
-                let pc = 0x1000 + (i % 4096) * 4;
-                black_box(btb.lookup(pc));
-                btb.update(pc, pc + 0x40, champsim_trace::BranchType::DirectJump);
-            }
-        });
+        for i in 1..=N as u64 {
+            let pc = 0x1000 + (i % 4096) * 4;
+            black_box(btb.lookup(pc));
+            btb.update(pc, pc + 0x40, champsim_trace::BranchType::DirectJump);
+        }
     });
-    group.bench_function("ras", |b| {
+    group.bench_function("ras", || {
         let mut ras = ReturnAddressStack::new(64);
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..N {
-                i = i.wrapping_add(1);
-                if i % 3 == 0 {
-                    black_box(ras.pop());
-                } else {
-                    ras.push(i);
-                }
+        for i in 1..=N as u64 {
+            if i % 3 == 0 {
+                black_box(ras.pop());
+            } else {
+                ras.push(i);
             }
-        });
+        }
     });
     group.finish();
 }
 
-fn bench_memory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory");
-    group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("hierarchy_stream", |b| {
-        b.iter(|| {
-            let mut mem = Hierarchy::new(HierarchyConfig::iiswc_main());
-            let mut total = 0u64;
-            for i in 0..N as u64 {
-                total += mem.access_data(0x400, 0x10_0000 + i * 64, false);
-            }
-            black_box(total)
-        });
+fn bench_memory() {
+    let mut group = BenchGroup::new("memory");
+    group.bench_function("hierarchy_stream", || {
+        let mut mem = Hierarchy::new(HierarchyConfig::iiswc_main());
+        let mut total = 0u64;
+        for i in 0..N as u64 {
+            total += mem.access_data(0x400, 0x10_0000 + i * 64, false);
+        }
+        black_box(total)
     });
     group.finish();
 }
 
-fn bench_iprefetchers(c: &mut Criterion) {
+fn bench_iprefetchers() {
     let trace = looping_trace(N, 700);
-    let mut group = c.benchmark_group("iprefetch");
-    group.throughput(Throughput::Elements(N as u64));
+    let mut group = BenchGroup::new("iprefetch");
     for name in iprefetch::CONTEST_NAMES {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut pf = iprefetch::by_name(name).expect("known name");
-                black_box(evaluate(pf.as_mut(), &trace, 256))
-            });
+        group.bench_function(name, || {
+            let mut pf = iprefetch::by_name(name).expect("known name");
+            black_box(evaluate(pf.as_mut(), &trace, 256))
         });
     }
     group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let trace = TraceSpec::new("bench", WorkloadKind::Server, 4).with_length(N).generate();
     let mut converter = Converter::new(ImprovementSet::all());
     let records = converter.convert_all(trace.iter());
-    let mut group = c.benchmark_group("simulator");
-    group.throughput(Throughput::Elements(records.len() as u64));
-    group.bench_function("iiswc_main", |b| {
-        b.iter(|| black_box(Simulator::new(CoreConfig::iiswc_main()).run(&records)));
+    let mut group = BenchGroup::new("simulator");
+    group.bench_function("iiswc_main", || {
+        black_box(Simulator::new(CoreConfig::iiswc_main()).run(&records))
     });
-    group.bench_function("ipc1", |b| {
-        b.iter(|| black_box(Simulator::new(CoreConfig::ipc1()).run(&records)));
-    });
+    group.bench_function("ipc1", || black_box(Simulator::new(CoreConfig::ipc1()).run(&records)));
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generator,
-    bench_converter,
-    bench_codecs,
-    bench_predictors,
-    bench_memory,
-    bench_iprefetchers,
-    bench_simulator
-);
-criterion_main!(benches);
+fn main() {
+    bench_generator();
+    bench_converter();
+    bench_codecs();
+    bench_predictors();
+    bench_memory();
+    bench_iprefetchers();
+    bench_simulator();
+}

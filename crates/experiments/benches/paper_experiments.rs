@@ -1,4 +1,4 @@
-//! One Criterion benchmark per paper table and figure.
+//! One benchmark per paper table and figure.
 //!
 //! Each benchmark regenerates its experiment at a reduced scale (a
 //! sub-sampled suite and short traces), so the full set finishes in
@@ -7,10 +7,10 @@
 //! `EXPERIMENTS.md`; these benches track the *cost* of regeneration and
 //! guard the pipelines against performance regressions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use converter::ImprovementSet;
+use experiments::bench::BenchGroup;
 use experiments::figures::{figure1, figure2, figure3, figure4, figure5, Grid};
 use experiments::runner::{parallel_map, simulate_conversion, ExperimentScale};
 use experiments::tables::{section42, table1, table2, table3};
@@ -39,31 +39,31 @@ fn mini_grid() -> Grid {
     Grid { baseline, runs }
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn bench_figures() {
+    let mut group = BenchGroup::new("figures");
 
     // The grid dominates all five figures; benchmark it once.
-    group.bench_function("grid_compute", |b| b.iter(|| black_box(mini_grid())));
+    group.bench_function("grid_compute", || black_box(mini_grid()));
 
     let grid = mini_grid();
-    group.bench_function("fig1_geomean", |b| b.iter(|| black_box(figure1(&grid))));
-    group.bench_function("fig2_per_trace", |b| b.iter(|| black_box(figure2(&grid))));
-    group.bench_function("fig3_branch_mpki", |b| b.iter(|| black_box(figure3(&grid))));
-    group.bench_function("fig4_base_update", |b| b.iter(|| black_box(figure4(&grid))));
-    group.bench_function("fig5_call_stack", |b| b.iter(|| black_box(figure5(&grid))));
+    group.bench_function("fig1_geomean", || black_box(figure1(&grid)));
+    group.bench_function("fig2_per_trace", || black_box(figure2(&grid)));
+    group.bench_function("fig3_branch_mpki", || black_box(figure3(&grid)));
+    group.bench_function("fig4_base_update", || black_box(figure4(&grid)));
+    group.bench_function("fig5_call_stack", || black_box(figure5(&grid)));
     group.finish();
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("tab1_inventory", |b| b.iter(|| black_box(table1(SCALE))));
-    group.bench_function("tab2_characterization", |b| b.iter(|| black_box(table2(SCALE))));
-    group.bench_function("tab3_ipc1_ranking", |b| b.iter(|| black_box(table3(SCALE))));
-    group.bench_function("section42_stats", |b| b.iter(|| black_box(section42(SCALE))));
+fn bench_tables() {
+    let mut group = BenchGroup::new("tables");
+    group.bench_function("tab1_inventory", || black_box(table1(SCALE)));
+    group.bench_function("tab2_characterization", || black_box(table2(SCALE)));
+    group.bench_function("tab3_ipc1_ranking", || black_box(table3(SCALE)));
+    group.bench_function("section42_stats", || black_box(section42(SCALE)));
     group.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_tables);
-criterion_main!(benches);
+fn main() {
+    bench_figures();
+    bench_tables();
+}

@@ -1,0 +1,93 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so Criterion is not available; this
+//! std-only harness keeps the bench targets runnable under
+//! `cargo bench`. Each measurement warms up once, then repeats the
+//! closure until a time budget is spent and reports the mean wall-clock
+//! per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Per-measurement time budget once warmed up.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Minimum number of timed iterations, budget notwithstanding.
+const MIN_ITERS: u32 = 3;
+
+/// A named group of measurements, mirroring Criterion's group API
+/// closely enough that benches read the same.
+pub struct BenchGroup {
+    group: String,
+    filter: Option<String>,
+}
+
+impl BenchGroup {
+    pub fn new(group: &str) -> BenchGroup {
+        // `cargo bench` forwards trailing args; any non-flag arg acts as
+        // a substring filter on `group/name`, like Criterion's.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        BenchGroup { group: group.to_string(), filter }
+    }
+
+    /// Times `f`, printing `group/name: <mean per iteration>`.
+    pub fn bench_function<T>(&mut self, name: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        let id = format!("{}/{}", self.group, name.as_ref());
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        std::hint::black_box(f()); // warmup
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < MIN_ITERS || start.elapsed() < BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let mean = start.elapsed().as_secs_f64() / f64::from(iters);
+        println!("{id}: {} ({iters} iterations)", format_secs(mean));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut group = BenchGroup { group: "t".into(), filter: None };
+        let mut calls = 0u32;
+        group.bench_function("count", || calls += 1);
+        // One warmup plus at least MIN_ITERS timed iterations.
+        assert!(calls > MIN_ITERS, "{calls}");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut group = BenchGroup { group: "t".into(), filter: Some("nomatch".into()) };
+        let mut calls = 0u32;
+        group.bench_function("count", || calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn format_covers_magnitudes() {
+        assert_eq!(format_secs(2.5), "2.500 s");
+        assert_eq!(format_secs(0.0025), "2.500 ms");
+        assert_eq!(format_secs(0.0000025), "2.500 µs");
+        assert_eq!(format_secs(0.0000000025), "2.5 ns");
+    }
+}

@@ -1,22 +1,25 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--fig 1|2|3|4|5] [--table 1|2|3] [--stats] [--all]
-//!             [--scale test|paper]
+//! experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all]
+//!             [--scale test|paper] [--csv <dir>] [--threads <n>]
 //! ```
 //!
 //! With no selection flags, everything is regenerated (`--all`). The
 //! `paper` scale (default) runs each synthetic trace at 120k
-//! instructions; `test` runs a quick sanity pass.
+//! instructions; `test` runs a quick sanity pass. Worker threads default
+//! to the machine's parallelism (`--threads` / `EXPERIMENTS_THREADS`
+//! override). Scheduled runs append their timing + cache report to
+//! `BENCH_experiments.json`; `--stats` also prints the reports.
 
 use experiments::figures::{
     figure1, figure2, figure3, figure4, figure5, render_figure1, render_figure2, render_figure3,
     render_figure4, render_figure5, Grid,
 };
-use experiments::runner::ExperimentScale;
+use experiments::runner::{reports_to_json, ExperimentScale, SchedulerReport};
 use experiments::tables::{
     render_section42, render_table1, render_table2, render_table3, render_table4, section42,
-    table1, table2, table3, table4_decoupled,
+    table1, table2, table3_with_report, table4_decoupled_with_report,
 };
 
 #[derive(Default)]
@@ -27,6 +30,22 @@ struct Selection {
     csv_dir: Option<std::path::PathBuf>,
 }
 
+/// Parses and validates one `--fig`/`--table` operand: numeric, in
+/// range, and not already selected.
+fn select(seen: &mut Vec<u8>, flag: &str, value: Option<String>, max: u8) -> u8 {
+    let raw = value.unwrap_or_else(|| fail(&format!("{flag} needs a number")));
+    let n: u8 = raw
+        .parse()
+        .ok()
+        .filter(|n| (1..=max).contains(n))
+        .unwrap_or_else(|| fail(&format!("{flag} {raw:?} is not in 1..={max}")));
+    if seen.contains(&n) {
+        fail(&format!("{flag} {n} given twice"));
+    }
+    seen.push(n);
+    n
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut selection = Selection::default();
@@ -35,25 +54,38 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fig" => {
-                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                selection.figs.push(n);
+                select(&mut selection.figs, "--fig", args.next(), 5);
             }
             "--table" => {
-                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                selection.tables.push(n);
+                select(&mut selection.tables, "--table", args.next(), 4);
             }
             "--stats" => selection.stats = true,
             "--csv" => {
-                let dir = args.next().unwrap_or_else(|| usage());
-                selection.csv_dir = Some(dir.into());
+                let dir: std::path::PathBuf =
+                    args.next().unwrap_or_else(|| fail("--csv needs a directory")).into();
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    fail(&format!("cannot create csv directory {}: {e}", dir.display()));
+                }
+                selection.csv_dir = Some(dir);
             }
             "--all" => all = true,
             "--scale" => match args.next().as_deref() {
                 Some("test") => scale = ExperimentScale::test(),
                 Some("paper") => scale = ExperimentScale::paper(),
-                _ => usage(),
+                other => fail(&format!(
+                    "--scale must be `test` or `paper`, got {}",
+                    other.map_or("nothing".into(), |o| format!("{o:?}"))
+                )),
             },
-            _ => usage(),
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| fail("--threads needs a positive number"));
+                experiments::runner::set_threads(n);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
         }
     }
     if all || (selection.figs.is_empty() && selection.tables.is_empty() && !selection.stats) {
@@ -61,13 +93,16 @@ fn main() {
         selection.tables = vec![1, 2, 3, 4];
         selection.stats = true;
     }
+    let mut reports: Vec<SchedulerReport> = Vec::new();
 
     // Figures 1–5 share one grid; compute it once if any are selected.
     let grid: Option<Grid> = if selection.figs.is_empty() {
         None
     } else {
         eprintln!("[experiments] computing the improvement grid (135 traces x 10 configs)...");
-        Some(Grid::compute(scale))
+        let (grid, report) = Grid::compute_with_report(scale, &sim::CoreConfig::iiswc_main());
+        reports.push(report);
+        Some(grid)
     };
 
     let csv = selection.csv_dir.as_deref();
@@ -114,7 +149,7 @@ fn main() {
                 }
                 render_figure5(&rows)
             }
-            _ => usage(),
+            _ => unreachable!("validated at parse time"),
         };
         println!("{text}");
     }
@@ -130,7 +165,8 @@ fn main() {
             }
             3 => {
                 eprintln!("[experiments] running the IPC-1 prefetcher study (2 x 10 x 50 runs)...");
-                let t3 = table3(scale);
+                let (t3, report) = table3_with_report(scale, &sim::CoreConfig::ipc1());
+                reports.push(report);
                 if let Some(dir) = csv {
                     csv_write(experiments::csv::table3(dir, &t3, "tab3.csv"));
                 }
@@ -138,25 +174,37 @@ fn main() {
             }
             4 => {
                 eprintln!("[experiments] extension: re-ranking on the decoupled front-end...");
-                let t4 = table4_decoupled(scale);
+                let (t4, report) = table4_decoupled_with_report(scale);
+                reports.push(report);
                 if let Some(dir) = csv {
                     csv_write(experiments::csv::table3(dir, &t4, "tab4.csv"));
                 }
                 render_table4(&t4)
             }
-            _ => usage(),
+            _ => unreachable!("validated at parse time"),
         };
         println!("{text}");
     }
     if selection.stats {
+        for report in &reports {
+            println!("{}", report.render());
+        }
         println!("{}", render_section42(&section42(scale)));
+    }
+    if !reports.is_empty() {
+        let path = "BENCH_experiments.json";
+        match std::fs::write(path, reports_to_json(&reports)) {
+            Ok(()) => eprintln!("[experiments] wrote {path}"),
+            Err(e) => eprintln!("[experiments] could not write {path}: {e}"),
+        }
     }
 }
 
-fn usage() -> ! {
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
     eprintln!(
         "usage: experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all] \
-         [--scale test|paper] [--csv <dir>]"
+         [--scale test|paper] [--csv <dir>] [--threads <n>]"
     );
     std::process::exit(2);
 }

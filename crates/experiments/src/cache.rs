@@ -1,0 +1,341 @@
+//! Thread-safe artifact cache for the experiment scheduler.
+//!
+//! Every `(trace, config)` cell of an experiment needs the trace's CVP
+//! instruction stream and a conversion of it; without sharing, the grid
+//! regenerates each trace ~10× and Table 3 regenerates+reconverts each
+//! trace ~19×. The cache computes each artifact exactly once and hands
+//! out `Arc` clones:
+//!
+//! * CVP traces are keyed on `(TraceSpec, length)`,
+//! * converted ChampSim buffers on `(TraceSpec, length, ImprovementSet)`.
+//!
+//! At paper scale the full artifact set would not fit in memory
+//! (135 traces × 120k instructions ≈ GBs of records), so the cache uses
+//! **budgeted eviction**: each fetch declares the total number of uses
+//! planned for its key, and the entry is dropped from the cache after
+//! the last planned fetch. With the scheduler's trace-major job order
+//! the live window stays a handful of traces wide regardless of suite
+//! size. All fetchers of one key must declare the same total; a fetch
+//! beyond the declared budget recomputes (and recounts as a miss).
+//!
+//! The cache also aggregates per-phase CPU time (generate / convert /
+//! simulate) and hit/miss counts, snapshot via [`ArtifactCache::counters`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use champsim_trace::ChampsimRecord;
+use converter::{ConversionStats, Converter, ImprovementSet};
+use cvp_trace::CvpInstruction;
+use workloads::TraceSpec;
+
+/// A converted trace: the immutable shared record buffer plus the
+/// conversion statistics that produced it. Cloning is cheap.
+#[derive(Debug, Clone)]
+pub struct ConvertedTrace {
+    /// ChampSim records, shared by every simulation of this conversion.
+    pub records: Arc<[ChampsimRecord]>,
+    /// Converter statistics for this trace and improvement set.
+    pub stats: ConversionStats,
+}
+
+/// Counter snapshot: cache effectiveness and per-phase CPU time.
+///
+/// The `*_ns` fields are summed across worker threads, so they measure
+/// CPU time, not wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Trace fetches served from the cache.
+    pub trace_hits: u64,
+    /// Trace fetches that ran the generator.
+    pub trace_misses: u64,
+    /// Conversion fetches served from the cache.
+    pub convert_hits: u64,
+    /// Conversion fetches that ran the converter.
+    pub convert_misses: u64,
+    /// Nanoseconds spent generating CVP traces.
+    pub generate_ns: u64,
+    /// Nanoseconds spent converting to ChampSim records.
+    pub convert_ns: u64,
+    /// Nanoseconds spent simulating.
+    pub simulate_ns: u64,
+}
+
+impl CacheCounters {
+    /// Hit rate of the trace cache in `0..=1` (0 when never queried).
+    pub fn trace_hit_rate(&self) -> f64 {
+        hit_rate(self.trace_hits, self.trace_misses)
+    }
+
+    /// Hit rate of the conversion cache in `0..=1`.
+    pub fn convert_hit_rate(&self) -> f64 {
+        hit_rate(self.convert_hits, self.convert_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// One cached artifact: the compute-once cell plus its remaining budget.
+struct Entry<T> {
+    /// Compute-once cell. The per-entry lock serializes only fetchers of
+    /// *this* key; the first one computes, the rest read.
+    value: Arc<Mutex<Option<T>>>,
+    /// Planned fetches left before the entry is evicted.
+    remaining: u64,
+}
+
+/// Recovers a lock from a panicked holder: every value guarded here is a
+/// plain artifact map or an idempotent compute-once cell, both valid at
+/// any observable point.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+type TraceKey = TraceSpec;
+type ConvertKey = (TraceSpec, ImprovementSet);
+
+/// The shared artifact cache. One instance per scheduled experiment;
+/// share it by reference across worker threads.
+#[derive(Default)]
+pub struct ArtifactCache {
+    traces: Mutex<HashMap<TraceKey, Entry<Arc<[CvpInstruction]>>>>,
+    conversions: Mutex<HashMap<ConvertKey, Entry<ConvertedTrace>>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    convert_hits: AtomicU64,
+    convert_misses: AtomicU64,
+    generate_ns: AtomicU64,
+    convert_ns: AtomicU64,
+    simulate_ns: AtomicU64,
+}
+
+impl ArtifactCache {
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Fetches (generating on first use) the CVP instruction stream for
+    /// `spec` truncated/extended to `length` instructions. `uses` is the
+    /// total number of fetches planned for this `(spec, length)` key
+    /// across the whole run; after the last one the buffer leaves the
+    /// cache (callers' `Arc` clones stay valid).
+    pub fn trace(&self, spec: &TraceSpec, length: usize, uses: u64) -> Arc<[CvpInstruction]> {
+        let keyed = spec.clone().with_length(length);
+        fetch(&self.traces, &keyed, uses, (&self.trace_hits, &self.trace_misses), || {
+            let start = Instant::now();
+            let trace: Arc<[CvpInstruction]> = Arc::from(keyed.generate());
+            self.generate_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            trace
+        })
+    }
+
+    /// Fetches (converting on first use) the ChampSim record buffer for
+    /// `spec` at `length` under `improvements`. `trace_uses` is the
+    /// *trace* budget passed through to [`ArtifactCache::trace`] — i.e.
+    /// the number of distinct improvement sets that will convert this
+    /// trace — and `uses` the number of fetches of this conversion.
+    pub fn converted(
+        &self,
+        spec: &TraceSpec,
+        length: usize,
+        improvements: ImprovementSet,
+        trace_uses: u64,
+        uses: u64,
+    ) -> ConvertedTrace {
+        let key = (spec.clone().with_length(length), improvements);
+        fetch(&self.conversions, &key, uses, (&self.convert_hits, &self.convert_misses), || {
+            let cvp = self.trace(spec, length, trace_uses);
+            // The trace fetch times itself into `generate_ns`; only the
+            // converter run below counts as conversion time.
+            let start = Instant::now();
+            let mut converter = Converter::new(improvements);
+            let records = converter.convert_all(cvp.iter());
+            self.convert_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            ConvertedTrace { records: Arc::from(records), stats: *converter.stats() }
+        })
+    }
+
+    /// Adds simulation CPU time to the phase accounting.
+    pub fn add_simulate_ns(&self, ns: u64) {
+        self.simulate_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hit/miss and per-phase timing counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            convert_hits: self.convert_hits.load(Ordering::Relaxed),
+            convert_misses: self.convert_misses.load(Ordering::Relaxed),
+            generate_ns: self.generate_ns.load(Ordering::Relaxed),
+            convert_ns: self.convert_ns.load(Ordering::Relaxed),
+            simulate_ns: self.simulate_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of trace buffers currently held (0 once every budget is
+    /// spent — the memory-bound guarantee).
+    pub fn live_traces(&self) -> usize {
+        lock(&self.traces).len()
+    }
+
+    /// Number of conversion buffers currently held.
+    pub fn live_conversions(&self) -> usize {
+        lock(&self.conversions).len()
+    }
+}
+
+/// Compute-once fetch with budgeted eviction.
+///
+/// Under the map lock the entry is found or created and its budget
+/// decremented (removing it at zero); the value itself is computed or
+/// read under the per-entry lock, so distinct keys never serialize each
+/// other and concurrent fetchers of one key compute it exactly once.
+fn fetch<K, T>(
+    map: &Mutex<HashMap<K, Entry<T>>>,
+    key: &K,
+    uses: u64,
+    (hits, misses): (&AtomicU64, &AtomicU64),
+    compute: impl FnOnce() -> T,
+) -> T
+where
+    K: Eq + Hash + Clone,
+    T: Clone,
+{
+    let cell = {
+        let mut map = lock(map);
+        let entry = map
+            .entry(key.clone())
+            .or_insert_with(|| Entry { value: Arc::new(Mutex::new(None)), remaining: uses.max(1) });
+        entry.remaining -= 1;
+        let cell = Arc::clone(&entry.value);
+        if entry.remaining == 0 {
+            map.remove(key);
+        }
+        cell
+    };
+    let mut slot = lock(&cell);
+    if let Some(value) = slot.as_ref() {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return value.clone();
+    }
+    misses.fetch_add(1, Ordering::Relaxed);
+    let value = compute();
+    *slot = Some(value.clone());
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::parallel_cells;
+    use workloads::WorkloadKind;
+
+    fn spec(seed: u64) -> TraceSpec {
+        TraceSpec::new(format!("cache_t{seed}"), WorkloadKind::Crypto, seed)
+    }
+
+    #[test]
+    fn trace_generates_exactly_once_under_concurrency() {
+        let cache = ArtifactCache::new();
+        let s = spec(1);
+        let uses = 16u64;
+        let traces = parallel_cells(uses as usize, |_| cache.trace(&s, 2_000, uses));
+        let c = cache.counters();
+        assert_eq!(c.trace_misses, 1);
+        assert_eq!(c.trace_hits, uses - 1);
+        for t in &traces {
+            assert!(Arc::ptr_eq(t, &traces[0]), "all fetches share one buffer");
+        }
+        assert_eq!(cache.live_traces(), 0, "budget spent, buffer evicted");
+    }
+
+    #[test]
+    fn distinct_lengths_are_distinct_keys() {
+        let cache = ArtifactCache::new();
+        let s = spec(2);
+        let a = cache.trace(&s, 1_000, 1);
+        let b = cache.trace(&s, 2_000, 1);
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(b.len(), 2_000);
+        assert_eq!(cache.counters().trace_misses, 2);
+    }
+
+    #[test]
+    fn conversions_share_the_underlying_trace() {
+        let cache = ArtifactCache::new();
+        let s = spec(3);
+        let a = cache.converted(&s, 2_000, ImprovementSet::none(), 2, 1);
+        let b = cache.converted(&s, 2_000, ImprovementSet::all(), 2, 1);
+        let c = cache.counters();
+        assert_eq!(c.trace_misses, 1, "one generation feeds both conversions");
+        assert_eq!(c.trace_hits, 1);
+        assert_eq!(c.convert_misses, 2);
+        assert_eq!(c.convert_hits, 0);
+        assert_eq!(a.stats.input_instructions, 2_000);
+        assert_eq!(b.stats.input_instructions, 2_000);
+        assert_eq!(cache.live_traces(), 0);
+        assert_eq!(cache.live_conversions(), 0);
+    }
+
+    #[test]
+    fn conversion_fetches_hit_and_match() {
+        let cache = ArtifactCache::new();
+        let s = spec(4);
+        let uses = 8u64;
+        let all = parallel_cells(uses as usize, |_| {
+            cache.converted(&s, 2_000, ImprovementSet::all(), 1, uses)
+        });
+        let c = cache.counters();
+        assert_eq!(c.convert_misses, 1);
+        assert_eq!(c.convert_hits, uses - 1);
+        for conv in &all {
+            assert!(Arc::ptr_eq(&conv.records, &all[0].records));
+            assert_eq!(conv.stats, all[0].stats);
+        }
+        assert_eq!(cache.live_conversions(), 0);
+    }
+
+    #[test]
+    fn fetch_beyond_budget_recomputes() {
+        let cache = ArtifactCache::new();
+        let s = spec(5);
+        let a = cache.trace(&s, 1_000, 1);
+        let b = cache.trace(&s, 1_000, 1);
+        assert_eq!(cache.counters().trace_misses, 2, "budget of 1 spent twice");
+        assert_eq!(a, b, "recomputation is deterministic");
+    }
+
+    #[test]
+    fn timing_counters_accumulate() {
+        let cache = ArtifactCache::new();
+        let s = spec(6);
+        cache.converted(&s, 4_000, ImprovementSet::all(), 1, 1);
+        cache.add_simulate_ns(123);
+        let c = cache.counters();
+        assert!(c.generate_ns > 0, "generation was timed");
+        assert!(c.convert_ns > 0, "conversion was timed");
+        assert_eq!(c.simulate_ns, 123);
+    }
+
+    #[test]
+    fn hit_rates_handle_empty_and_full() {
+        let mut c = CacheCounters::default();
+        assert_eq!(c.trace_hit_rate(), 0.0);
+        c.trace_hits = 9;
+        c.trace_misses = 1;
+        assert!((c.trace_hit_rate() - 0.9).abs() < 1e-12);
+        c.convert_misses = 4;
+        assert_eq!(c.convert_hit_rate(), 0.0);
+    }
+}

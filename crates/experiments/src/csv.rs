@@ -25,19 +25,13 @@ pub fn figure1(dir: &Path, rows: &[Fig1Row]) -> std::io::Result<()> {
 /// Writes `fig2.csv`: one column per configuration, sorted variations.
 pub fn figure2(dir: &Path, series: &[Fig2Series]) -> std::io::Result<()> {
     let mut out = String::new();
-    out.push_str(
-        &series.iter().map(|s| s.label.clone()).collect::<Vec<_>>().join(","),
-    );
+    out.push_str(&series.iter().map(|s| s.label.clone()).collect::<Vec<_>>().join(","));
     out.push('\n');
     let rows = series.iter().map(|s| s.sorted_variations_pct.len()).max().unwrap_or(0);
     for i in 0..rows {
         let line: Vec<String> = series
             .iter()
-            .map(|s| {
-                s.sorted_variations_pct
-                    .get(i)
-                    .map_or(String::new(), |v| format!("{v:.4}"))
-            })
+            .map(|s| s.sorted_variations_pct.get(i).map_or(String::new(), |v| format!("{v:.4}")))
             .collect();
         out.push_str(&line.join(","));
         out.push('\n');
@@ -62,10 +56,7 @@ pub fn figure3(dir: &Path, rows: &[Fig3Row]) -> std::io::Result<()> {
 pub fn figure4(dir: &Path, rows: &[Fig4Row]) -> std::io::Result<()> {
     let mut out = String::from("trace,base_update_load_pct,speedup_pct\n");
     for r in rows {
-        out.push_str(&format!(
-            "{},{:.4},{:.4}\n",
-            r.trace, r.base_update_load_pct, r.speedup_pct
-        ));
+        out.push_str(&format!("{},{:.4},{:.4}\n", r.trace, r.base_update_load_pct, r.speedup_pct));
     }
     write_file(dir, "fig4.csv", &out)
 }
@@ -144,11 +135,8 @@ mod tests {
     #[test]
     fn csv_files_are_written_with_headers() {
         let dir = ScratchDir::new();
-        figure1(
-            &dir.0,
-            &[Fig1Row { label: "All_imps".into(), geomean_ipc_variation_pct: -3.5 }],
-        )
-        .unwrap();
+        figure1(&dir.0, &[Fig1Row { label: "All_imps".into(), geomean_ipc_variation_pct: -3.5 }])
+            .unwrap();
         let text = std::fs::read_to_string(dir.0.join("fig1.csv")).unwrap();
         assert!(text.starts_with("config,"));
         assert!(text.contains("All_imps,-3.5000"));

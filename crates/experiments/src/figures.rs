@@ -5,11 +5,17 @@
 //! paper's main core. Compute the grid once and feed it to each
 //! `figure*` function.
 
+use std::time::Instant;
+
 use converter::{Improvement, ImprovementSet};
 use sim::CoreConfig;
-use workloads::cvp1_public_suite;
+use workloads::{cvp1_public_suite, TraceSpec};
 
-use crate::runner::{geomean, parallel_map, simulate_conversion, ExperimentScale, TraceOutcome};
+use crate::cache::ArtifactCache;
+use crate::runner::{
+    geomean, parallel_cells, thread_count, ExperimentScale, SchedulerReport, SharedRunner,
+    TraceOutcome, UsePlan,
+};
 
 /// The improvement configurations of Figures 1 and 2, in the paper's
 /// plotting order.
@@ -46,17 +52,66 @@ impl Grid {
     /// Runs the whole study on an explicit core configuration (used by
     /// the ablation benches).
     pub fn compute_on(scale: ExperimentScale, core: &CoreConfig) -> Grid {
-        let specs = cvp1_public_suite();
-        let baseline =
-            parallel_map(&specs, |s| simulate_conversion(s, ImprovementSet::none(), core, scale));
-        let runs = figure_configurations()
-            .into_iter()
-            .map(|(label, imps)| {
-                let outcomes = parallel_map(&specs, |s| simulate_conversion(s, imps, core, scale));
-                (label, imps, outcomes)
-            })
+        Grid::compute_with_report(scale, core).0
+    }
+
+    /// Runs the whole study, also returning the scheduler's timing and
+    /// cache report (`experiments --stats` / `BENCH_experiments.json`).
+    pub fn compute_with_report(
+        scale: ExperimentScale,
+        core: &CoreConfig,
+    ) -> (Grid, SchedulerReport) {
+        Grid::compute_on_specs(&cvp1_public_suite(), core, scale)
+    }
+
+    /// The scheduled grid over an explicit trace list.
+    ///
+    /// All `specs.len() × 10` (trace × config) cells go into one
+    /// flattened work-stealing queue — no per-config barrier — ordered
+    /// trace-major so each trace's artifacts are produced once, shared
+    /// by the 10 configs simulating it, and evicted right after.
+    pub fn compute_on_specs(
+        specs: &[TraceSpec],
+        core: &CoreConfig,
+        scale: ExperimentScale,
+    ) -> (Grid, SchedulerReport) {
+        let mut configs = vec![("No_imp".to_string(), ImprovementSet::none())];
+        configs.extend(figure_configurations());
+        let nconf = configs.len();
+        let jobs = specs.len() * nconf;
+        let cache = ArtifactCache::new();
+        let runner = SharedRunner { cache: &cache, core, scale };
+        // Each conversion feeds exactly one simulation; each trace feeds
+        // one conversion per config.
+        let plan = UsePlan { trace_uses: nconf as u64, conversion_uses: 1 };
+
+        let start = Instant::now();
+        let outcomes = parallel_cells(jobs, |i| {
+            let spec = &specs[i / nconf];
+            let (_, imps) = &configs[i % nconf];
+            runner.simulate(spec, *imps, 0, None, plan)
+        });
+        let wall = start.elapsed();
+
+        let mut baseline = Vec::with_capacity(specs.len());
+        let mut runs: Vec<(String, ImprovementSet, Vec<TraceOutcome>)> = configs[1..]
+            .iter()
+            .map(|(label, imps)| (label.clone(), *imps, Vec::with_capacity(specs.len())))
             .collect();
-        Grid { baseline, runs }
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match i % nconf {
+                0 => baseline.push(outcome),
+                c => runs[c - 1].2.push(outcome),
+            }
+        }
+        let report = SchedulerReport {
+            label: "grid".into(),
+            threads: thread_count().min(jobs.max(1)),
+            jobs,
+            wall,
+            counters: cache.counters(),
+        };
+        (Grid { baseline, runs }, report)
     }
 
     /// Per-trace IPC ratios (config / baseline) for configuration
@@ -71,11 +126,7 @@ impl Grid {
             .iter()
             .find(|(l, _, _)| l == label)
             .unwrap_or_else(|| panic!("unknown configuration {label:?}"));
-        outcomes
-            .iter()
-            .zip(&self.baseline)
-            .map(|(a, b)| a.report.ipc() / b.report.ipc())
-            .collect()
+        outcomes.iter().zip(&self.baseline).map(|(a, b)| a.report.ipc() / b.report.ipc()).collect()
     }
 }
 
@@ -143,7 +194,11 @@ pub fn figure2(grid: &Grid) -> Vec<Fig2Series> {
                 grid.ipc_ratios(label).iter().map(|r| (r - 1.0) * 100.0).collect();
             v.sort_by(|a, b| b.partial_cmp(a).expect("IPC ratios are finite"));
             let beyond = v.iter().filter(|x| x.abs() > 5.0).count();
-            Fig2Series { label: label.clone(), sorted_variations_pct: v, traces_beyond_5pct: beyond }
+            Fig2Series {
+                label: label.clone(),
+                sorted_variations_pct: v,
+                traces_beyond_5pct: beyond,
+            }
         })
         .collect()
 }
@@ -264,9 +319,8 @@ pub fn figure4(grid: &Grid) -> Vec<Fig4Row> {
 
 /// Renders Figure 4 rows.
 pub fn render_figure4(rows: &[Fig4Row]) -> String {
-    let mut out = String::from(
-        "Figure 4: base-update speedup, traces sorted by % base-updating loads\n",
-    );
+    let mut out =
+        String::from("Figure 4: base-update speedup, traces sorted by % base-updating loads\n");
     out.push_str("  trace             bu-loads%   speedup\n");
     for r in rows {
         out.push_str(&format!(
@@ -316,18 +370,15 @@ pub fn figure5(grid: &Grid) -> Vec<Fig5Row> {
             speedup_pct: (r - 1.0) * 100.0,
         })
         .collect();
-    rows.sort_by(|a, b| {
-        b.ras_mpki_original.partial_cmp(&a.ras_mpki_original).expect("finite")
-    });
+    rows.sort_by(|a, b| b.ras_mpki_original.partial_cmp(&a.ras_mpki_original).expect("finite"));
     rows.truncate(20);
     rows
 }
 
 /// Renders Figure 5 rows.
 pub fn render_figure5(rows: &[Fig5Row]) -> String {
-    let mut out = String::from(
-        "Figure 5: call-stack fix — return MPKI original/improved and speedup\n",
-    );
+    let mut out =
+        String::from("Figure 5: call-stack fix — return MPKI original/improved and speedup\n");
     out.push_str("  trace             RAS MPKI orig   RAS MPKI fixed   speedup\n");
     for r in rows {
         out.push_str(&format!(

@@ -18,11 +18,14 @@
 //! plain-data rows plus a `render` helper producing the textual output
 //! the artifact scripts would print.
 
+pub mod bench;
+pub mod cache;
 pub mod csv;
 pub mod figures;
 pub mod runner;
 pub mod tables;
 
+pub use cache::{ArtifactCache, CacheCounters, ConvertedTrace};
 pub use runner::{simulate_conversion, ExperimentScale, TraceOutcome};
 
 #[cfg(test)]

@@ -1,8 +1,28 @@
 //! Shared conversion + simulation plumbing for all experiments.
+//!
+//! Two execution paths exist:
+//!
+//! * the **uncached serial path** ([`simulate_conversion`] /
+//!   [`simulate_with_options`]) regenerates and reconverts its trace on
+//!   every call — the reference semantics, kept for spot checks and the
+//!   determinism tests;
+//! * the **scheduled path** ([`SharedRunner`], used by
+//!   [`Grid::compute_with_report`](crate::figures::Grid::compute_with_report)
+//!   and [`table3_with_report`](crate::tables::table3_with_report))
+//!   fetches artifacts from an [`ArtifactCache`] and flattens all
+//!   (trace × config) cells into one work-stealing job queue, so trace
+//!   generation runs exactly once per `(spec, length)` and threads never
+//!   idle at per-config barriers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use converter::{ConversionStats, Converter, ImprovementSet};
 use sim::{CoreConfig, RunOptions, SimReport, Simulator};
 use workloads::TraceSpec;
+
+use crate::cache::{ArtifactCache, CacheCounters};
 
 /// How large each experiment runs. The paper uses the full traces (tens
 /// of millions of instructions); the scales here trade fidelity for
@@ -65,13 +85,8 @@ pub fn simulate_with_options(
     let cvp = spec.clone().with_length(scale.trace_length).generate();
     let mut converter = Converter::new(improvements);
     let records = converter.convert_all(cvp.iter());
-    let mut options = RunOptions::default().with_warmup(warmup);
-    if let Some(name) = prefetcher {
-        let pf = iprefetch::by_name(name)
-            .unwrap_or_else(|| panic!("unknown instruction prefetcher {name:?}"));
-        options = options.with_prefetcher(pf);
-    }
-    let report = Simulator::new(core.clone()).run_with_options(&records, options);
+    let report =
+        Simulator::new(core.clone()).run_with_options(&records, run_options(warmup, prefetcher));
     TraceOutcome {
         trace: spec.name().to_owned(),
         improvements,
@@ -80,31 +95,237 @@ pub fn simulate_with_options(
     }
 }
 
-/// Runs `job` for every spec in parallel (scoped threads, one queue),
-/// preserving input order in the output.
-pub fn parallel_map<T, F>(specs: &[TraceSpec], job: F) -> Vec<T>
+fn run_options(warmup: u64, prefetcher: Option<&str>) -> RunOptions {
+    let mut options = RunOptions::default().with_warmup(warmup);
+    if let Some(name) = prefetcher {
+        let pf = iprefetch::by_name(name)
+            .unwrap_or_else(|| panic!("unknown instruction prefetcher {name:?}"));
+        options = options.with_prefetcher(pf);
+    }
+    options
+}
+
+// ---------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------
+
+/// `0` means "no override": fall back to the environment / hardware.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for all subsequent parallel runs
+/// (`0` restores automatic selection). The `experiments --threads` flag
+/// feeds this.
+pub fn set_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The worker-thread count: the [`set_threads`] override if set, else
+/// `EXPERIMENTS_THREADS` from the environment, else the machine's
+/// available parallelism.
+pub fn thread_count() -> usize {
+    let n = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Some(n) = std::env::var("EXPERIMENTS_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+fn planned_threads(jobs: usize) -> usize {
+    thread_count().min(jobs.max(1))
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing execution
+// ---------------------------------------------------------------------
+
+/// Runs `job(0..jobs)` across the worker threads, all stealing from one
+/// atomic counter, and returns the results in index order.
+///
+/// Each result lands in its own slot (no shared-vector lock, so result
+/// stores never contend), and a panicking job poisons only its own slot:
+/// the other workers keep draining the queue, and the panic resurfaces
+/// once every thread has finished.
+pub fn parallel_cells<T, F>(jobs: usize, job: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(&TraceSpec) -> T + Sync,
+    F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(specs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(specs.len());
-    slots.resize_with(specs.len(), || None);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = planned_threads(jobs);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
                     break;
                 }
-                let value = job(&specs[i]);
-                slots_mutex.lock().expect("no panics while holding the lock")[i] = Some(value);
+                let value = job(i);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(PoisonError::into_inner).expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Runs `job` for every item in parallel (scoped threads, one queue),
+/// preserving input order in the output.
+pub fn parallel_map<I, T, F>(items: &[I], job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    parallel_cells(items.len(), |i| job(&items[i]))
+}
+
+// ---------------------------------------------------------------------
+// Cache-backed execution
+// ---------------------------------------------------------------------
+
+/// Planned fetch counts for one scheduled job — the cache's eviction
+/// budget (see [`ArtifactCache`]).
+#[derive(Debug, Clone, Copy)]
+pub struct UsePlan {
+    /// Total planned fetches of the job's CVP trace across the run
+    /// (= distinct improvement sets converting it).
+    pub trace_uses: u64,
+    /// Total planned fetches of the job's conversion across the run
+    /// (= simulations sharing it).
+    pub conversion_uses: u64,
+}
+
+/// Cache-backed executor: one per scheduled experiment, shared by
+/// reference across the worker threads.
+pub struct SharedRunner<'a> {
+    /// The artifact cache all jobs fetch from.
+    pub cache: &'a ArtifactCache,
+    /// Core configuration every job simulates on.
+    pub core: &'a CoreConfig,
+    /// Trace length and warm-up defaults.
+    pub scale: ExperimentScale,
+}
+
+impl SharedRunner<'_> {
+    /// Like [`simulate_with_options`], but fetching the trace and
+    /// conversion through the cache and simulating straight from the
+    /// shared buffer (no clone).
+    pub fn simulate(
+        &self,
+        spec: &TraceSpec,
+        improvements: ImprovementSet,
+        warmup: u64,
+        prefetcher: Option<&str>,
+        plan: UsePlan,
+    ) -> TraceOutcome {
+        let converted = self.cache.converted(
+            spec,
+            self.scale.trace_length,
+            improvements,
+            plan.trace_uses,
+            plan.conversion_uses,
+        );
+        let start = Instant::now();
+        let report =
+            Simulator::run_on(self.core, &converted.records, run_options(warmup, prefetcher));
+        self.cache.add_simulate_ns(start.elapsed().as_nanos() as u64);
+        TraceOutcome {
+            trace: spec.name().to_owned(),
+            improvements,
+            report,
+            conversion: converted.stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler reporting
+// ---------------------------------------------------------------------
+
+/// Timing and cache-effectiveness summary of one scheduled experiment.
+#[derive(Debug, Clone)]
+pub struct SchedulerReport {
+    /// Which experiment ran (`grid`, `table3`, ...).
+    pub label: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// (trace × config) cells executed.
+    pub jobs: usize,
+    /// End-to-end wall-clock of the scheduled run.
+    pub wall: Duration,
+    /// Cache hit/miss counts and per-phase CPU time.
+    pub counters: CacheCounters,
+}
+
+impl SchedulerReport {
+    /// Human-readable form, printed by `experiments --stats`.
+    pub fn render(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "scheduler [{label}]: {jobs} jobs on {threads} threads, wall {wall:.3} s\n\
+             \x20 generate: {gen:.3} s CPU, {tm} misses / {th} hits ({tr:.1}% hit rate)\n\
+             \x20 convert:  {conv:.3} s CPU, {cm} misses / {ch} hits ({cr:.1}% hit rate)\n\
+             \x20 simulate: {sim:.3} s CPU\n",
+            label = self.label,
+            jobs = self.jobs,
+            threads = self.threads,
+            wall = self.wall.as_secs_f64(),
+            gen = c.generate_ns as f64 / 1e9,
+            tm = c.trace_misses,
+            th = c.trace_hits,
+            tr = 100.0 * c.trace_hit_rate(),
+            conv = c.convert_ns as f64 / 1e9,
+            cm = c.convert_misses,
+            ch = c.convert_hits,
+            cr = 100.0 * c.convert_hit_rate(),
+            sim = c.simulate_ns as f64 / 1e9,
+        )
+    }
+
+    /// One JSON object (hand-rolled: the workspace has no serializer
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "{{\"label\":\"{}\",\"threads\":{},\"jobs\":{},\"wall_seconds\":{:.6},\
+             \"generate_seconds\":{:.6},\"convert_seconds\":{:.6},\"simulate_seconds\":{:.6},\
+             \"trace_hits\":{},\"trace_misses\":{},\"trace_hit_rate\":{:.6},\
+             \"convert_hits\":{},\"convert_misses\":{},\"convert_hit_rate\":{:.6}}}",
+            self.label,
+            self.threads,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            c.generate_ns as f64 / 1e9,
+            c.convert_ns as f64 / 1e9,
+            c.simulate_ns as f64 / 1e9,
+            c.trace_hits,
+            c.trace_misses,
+            c.trace_hit_rate(),
+            c.convert_hits,
+            c.convert_misses,
+            c.convert_hit_rate(),
+        )
+    }
+}
+
+/// The `BENCH_experiments.json` document for a set of scheduled runs.
+pub fn reports_to_json(reports: &[SchedulerReport]) -> String {
+    let body: Vec<String> = reports.iter().map(SchedulerReport::to_json).collect();
+    format!("{{\"reports\":[{}]}}\n", body.join(","))
 }
 
 /// Geometric mean of strictly positive values.
@@ -121,6 +342,8 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
     use workloads::WorkloadKind;
 
     #[test]
@@ -137,13 +360,57 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_order() {
-        let specs: Vec<TraceSpec> = (0..10)
-            .map(|i| TraceSpec::new(format!("t{i}"), WorkloadKind::Crypto, i))
-            .collect();
+        let specs: Vec<TraceSpec> =
+            (0..10).map(|i| TraceSpec::new(format!("t{i}"), WorkloadKind::Crypto, i)).collect();
         let names = parallel_map(&specs, |s| s.name().to_owned());
         for (i, n) in names.iter().enumerate() {
             assert_eq!(n, &format!("t{i}"));
         }
+    }
+
+    #[test]
+    fn parallel_cells_handles_empty_and_single() {
+        let empty: Vec<usize> = parallel_cells(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_cells(1, |i| i + 10), vec![10]);
+    }
+
+    /// Serializes tests that mutate the global thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn panicking_job_propagates_without_poisoning_others() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        // Force several workers even on a single-core machine so the
+        // survivors can drain the queue past the panicking job.
+        set_threads(4);
+        let items: Vec<usize> = (0..32).collect();
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |&i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                i * 2
+            })
+        }));
+        set_threads(0);
+        assert!(result.is_err(), "the panic propagates to the caller");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            items.len() - 1,
+            "every unrelated job still ran to completion"
+        );
+    }
+
+    #[test]
+    fn thread_count_respects_override() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_threads(3);
+        assert_eq!(thread_count(), 3);
+        set_threads(0);
+        assert!(thread_count() >= 1);
     }
 
     #[test]
@@ -159,5 +426,53 @@ mod tests {
         assert_eq!(out.conversion.input_instructions, 5_000);
         assert_eq!(out.report.instructions, out.conversion.output_records);
         assert!(out.report.ipc() > 0.0);
+    }
+
+    #[test]
+    fn shared_runner_matches_uncached_path() {
+        let spec = TraceSpec::new("t", WorkloadKind::Server, 7).with_length(4_000);
+        let core = CoreConfig::test_small();
+        let scale = ExperimentScale { trace_length: 4_000, warmup: 0 };
+        let serial = simulate_conversion(&spec, ImprovementSet::all(), &core, scale);
+        let cache = ArtifactCache::new();
+        let runner = SharedRunner { cache: &cache, core: &core, scale };
+        let shared = runner.simulate(
+            &spec,
+            ImprovementSet::all(),
+            0,
+            None,
+            UsePlan { trace_uses: 1, conversion_uses: 1 },
+        );
+        assert_eq!(shared.report.ipc().to_bits(), serial.report.ipc().to_bits());
+        assert_eq!(shared.conversion, serial.conversion);
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = SchedulerReport {
+            label: "grid".into(),
+            threads: 4,
+            jobs: 40,
+            wall: Duration::from_millis(1500),
+            counters: CacheCounters {
+                trace_hits: 36,
+                trace_misses: 4,
+                convert_hits: 0,
+                convert_misses: 40,
+                generate_ns: 2_000_000_000,
+                convert_ns: 1_000_000_000,
+                simulate_ns: 3_000_000_000,
+            },
+        };
+        let text = report.render();
+        assert!(text.contains("[grid]"), "{text}");
+        assert!(text.contains("40 jobs on 4 threads"), "{text}");
+        assert!(text.contains("90.0% hit rate"), "{text}");
+        let json = reports_to_json(&[report]);
+        assert!(json.starts_with("{\"reports\":[{"), "{json}");
+        assert!(json.contains("\"label\":\"grid\""), "{json}");
+        assert!(json.contains("\"wall_seconds\":1.500000"), "{json}");
+        assert!(json.contains("\"trace_hit_rate\":0.900000"), "{json}");
+        assert!(json.trim_end().ends_with("]}"), "{json}");
     }
 }

@@ -25,8 +25,7 @@ fn mini_grid() -> Grid {
     let runs = crate::figures::figure_configurations()
         .into_iter()
         .map(|(label, imps)| {
-            let outcomes =
-                parallel_map(&specs, |s| simulate_conversion(s, imps, &core, SCALE));
+            let outcomes = parallel_map(&specs, |s| simulate_conversion(s, imps, &core, SCALE));
             (label, imps, outcomes)
         })
         .collect();
@@ -85,8 +84,7 @@ fn figure4_speedup_grows_with_base_update_fraction() {
     let grid = mini_grid();
     let rows = figure4(&grid);
     let third = rows.len() / 3;
-    let low: f64 =
-        rows[..third].iter().map(|r| r.speedup_pct).sum::<f64>() / third as f64;
+    let low: f64 = rows[..third].iter().map(|r| r.speedup_pct).sum::<f64>() / third as f64;
     let high: f64 =
         rows[rows.len() - third..].iter().map(|r| r.speedup_pct).sum::<f64>() / third as f64;
     assert!(
@@ -130,8 +128,7 @@ fn figure5_call_stack_collapses_return_mpki() {
 /// traces (the paper's first observation).
 #[test]
 fn table3_speedups_grow_on_fixed_traces() {
-    let specs: Vec<TraceSpec> =
-        workloads::ipc1_suite().into_iter().step_by(7).collect();
+    let specs: Vec<TraceSpec> = workloads::ipc1_suite().into_iter().step_by(7).collect();
     let core = CoreConfig::ipc1();
     let scale = ExperimentScale { trace_length: 30_000, warmup: 5_000 };
     let speedup_for = |imps: ImprovementSet, pf: &str| -> f64 {
@@ -168,15 +165,69 @@ fn many_traces_shift_beyond_5pct_under_all_improvements() {
     );
 }
 
+/// The scheduled (cached, flattened, work-stealing) grid must be
+/// bit-identical to the uncached serial reference path: same IPC bits,
+/// same conversion statistics, regardless of thread interleaving.
+#[test]
+fn scheduled_grid_matches_uncached_serial_path() {
+    let specs: Vec<TraceSpec> = mini_suite().into_iter().take(3).collect();
+    let core = CoreConfig::iiswc_main();
+    let scale = ExperimentScale::test();
+    let (grid, _) = Grid::compute_on_specs(&specs, &core, scale);
+
+    let check = |imps: ImprovementSet, outcomes: &[crate::runner::TraceOutcome]| {
+        assert_eq!(outcomes.len(), specs.len());
+        for (spec, scheduled) in specs.iter().zip(outcomes) {
+            let serial = simulate_conversion(spec, imps, &core, scale);
+            assert_eq!(scheduled.trace, serial.trace);
+            assert_eq!(
+                scheduled.report.ipc().to_bits(),
+                serial.report.ipc().to_bits(),
+                "{}: scheduled IPC must be bit-identical to the serial path",
+                spec.name()
+            );
+            assert_eq!(
+                scheduled.conversion,
+                serial.conversion,
+                "{}: conversion statistics must match the serial path",
+                spec.name()
+            );
+        }
+    };
+    check(ImprovementSet::none(), &grid.baseline);
+    for (_, imps, outcomes) in &grid.runs {
+        check(*imps, outcomes);
+    }
+}
+
+/// The acceptance criterion for the artifact cache: across the whole
+/// grid, trace generation runs exactly once per `(spec, length)` and
+/// every conversion is fresh (each feeds exactly one simulation).
+#[test]
+fn grid_cache_accounting_is_exact() {
+    let specs: Vec<TraceSpec> = mini_suite().into_iter().take(4).collect();
+    let (_, report) = Grid::compute_on_specs(&specs, &CoreConfig::iiswc_main(), SCALE);
+    let k = specs.len() as u64;
+    let nconf = 10; // No_imp + the nine figure configurations
+    assert_eq!(report.jobs, specs.len() * nconf as usize);
+    let c = report.counters;
+    assert_eq!(c.trace_misses, k, "each trace generated exactly once");
+    assert_eq!(c.trace_hits, (nconf - 1) * k, "the other nine configs reuse it");
+    assert_eq!(c.convert_misses, nconf * k, "every (trace, config) converts once");
+    assert_eq!(c.convert_hits, 0, "grid conversions feed exactly one simulation");
+    assert!((c.trace_hit_rate() - 0.9).abs() < 1e-12);
+    assert_eq!(c.convert_hit_rate(), 0.0);
+}
+
 /// Determinism: the same grid computation twice gives identical results.
 #[test]
 fn experiments_are_deterministic() {
     let specs = mini_suite();
     let core = CoreConfig::iiswc_main();
-    let a = parallel_map(&specs[..4].to_vec(), |s| {
+    let a = parallel_map(&specs[..4], |s| {
         simulate_conversion(s, ImprovementSet::all(), &core, SCALE).report.ipc()
     });
-    let b = parallel_map(&specs[..4].to_vec(), |s| {
+    let b = parallel_map(&specs[..4], |s| {
         simulate_conversion(s, ImprovementSet::all(), &core, SCALE).report.ipc()
     });
     assert_eq!(a, b);
@@ -259,8 +310,7 @@ fn table2_has_the_papers_structure() {
     // Gradient: the last five servers have more L1I pressure than the
     // first five (the paper's 16.8 -> 121.8 column).
     let head: f64 = server_l1i[..5].iter().map(|r| r.1).sum::<f64>() / 5.0;
-    let tail: f64 =
-        server_l1i[server_l1i.len() - 5..].iter().map(|r| r.1).sum::<f64>() / 5.0;
+    let tail: f64 = server_l1i[server_l1i.len() - 5..].iter().map(|r| r.1).sum::<f64>() / 5.0;
     assert!(tail > head * 1.5, "L1I gradient must grow: {head} -> {tail}");
     // The memory-bound cluster (017..022) is the slowest server group.
     let cluster: Vec<&(String, f64, f64)> = server_l1i
@@ -279,9 +329,7 @@ fn table2_has_the_papers_structure() {
         "the memory-bound cluster must be far slower: {cluster_ipc} vs {rest_ipc}"
     );
     // gcc_002/003 are the slowest traces overall.
-    let slowest = rows
-        .iter()
-        .min_by(|a, b| a.ipc.partial_cmp(&b.ipc).expect("finite"))
-        .expect("non-empty");
+    let slowest =
+        rows.iter().min_by(|a, b| a.ipc.partial_cmp(&b.ipc).expect("finite")).expect("non-empty");
     assert!(slowest.trace.starts_with("spec_gcc_00"), "slowest: {}", slowest.trace);
 }

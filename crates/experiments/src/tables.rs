@@ -1,11 +1,15 @@
 //! Tables 1–3 and the §4.2 statistics.
 
+use std::time::Instant;
+
 use converter::{Improvement, ImprovementSet};
 use sim::CoreConfig;
 use workloads::{cvp1_public_suite, ipc1_suite};
 
+use crate::cache::ArtifactCache;
 use crate::runner::{
-    geomean, parallel_map, simulate_conversion, simulate_with_options, ExperimentScale,
+    geomean, parallel_cells, parallel_map, simulate_conversion, thread_count, ExperimentScale,
+    SchedulerReport, SharedRunner, UsePlan,
 };
 
 // ---------------------------------------------------------------------
@@ -44,7 +48,8 @@ pub fn table1(scale: ExperimentScale) -> Vec<Tab1Row> {
         Tab1Row {
             improvement: Improvement::MemRegs,
             group: "Memory",
-            modification: "convey all (and only) the CVP-1 destination registers of memory instructions",
+            modification:
+                "convey all (and only) the CVP-1 destination registers of memory instructions",
             affected_per_mille: per_mille(
                 totals.memory_no_destination + totals.loads_multiple_destinations,
             ),
@@ -214,36 +219,84 @@ pub fn table3(scale: ExperimentScale) -> Table3 {
 /// Runs the Table 3 study on an explicit core (the extension Table 4
 /// re-ranks on the modern decoupled core).
 pub fn table3_on(scale: ExperimentScale, core: &CoreConfig) -> Table3 {
+    table3_with_report(scale, core).0
+}
+
+/// Runs the Table 3 study, also returning the scheduler's timing and
+/// cache report.
+///
+/// Every (trace, improvement-set, prefetcher) cell — 19 per trace: the
+/// no-prefetch baseline plus eight contest prefetchers under both trace
+/// versions, and the tuned FNL+MMA on the fixed traces — goes into one
+/// flattened work-stealing queue. The trace generates once and each of
+/// its two conversions once, shared by all simulations.
+pub fn table3_with_report(scale: ExperimentScale, core: &CoreConfig) -> (Table3, SchedulerReport) {
     let specs = ipc1_suite();
-    let speedup_of = |imps: ImprovementSet, name: &str, baseline: &[f64]| -> f64 {
-        let ipcs: Vec<f64> = parallel_map(&specs, |s| {
-            simulate_with_options(s, imps, core, scale, scale.warmup, Some(name)).report.ipc()
-        });
-        geomean(&ipcs.iter().zip(baseline).map(|(a, b)| a / b).collect::<Vec<_>>())
+    let competition_imps = ImprovementSet::none();
+    let fixed_imps = fixed_traces_improvements();
+
+    // Per-trace cell list, in conversion-major order. The fixed
+    // conversion serves one more simulation (the tuned FNL+MMA run).
+    let mut cells: Vec<(ImprovementSet, &str, u64)> = Vec::new();
+    let competition_uses = 1 + iprefetch::CONTEST_NAMES.len() as u64;
+    let fixed_uses = competition_uses + 1;
+    for (imps, uses) in [(competition_imps, competition_uses), (fixed_imps, fixed_uses)] {
+        cells.push((imps, "none", uses));
+        for name in iprefetch::CONTEST_NAMES {
+            cells.push((imps, name, uses));
+        }
+    }
+    cells.push((fixed_imps, "fnl+mma-tuned", fixed_uses));
+    let ncells = cells.len();
+
+    let cache = ArtifactCache::new();
+    let runner = SharedRunner { cache: &cache, core, scale };
+    let jobs = specs.len() * ncells;
+    let start = Instant::now();
+    let ipcs: Vec<f64> = parallel_cells(jobs, |i| {
+        let spec = &specs[i / ncells];
+        let (imps, prefetcher, conversion_uses) = &cells[i % ncells];
+        let plan = UsePlan { trace_uses: 2, conversion_uses: *conversion_uses };
+        runner.simulate(spec, *imps, scale.warmup, Some(prefetcher), plan).report.ipc()
+    });
+    let wall = start.elapsed();
+
+    // Column `c` of cell grid = per-trace IPC vector for one cell kind.
+    let column =
+        |c: usize| -> Vec<f64> { (0..specs.len()).map(|t| ipcs[t * ncells + c]).collect() };
+    let speedup = |pf: &[f64], base: &[f64]| -> f64 {
+        geomean(&pf.iter().zip(base).map(|(a, b)| a / b).collect::<Vec<_>>())
     };
-    let rank = |imps: ImprovementSet| -> (Vec<Tab3Entry>, Vec<f64>) {
-        let baseline: Vec<f64> = parallel_map(&specs, |s| {
-            simulate_with_options(s, imps, core, scale, scale.warmup, Some("none")).report.ipc()
-        });
+    let rank = |first_cell: usize| -> Vec<Tab3Entry> {
+        let baseline = column(first_cell);
         let mut entries: Vec<Tab3Entry> = iprefetch::CONTEST_NAMES
             .iter()
-            .map(|name| Tab3Entry {
+            .enumerate()
+            .map(|(p, name)| Tab3Entry {
                 rank: 0,
                 prefetcher: (*name).to_owned(),
-                speedup: speedup_of(imps, name, &baseline),
+                speedup: speedup(&column(first_cell + 1 + p), &baseline),
             })
             .collect();
         entries.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).expect("finite speedups"));
         for (i, e) in entries.iter_mut().enumerate() {
             e.rank = i + 1;
         }
-        (entries, baseline)
+        entries
     };
-    let (competition, _) = rank(ImprovementSet::none());
-    let (fixed, fixed_baseline) = rank(fixed_traces_improvements());
-    let tuned =
-        speedup_of(fixed_traces_improvements(), "fnl+mma-tuned", &fixed_baseline);
-    Table3 { competition, fixed, tuned_fnl_mma_fixed: tuned }
+
+    let per_imps = 1 + iprefetch::CONTEST_NAMES.len();
+    let competition = rank(0);
+    let fixed = rank(per_imps);
+    let tuned = speedup(&column(2 * per_imps), &column(per_imps));
+    let report = SchedulerReport {
+        label: "table3".into(),
+        threads: thread_count().min(jobs.max(1)),
+        jobs,
+        wall,
+        counters: cache.counters(),
+    };
+    (Table3 { competition, fixed, tuned_fnl_mma_fixed: tuned }, report)
 }
 
 /// Renders Table 3 side by side, as in the paper.
@@ -268,19 +321,25 @@ pub fn render_table3(t: &Table3) -> String {
 /// prefetcher study on the **modern decoupled core**, quantifying how a
 /// fetch-directed front-end deflates dedicated instruction prefetchers.
 pub fn table4_decoupled(scale: ExperimentScale) -> Table3 {
+    table4_decoupled_with_report(scale).0
+}
+
+/// [`table4_decoupled`] plus the scheduler report.
+pub fn table4_decoupled_with_report(scale: ExperimentScale) -> (Table3, SchedulerReport) {
     let mut core = CoreConfig::iiswc_main();
     // Ideal targets keep the study comparable to Table 3; the decoupled
     // front-end is the variable under test.
     core.ideal_targets = true;
-    table3_on(scale, &core)
+    let (table, mut report) = table3_with_report(scale, &core);
+    report.label = "table4".into();
+    (table, report)
 }
 
 /// Renders the extension table.
 pub fn render_table4(t: &Table3) -> String {
     let body = render_table3(t);
-    let mut out = String::from(
-        "Table 4 (extension): IPC-1 prefetchers on the modern decoupled front-end\n",
-    );
+    let mut out =
+        String::from("Table 4 (extension): IPC-1 prefetchers on the modern decoupled front-end\n");
     // Reuse Table 3's body, dropping its title line.
     if let Some(rest) = body.split_once('\n') {
         out.push_str(rest.1);

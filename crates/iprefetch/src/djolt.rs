@@ -133,8 +133,7 @@ mod tests {
         let trace = harness::looping_trace(4000, 600);
         let mut pf = DJolt::default_config();
         let with = harness::evaluate(&mut pf, &trace, 128);
-        let without =
-            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        let without = harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
         assert!(with.misses < without.misses / 2, "{} vs {}", with.misses, without.misses);
     }
 }

@@ -60,11 +60,8 @@ impl BlockCache {
         if self.blocks.len() < self.capacity {
             self.blocks.push((block, self.tick));
         } else {
-            let victim = self
-                .blocks
-                .iter_mut()
-                .min_by_key(|(_, lru)| *lru)
-                .expect("cache is non-empty");
+            let victim =
+                self.blocks.iter_mut().min_by_key(|(_, lru)| *lru).expect("cache is non-empty");
             *victim = (block, self.tick);
         }
     }

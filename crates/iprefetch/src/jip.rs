@@ -72,8 +72,7 @@ impl InstructionPrefetcher for Jip {
             } else {
                 // A jump: record source → destination and start a new run.
                 let idx = self.index(self.last_block);
-                self.jumps[idx] =
-                    JumpEntry { source: self.last_block, destination: block, run: 0 };
+                self.jumps[idx] = JumpEntry { source: self.last_block, destination: block, run: 0 };
                 self.run_start_entry = Some(idx);
                 self.run_length = 0;
             }
@@ -117,8 +116,7 @@ mod tests {
     fn beats_baseline_on_loops() {
         let trace = harness::looping_trace(4000, 600);
         let with = harness::evaluate(&mut Jip::default_config(), &trace, 128);
-        let without =
-            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        let without = harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
         assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
     }
 }

@@ -62,8 +62,7 @@ impl Mana {
     fn close_record(&mut self, next_trigger: u64) {
         if let Some(trigger) = self.current_trigger.take() {
             let idx = self.index(trigger);
-            self.records[idx] =
-                Record { trigger, footprint: self.current_footprint, next_trigger };
+            self.records[idx] = Record { trigger, footprint: self.current_footprint, next_trigger };
         }
         self.current_footprint = 0;
         self.blocks_since_trigger = 0;
@@ -163,8 +162,7 @@ mod tests {
     fn beats_baseline_on_loops() {
         let trace = harness::looping_trace(4000, 600);
         let with = harness::evaluate(&mut Mana::default_config(), &trace, 128);
-        let without =
-            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        let without = harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
         assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
     }
 }

@@ -161,8 +161,7 @@ mod tests {
     fn beats_baseline_on_loops() {
         let trace = harness::looping_trace(4000, 600);
         let with = harness::evaluate(&mut Pips::default_config(), &trace, 128);
-        let without =
-            harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
+        let without = harness::evaluate(&mut crate::nextline::NoInstructionPrefetcher, &trace, 128);
         assert!(with.misses < without.misses, "{} vs {}", with.misses, without.misses);
     }
 }

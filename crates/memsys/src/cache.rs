@@ -56,7 +56,7 @@ impl CacheConfig {
     /// Panics if the geometry does not divide into power-of-two sets.
     pub fn with_size_kib(size_kib: usize, ways: usize, latency: u64) -> CacheConfig {
         let lines = size_kib * 1024 / CACHELINE_BYTES as usize;
-        assert!(lines % ways == 0, "size must divide into ways");
+        assert!(lines.is_multiple_of(ways), "size must divide into ways");
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheConfig { sets, ways, latency, replacement: ReplacementPolicy::Lru }
@@ -213,9 +213,7 @@ impl Cache {
         let tick = self.tick;
 
         // Already present (e.g. racing prefetch): refresh only.
-        if let Some(line) =
-            self.lines[start..end].iter_mut().find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.lines[start..end].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = tick;
             line.rrpv = 0;
             return None;
@@ -226,7 +224,9 @@ impl Cache {
                 tag,
                 valid: true,
                 lru: tick,
-                rrpv: if kind == AccessKind::Prefetch { 2 } else { 2 },
+                // SRRIP long re-reference insertion; prefetch fills get
+                // no distant-insertion bias (they share the demand RRPV).
+                rrpv: 2,
                 prefetched: kind == AccessKind::Prefetch,
             };
             return None;
@@ -261,13 +261,8 @@ impl Cache {
         };
         let victim = &mut self.lines[victim_offset];
         let evicted = victim.tag * CACHELINE_BYTES;
-        *victim = Line {
-            tag,
-            valid: true,
-            lru: tick,
-            rrpv: 2,
-            prefetched: kind == AccessKind::Prefetch,
-        };
+        *victim =
+            Line { tag, valid: true, lru: tick, rrpv: 2, prefetched: kind == AccessKind::Prefetch };
         Some(evicted)
     }
 

@@ -1,6 +1,6 @@
 use crate::cache::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
-use crate::tlb::{TranslationConfig, TranslationHierarchy};
 use crate::prefetch::{DataPrefetcher, IpStridePrefetcher, NextLinePrefetcher, NoPrefetcher};
+use crate::tlb::{TranslationConfig, TranslationHierarchy};
 
 /// Configuration of the four-level hierarchy.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +44,11 @@ impl HierarchyConfig {
     /// The IPC-1 contest configuration: same geometry, no data
     /// prefetchers (the contest varied the *instruction* prefetcher).
     pub fn ipc1() -> HierarchyConfig {
-        HierarchyConfig { l1d_ip_stride: false, l2_next_line: false, ..HierarchyConfig::iiswc_main() }
+        HierarchyConfig {
+            l1d_ip_stride: false,
+            l2_next_line: false,
+            ..HierarchyConfig::iiswc_main()
+        }
     }
 
     /// Enables Ice Lake-flavoured address translation (ablations).
@@ -280,7 +284,7 @@ mod tests {
     fn l2_hit_is_faster_than_llc_hit() {
         let mut mem = no_prefetch();
         mem.access_data(0, 0x9000, false); // fill all levels
-        // Evict from L1D only by touching many conflicting lines.
+                                           // Evict from L1D only by touching many conflicting lines.
         let sets = mem.l1d().config().sets as u64;
         let ways = mem.l1d().config().ways as u64;
         for i in 1..=ways + 2 {

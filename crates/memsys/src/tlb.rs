@@ -39,7 +39,7 @@ impl Tlb {
     /// Panics if the geometry does not divide into power-of-two sets.
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.entries > 0 && config.ways > 0, "TLB dimensions must be positive");
-        assert!(config.entries % config.ways == 0, "entries must divide into ways");
+        assert!(config.entries.is_multiple_of(config.ways), "entries must divide into ways");
         let sets = config.entries / config.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
@@ -88,8 +88,7 @@ impl Tlb {
         if set.len() < ways {
             set.push((page, tick));
         } else {
-            let victim =
-                set.iter_mut().min_by_key(|e| e.1).expect("full set is non-empty");
+            let victim = set.iter_mut().min_by_key(|e| e.1).expect("full set is non-empty");
             *victim = (page, tick);
         }
     }

@@ -82,6 +82,18 @@ impl Simulator {
     ) -> SimReport {
         Engine::new(&self.config, options).run(records)
     }
+
+    /// Simulates `records` on a borrowed configuration, without
+    /// constructing a `Simulator` (and so without cloning the config).
+    /// Records typically come from shared storage (`Arc<[_]>`); each run
+    /// still starts from cold predictors and caches.
+    pub fn run_on(
+        config: &CoreConfig,
+        records: &[ChampsimRecord],
+        options: RunOptions,
+    ) -> SimReport {
+        Engine::new(config, options).run(records)
+    }
 }
 
 /// Per-run machine state.
@@ -339,10 +351,9 @@ impl<'c> Engine<'c> {
             match branch_type {
                 BranchType::Return => self.ras.pop().unwrap_or(0),
                 BranchType::Indirect | BranchType::IndirectCall => match &mut self.indirect {
-                    Some(ittage) => ittage
-                        .predict(rec.ip())
-                        .or(btb_entry.map(|e| e.target))
-                        .unwrap_or(0),
+                    Some(ittage) => {
+                        ittage.predict(rec.ip()).or(btb_entry.map(|e| e.target)).unwrap_or(0)
+                    }
                     None => btb_entry.map(|e| e.target).unwrap_or(0),
                 },
                 _ => btb_entry.map(|e| e.target).unwrap_or(0),
@@ -663,10 +674,10 @@ mod tests {
             r.add_destination_register(regs::arch(((i % 8) + 2) as u8));
             records.push(r);
         }
-        let wide = Simulator::new(CoreConfig { l1d_mshrs: 64, ..CoreConfig::test_small() })
-            .run(&records);
-        let narrow = Simulator::new(CoreConfig { l1d_mshrs: 1, ..CoreConfig::test_small() })
-            .run(&records);
+        let wide =
+            Simulator::new(CoreConfig { l1d_mshrs: 64, ..CoreConfig::test_small() }).run(&records);
+        let narrow =
+            Simulator::new(CoreConfig { l1d_mshrs: 1, ..CoreConfig::test_small() }).run(&records);
         assert!(
             narrow.ipc() < wide.ipc() * 0.5,
             "one MSHR must serialize the misses: {} vs {}",

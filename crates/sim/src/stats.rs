@@ -165,7 +165,13 @@ impl SimReport {
 
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "instructions {}  cycles {}  IPC {:.3}", self.instructions, self.cycles, self.ipc())?;
+        writeln!(
+            f,
+            "instructions {}  cycles {}  IPC {:.3}",
+            self.instructions,
+            self.cycles,
+            self.ipc()
+        )?;
         writeln!(
             f,
             "branch MPKI overall {:.2} direction {:.2} target {:.2} (returns {:.3})",

@@ -1,7 +1,6 @@
 use cvp_trace::{CvpInstruction, OutputValue, Reg, LINK_REG};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
+use crate::rng::Xoshiro256;
 use crate::spec::{TraceSpec, WorkloadKind};
 
 /// Deterministic "memory contents": the value stored at `address`.
@@ -32,7 +31,7 @@ fn mix(mut x: u64) -> u64 {
 /// (register values, addresses, branch outcomes) changes per iteration.
 pub(crate) struct Generator<'s> {
     spec: &'s TraceSpec,
-    rng: SmallRng,
+    rng: Xoshiro256,
     out: Vec<CvpInstruction>,
     pc: u64,
     regs: [u64; 65],
@@ -107,7 +106,7 @@ impl<'s> Generator<'s> {
         let nests = (0..region / 256).map(|i| CODE_BASE + i * 256).collect();
         Generator {
             spec,
-            rng: SmallRng::seed_from_u64(spec.seed() ^ 0xc0ffee),
+            rng: Xoshiro256::seed_from_u64(spec.seed() ^ 0xc0ffee),
             out: Vec::with_capacity(spec.length()),
             pc: CODE_BASE,
             regs: [0; 65],
@@ -149,11 +148,9 @@ impl<'s> Generator<'s> {
     /// of the same function.
     fn template(&mut self) -> f64 {
         self.slot += 1;
-        let h = mix(
-            self.template_base
-                ^ self.spec.seed().rotate_left(31)
-                ^ self.slot.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let h = mix(self.template_base
+            ^ self.spec.seed().rotate_left(31)
+            ^ self.slot.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -408,7 +405,7 @@ impl<'s> Generator<'s> {
             // tour, so revisits find warm predictor state.
             self.nest_index = (self.nest_index
                 + 1
-                + (mix(self.loop_counter / 8 ^ self.spec.seed()) % 3) as usize)
+                + (mix((self.loop_counter / 8) ^ self.spec.seed()) % 3) as usize)
                 % self.nests.len();
             let new_head = self.nests[self.nest_index];
             let jump = CvpInstruction::direct_branch(self.pc, new_head);
@@ -518,8 +515,7 @@ impl<'s> Generator<'s> {
     /// `rs` — the "follow the loaded pointer" step of a chase.
     fn emit_pointer_from(&mut self, dst: Reg, src: Reg) {
         let value = self.clamp_data(memory_value(self.regs[src as usize], 0xf00d));
-        let insn =
-            CvpInstruction::alu(self.pc).with_sources(&[src]).with_destination(dst, value);
+        let insn = CvpInstruction::alu(self.pc).with_sources(&[src]).with_destination(dst, value);
         self.pc += 4;
         self.push(insn);
     }
@@ -606,7 +602,7 @@ impl<'s> Generator<'s> {
         for k in 0..(2 + self.tchoice(6) as u8) {
             self.emit_alu(f1, f1, 1 + k % 8);
         }
-        let hop = self.rng.gen::<u64>() & self.data_mask;
+        let hop = self.rng.next_u64() & self.data_mask;
         let next = self.clamp_data(self.regs[BASE_A as usize].wrapping_add(hop));
         self.emit_alu_imm(BASE_A, next);
         // The hop load is plain: random addresses, miss-heavy, feeding a
@@ -627,8 +623,7 @@ impl<'s> Generator<'s> {
     /// shape is keyed by the function address, so every caller of the
     /// same function executes the same instructions.
     fn emit_function_body(&mut self, function: u64) {
-        let (outer_base, outer_slot, outer_picked) =
-            (self.template_base, self.slot, self.picked);
+        let (outer_base, outer_slot, outer_picked) = (self.template_base, self.slot, self.picked);
         self.template_base = function;
         self.slot = 0;
         // The function has its own register allocation: its picks are a
@@ -673,7 +668,7 @@ impl<'s> Generator<'s> {
         // (virtual dispatch over request types) — which is what touches
         // a large instruction footprint quickly.
         let base_choice = self.tchoice(self.functions.len());
-        let fanout = 2 + self.tchoice(14) as usize;
+        let fanout = 2 + self.tchoice(14);
         let x30_site = self.troll(self.spec.x30_call_fraction);
         let blr_site = self.troll(0.25);
         let target = if (x30_site || blr_site) && self.loop_counter % 16 == 9 {
@@ -829,8 +824,7 @@ mod tests {
             let (trace, _) = stats_of(kind, 17);
             let mut seen: HashMap<u64, (CvpClass, Vec<u8>, Vec<u8>)> = HashMap::new();
             for insn in &trace {
-                let shape =
-                    (insn.class, insn.sources().to_vec(), insn.destinations().to_vec());
+                let shape = (insn.class, insn.sources().to_vec(), insn.destinations().to_vec());
                 match seen.get(&insn.pc) {
                     None => {
                         seen.insert(insn.pc, shape);
@@ -878,9 +872,7 @@ mod tests {
         let blr_x30 = trace
             .iter()
             .filter(|i| {
-                i.class == CvpClass::UncondIndirectBranch
-                    && i.reads(LINK_REG)
-                    && i.writes(LINK_REG)
+                i.class == CvpClass::UncondIndirectBranch && i.reads(LINK_REG) && i.writes(LINK_REG)
             })
             .count();
         assert!(blr_x30 > 100, "expected many blr x30: {blr_x30}");

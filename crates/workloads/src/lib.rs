@@ -33,6 +33,7 @@
 //! ```
 
 mod gen;
+pub mod rng;
 mod spec;
 mod suites;
 

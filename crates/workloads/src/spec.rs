@@ -44,8 +44,9 @@ impl fmt::Display for WorkloadKind {
 ///
 /// Construct with [`TraceSpec::new`] (kind-appropriate defaults) and
 /// refine with the builder methods. [`TraceSpec::generate`] is
-/// deterministic in the spec.
-#[derive(Debug, Clone, PartialEq)]
+/// deterministic in the spec, and the spec implements `Eq + Hash`
+/// (`f64` knobs compare by bit pattern) so it can key artifact caches.
+#[derive(Debug, Clone)]
 pub struct TraceSpec {
     name: String,
     kind: WorkloadKind,
@@ -205,6 +206,43 @@ impl TraceSpec {
     pub fn generate(&self) -> Vec<CvpInstruction> {
         Generator::new(self).generate()
     }
+
+    /// Total identity key: every field that influences generation, with
+    /// the `f64` knobs as bit patterns so equality and hashing agree.
+    fn key(&self) -> (&str, WorkloadKind, u64, usize, [u64; 8], u8, usize) {
+        (
+            &self.name,
+            self.kind,
+            self.seed,
+            self.length,
+            [
+                self.base_update_fraction.to_bits(),
+                self.x30_call_fraction.to_bits(),
+                self.hard_branch_fraction.to_bits(),
+                self.register_branch_fraction.to_bits(),
+                self.load_pair_fraction.to_bits(),
+                self.crossing_fraction.to_bits(),
+                self.prefetch_load_fraction.to_bits(),
+                self.serial_chase_fraction.to_bits(),
+            ],
+            self.data_footprint_log2,
+            self.code_functions,
+        )
+    }
+}
+
+impl PartialEq for TraceSpec {
+    fn eq(&self, other: &TraceSpec) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for TraceSpec {}
+
+impl std::hash::Hash for TraceSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +268,20 @@ mod tests {
         assert_eq!(s.base_update_fraction, 1.0);
         assert_eq!(s.x30_call_fraction, 0.0);
         assert_eq!(s.code_functions, 1);
+    }
+
+    #[test]
+    fn specs_hash_and_compare_by_full_identity() {
+        use std::collections::HashSet;
+        let a = TraceSpec::new("t", WorkloadKind::Crypto, 1).with_length(100);
+        let b = TraceSpec::new("t", WorkloadKind::Crypto, 1).with_length(100);
+        assert_eq!(a, b);
+        let c = b.clone().with_base_update_fraction(0.9);
+        assert_ne!(a, c);
+        let d = a.clone().with_length(200);
+        assert_ne!(a, d);
+        let set: HashSet<TraceSpec> = [a, b, c, d].into_iter().collect();
+        assert_eq!(set.len(), 3, "duplicate spec collapses in a hash set");
     }
 
     #[test]

@@ -16,8 +16,7 @@ use trace_rebase::cvp::{CvpInstruction, LINK_REG};
 
 fn show(label: &str, insn: &CvpInstruction) {
     println!("--- {label}\n  CVP-1:    {insn}");
-    for (name, imps) in
-        [("original", ImprovementSet::none()), ("improved", ImprovementSet::all())]
+    for (name, imps) in [("original", ImprovementSet::none()), ("improved", ImprovementSet::all())]
     {
         let mut conv = Converter::new(imps);
         // Give the base register a known value so addressing-mode

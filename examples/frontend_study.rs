@@ -23,8 +23,7 @@ fn speedup(core: CoreConfig, records: &[trace_rebase::champsim::ChampsimRecord])
     let with = sim
         .run_with_options(
             records,
-            RunOptions::default()
-                .with_prefetcher(iprefetch::by_name("djolt").expect("known name")),
+            RunOptions::default().with_prefetcher(iprefetch::by_name("djolt").expect("known name")),
         )
         .ipc();
     (base, with / base)
@@ -37,11 +36,8 @@ fn main() {
     let mut converter = Converter::new(ImprovementSet::all());
     let records = converter.convert_all(spec.generate().iter());
 
-    let coupled = CoreConfig {
-        decoupled_frontend: false,
-        frontend_lookahead: 0,
-        ..CoreConfig::iiswc_main()
-    };
+    let coupled =
+        CoreConfig { decoupled_frontend: false, frontend_lookahead: 0, ..CoreConfig::iiswc_main() };
     let decoupled = CoreConfig::iiswc_main();
 
     let (ipc_c, speedup_c) = speedup(coupled, &records);

@@ -20,8 +20,7 @@ fn main() {
     // The paper's "fixed traces" for this study: all improvements except
     // mem-footprint (the IPC-1 ChampSim cannot execute multi-address
     // records; footnote 4).
-    let mut converter =
-        Converter::new(ImprovementSet::all().without(Improvement::MemFootprint));
+    let mut converter = Converter::new(ImprovementSet::all().without(Improvement::MemFootprint));
     let records = converter.convert_all(spec.generate().iter());
     let warmup = 50_000;
 

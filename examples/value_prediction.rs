@@ -25,8 +25,7 @@ struct Score {
 }
 
 fn main() {
-    let spec =
-        TraceSpec::new("vp-study", WorkloadKind::PointerChase, 31).with_length(200_000);
+    let spec = TraceSpec::new("vp-study", WorkloadKind::PointerChase, 31).with_length(200_000);
     let trace = spec.generate();
 
     let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
@@ -36,7 +35,10 @@ fn main() {
     ];
 
     println!("trace: {} instructions of {}\n", trace.len(), spec.kind());
-    println!("{:<12} {:<22} {:>9} {:>10} {:>10}", "predictor", "class", "eligible", "coverage", "accuracy");
+    println!(
+        "{:<12} {:<22} {:>9} {:>10} {:>10}",
+        "predictor", "class", "eligible", "coverage", "accuracy"
+    );
 
     for predictor in &mut predictors {
         let mut per_class: [Score; 9] = [Score::default(); 9];

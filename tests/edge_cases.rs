@@ -171,8 +171,7 @@ fn extreme_knob_values_generate_valid_traces() {
 #[test]
 fn tiny_traces_work_everywhere() {
     for n in [1usize, 2, 3] {
-        let trace =
-            TraceSpec::new("tiny", WorkloadKind::Crypto, 5).with_length(n).generate();
+        let trace = TraceSpec::new("tiny", WorkloadKind::Crypto, 5).with_length(n).generate();
         let mut conv = Converter::new(ImprovementSet::all());
         let records = conv.convert_all(trace.iter());
         let report = Simulator::new(CoreConfig::test_small()).run(&records);

@@ -121,9 +121,7 @@ fn branch_regs_exposes_misprediction_penalty() {
         );
         let taken = (state >> 60) & 1 == 1;
         // cbz x2, +8
-        insns.push(
-            CvpInstruction::cond_branch(pc + 4, taken, pc + 12).with_sources(&[2]),
-        );
+        insns.push(CvpInstruction::cond_branch(pc + 4, taken, pc + 12).with_sources(&[2]));
         if !taken {
             insns.push(CvpInstruction::alu(pc + 8).with_sources(&[3]).with_destination(4, 0u64));
         }
@@ -143,9 +141,8 @@ fn branch_regs_exposes_misprediction_penalty() {
 /// `mem-footprint`, and `DC ZVA` stores are aligned.
 #[test]
 fn mem_footprint_is_conveyed() {
-    let crossing = CvpInstruction::load(0x100, 0x1003C, 8)
-        .with_sources(&[12])
-        .with_destination(2, 1u64);
+    let crossing =
+        CvpInstruction::load(0x100, 0x1003C, 8).with_sources(&[12]).with_destination(2, 1u64);
     let zva = CvpInstruction::store(0x104, 0x10234, 64).with_sources(&[12]);
 
     let mut plain = Converter::new(ImprovementSet::none());

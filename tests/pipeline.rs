@@ -37,8 +37,7 @@ fn cvp_trace_round_trips_through_a_file() {
     }
     writer.flush().unwrap();
 
-    let reader =
-        CvpReader::new(std::io::BufReader::new(std::fs::File::open(&file.0).unwrap()));
+    let reader = CvpReader::new(std::io::BufReader::new(std::fs::File::open(&file.0).unwrap()));
     let back: Vec<_> = reader.collect::<Result<_, _>>().unwrap();
     assert_eq!(back, trace);
 }
@@ -80,8 +79,7 @@ fn file_and_memory_paths_simulate_identically() {
         writer.write(insn).unwrap();
     }
     writer.flush().unwrap();
-    let mut reader =
-        CvpReader::new(std::io::BufReader::new(std::fs::File::open(&file.0).unwrap()));
+    let mut reader = CvpReader::new(std::io::BufReader::new(std::fs::File::open(&file.0).unwrap()));
     let mut converter2 = Converter::new(ImprovementSet::memory());
     let mut records_file = Vec::new();
     while let Some(insn) = reader.read().unwrap() {
@@ -137,7 +135,8 @@ fn split_records_keep_pc_pairing() {
     for w in records.windows(2) {
         if w[1].ip() == w[0].ip() + 2 {
             splits += 1;
-            let pair_is_mem_alu = (w[0].is_load() || w[0].is_store()) != (w[1].is_load() || w[1].is_store());
+            let pair_is_mem_alu =
+                (w[0].is_load() || w[0].is_store()) != (w[1].is_load() || w[1].is_store());
             assert!(pair_is_mem_alu, "split pair must be one ALU + one memory record");
         }
     }

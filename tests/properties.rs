@@ -1,78 +1,70 @@
-//! Property-based tests over the core data structures and converter
+//! Randomized tests over the core data structures and converter
 //! invariants.
+//!
+//! These were property-based tests; they now drive the same invariants
+//! from a seeded deterministic PRNG so the suite runs without external
+//! test dependencies (the workspace builds offline).
 
-use proptest::prelude::*;
 use trace_rebase::champsim::{ChampsimRecord, RECORD_BYTES};
 use trace_rebase::converter::{Converter, Improvement, ImprovementSet};
-use trace_rebase::cvp::{
-    CvpClass, CvpInstruction, CvpReader, CvpWriter, OutputValue, NUM_REGS,
-};
+use trace_rebase::cvp::{CvpClass, CvpInstruction, CvpReader, CvpWriter, OutputValue, NUM_REGS};
+use trace_rebase::workloads::rng::Xoshiro256;
 
 // ---------------------------------------------------------------------
-// Strategies
+// Input synthesis
 // ---------------------------------------------------------------------
 
-fn arb_reg() -> impl Strategy<Value = u8> {
-    0..NUM_REGS
-}
+const SIZES: [u8; 7] = [1, 2, 4, 8, 16, 32, 64];
 
-fn arb_size() -> impl Strategy<Value = u8> {
-    prop_oneof![Just(1u8), Just(2), Just(4), Just(8), Just(16), Just(32), Just(64)]
-}
+fn random_instruction(rng: &mut Xoshiro256) -> CvpInstruction {
+    let pc = rng.next_u64();
+    let class = CvpClass::from_u8(rng.below(9) as u8).expect("class in range");
+    let address = rng.next_u64();
+    let size = SIZES[rng.below(SIZES.len() as u64) as usize];
+    let taken = rng.next_u64() & 1 == 1;
+    let target = rng.next_u64();
 
-prop_compose! {
-    fn arb_regs(max: usize)(n in 0..=max)(regs in prop::collection::vec(arb_reg(), n)) -> Vec<u8> {
-        regs
+    let mut insn = match class {
+        CvpClass::Load => CvpInstruction::load(pc, address, size),
+        CvpClass::Store => CvpInstruction::store(pc, address, size),
+        CvpClass::CondBranch => CvpInstruction::cond_branch(pc, taken, target),
+        CvpClass::UncondDirectBranch => CvpInstruction::direct_branch(pc, target),
+        CvpClass::UncondIndirectBranch => CvpInstruction::indirect_branch(pc, target),
+        CvpClass::Alu => CvpInstruction::alu(pc),
+        CvpClass::SlowAlu => CvpInstruction::slow_alu(pc),
+        CvpClass::Fp => CvpInstruction::fp(pc),
+        CvpClass::Undef => CvpInstruction::undef(pc),
+    };
+    for _ in 0..rng.below(9) {
+        insn.push_source(rng.below(NUM_REGS as u64) as u8);
     }
+    for _ in 0..rng.below(5) {
+        let d = rng.below(NUM_REGS as u64) as u8;
+        let lo = rng.next_u64();
+        // High halves only exist for vector registers.
+        let hi = if (32..64).contains(&d) { rng.next_u64() } else { 0 };
+        if !insn.writes(d) {
+            insn.push_destination(d, OutputValue { lo, hi });
+        }
+    }
+    insn
 }
 
-fn arb_instruction() -> impl Strategy<Value = CvpInstruction> {
-    (
-        any::<u64>(),
-        0u8..9,
-        any::<u64>(),
-        arb_size(),
-        any::<bool>(),
-        any::<u64>(),
-        arb_regs(8),
-        arb_regs(4),
-        prop::collection::vec(any::<(u64, u64)>(), 4),
-    )
-        .prop_map(|(pc, class, address, size, taken, target, srcs, dsts, values)| {
-            let class = CvpClass::from_u8(class).expect("class in range");
-            let mut insn = match class {
-                CvpClass::Load => CvpInstruction::load(pc, address, size),
-                CvpClass::Store => CvpInstruction::store(pc, address, size),
-                CvpClass::CondBranch => CvpInstruction::cond_branch(pc, taken, target),
-                CvpClass::UncondDirectBranch => CvpInstruction::direct_branch(pc, target),
-                CvpClass::UncondIndirectBranch => CvpInstruction::indirect_branch(pc, target),
-                CvpClass::Alu => CvpInstruction::alu(pc),
-                CvpClass::SlowAlu => CvpInstruction::slow_alu(pc),
-                CvpClass::Fp => CvpInstruction::fp(pc),
-                CvpClass::Undef => CvpInstruction::undef(pc),
-            };
-            for s in srcs {
-                insn.push_source(s);
-            }
-            for (d, (lo, hi)) in dsts.iter().zip(values) {
-                // High halves only exist for vector registers.
-                let hi = if (32..64).contains(d) { hi } else { 0 };
-                if !insn.writes(*d) {
-                    insn.push_destination(*d, OutputValue { lo, hi });
-                }
-            }
-            insn
-        })
+fn random_stream(rng: &mut Xoshiro256, min: u64, max: u64) -> Vec<CvpInstruction> {
+    let n = min + rng.below(max - min);
+    (0..n).map(|_| random_instruction(rng)).collect()
 }
 
 // ---------------------------------------------------------------------
 // CVP-1 codec
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Any instruction stream round-trips through the binary codec.
-    #[test]
-    fn cvp_codec_round_trips(insns in prop::collection::vec(arb_instruction(), 0..50)) {
+/// Any instruction stream round-trips through the binary codec.
+#[test]
+fn cvp_codec_round_trips() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc0dec);
+    for _ in 0..100 {
+        let insns = random_stream(&mut rng, 0, 50);
         let mut buf = Vec::new();
         let mut writer = CvpWriter::new(&mut buf);
         for i in &insns {
@@ -80,19 +72,23 @@ proptest! {
         }
         let back: Vec<CvpInstruction> =
             CvpReader::new(buf.as_slice()).collect::<Result<_, _>>().unwrap();
-        prop_assert_eq!(back, insns);
+        assert_eq!(back, insns);
     }
+}
 
-    /// Truncating an encoded stream anywhere inside the final record
-    /// yields a truncation error, never garbage or a panic.
-    #[test]
-    fn cvp_codec_rejects_truncation(insn in arb_instruction(), cut_fraction in 0.0f64..1.0) {
+/// Truncating an encoded stream anywhere inside the final record yields
+/// a truncation error, never garbage or a panic.
+#[test]
+fn cvp_codec_rejects_truncation() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7282c);
+    for _ in 0..300 {
+        let insn = random_instruction(&mut rng);
         let mut buf = Vec::new();
         CvpWriter::new(&mut buf).write(&insn).unwrap();
-        let cut = 1 + ((buf.len() - 1) as f64 * cut_fraction) as usize;
+        let cut = 1 + rng.below(buf.len() as u64 - 1) as usize;
         if cut < buf.len() {
             let mut reader = CvpReader::new(&buf[..cut]);
-            prop_assert!(reader.read().is_err());
+            assert!(reader.read().is_err(), "cut at {cut}/{}", buf.len());
         }
     }
 }
@@ -101,16 +97,20 @@ proptest! {
 // ChampSim record codec
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Any 64-byte buffer decodes into a record whose re-encoding decodes
-    /// to the same record (idempotent normalization: the boolean bytes
-    /// collapse to 0/1).
-    #[test]
-    fn champsim_decode_encode_is_stable(bytes in prop::collection::vec(any::<u8>(), RECORD_BYTES)) {
-        let arr: [u8; RECORD_BYTES] = bytes.try_into().unwrap();
+/// Any 64-byte buffer decodes into a record whose re-encoding decodes to
+/// the same record (idempotent normalization: the boolean bytes collapse
+/// to 0/1).
+#[test]
+fn champsim_decode_encode_is_stable() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc4a);
+    for _ in 0..2000 {
+        let mut arr = [0u8; RECORD_BYTES];
+        for b in &mut arr {
+            *b = rng.next_u64() as u8;
+        }
         let rec = ChampsimRecord::from_bytes(&arr);
         let rec2 = ChampsimRecord::from_bytes(&rec.to_bytes());
-        prop_assert_eq!(rec, rec2);
+        assert_eq!(rec, rec2);
     }
 }
 
@@ -129,62 +129,69 @@ fn all_sets() -> Vec<ImprovementSet> {
     sets
 }
 
-proptest! {
-    /// For any instruction stream and any improvement set:
-    /// * each instruction produces one or two records,
-    /// * branch instructions stay branches with the same outcome,
-    /// * non-branches never produce branch records,
-    /// * loads/stores keep their direction (source vs destination memory),
-    /// * statistics add up.
-    #[test]
-    fn conversion_invariants(insns in prop::collection::vec(arb_instruction(), 1..60)) {
+/// For any instruction stream and any improvement set:
+/// * each instruction produces one or two records,
+/// * branch instructions stay branches with the same outcome,
+/// * non-branches never produce branch records,
+/// * loads/stores keep their direction (source vs destination memory),
+/// * statistics add up.
+#[test]
+fn conversion_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc0f7e27);
+    for _ in 0..40 {
+        let insns = random_stream(&mut rng, 1, 60);
         for imps in all_sets() {
             let mut converter = Converter::new(imps);
             let mut total_records = 0u64;
             for insn in &insns {
                 let out = converter.convert(insn);
                 let records = out.records();
-                prop_assert!((1..=2).contains(&records.len()));
+                assert!((1..=2).contains(&records.len()));
                 total_records += records.len() as u64;
 
-                let branch_records =
-                    records.iter().filter(|r| r.is_branch()).count();
+                let branch_records = records.iter().filter(|r| r.is_branch()).count();
                 if insn.is_branch() {
-                    prop_assert_eq!(records.len(), 1, "branches never split");
-                    prop_assert_eq!(branch_records, 1);
-                    prop_assert_eq!(records[0].branch_taken(), insn.taken);
-                    prop_assert_eq!(records[0].ip(), insn.pc);
+                    assert_eq!(records.len(), 1, "branches never split");
+                    assert_eq!(branch_records, 1);
+                    assert_eq!(records[0].branch_taken(), insn.taken);
+                    assert_eq!(records[0].ip(), insn.pc);
                 } else {
-                    prop_assert_eq!(branch_records, 0);
+                    assert_eq!(branch_records, 0);
                 }
                 if insn.class == CvpClass::Load {
-                    prop_assert!(records.iter().any(|r| r.is_load()));
-                    prop_assert!(records.iter().all(|r| !r.is_store()));
+                    assert!(records.iter().any(|r| r.is_load()));
+                    assert!(records.iter().all(|r| !r.is_store()));
                 }
                 if insn.class == CvpClass::Store {
-                    prop_assert!(records.iter().any(|r| r.is_store()));
-                    prop_assert!(records.iter().all(|r| !r.is_load()));
+                    assert!(records.iter().any(|r| r.is_store()));
+                    assert!(records.iter().all(|r| !r.is_load()));
                 }
             }
-            prop_assert_eq!(converter.stats().input_instructions, insns.len() as u64);
-            prop_assert_eq!(converter.stats().output_records, total_records);
+            assert_eq!(converter.stats().input_instructions, insns.len() as u64);
+            assert_eq!(converter.stats().output_records, total_records);
         }
     }
+}
 
-    /// The converter is deterministic and stateful-but-reproducible:
-    /// resetting and re-running produces identical output.
-    #[test]
-    fn conversion_is_reproducible(insns in prop::collection::vec(arb_instruction(), 1..40)) {
+/// The converter is deterministic and stateful-but-reproducible:
+/// resetting and re-running produces identical output.
+#[test]
+fn conversion_is_reproducible() {
+    let mut rng = Xoshiro256::seed_from_u64(0x2e9220);
+    for _ in 0..50 {
+        let insns = random_stream(&mut rng, 1, 40);
         let mut converter = Converter::new(ImprovementSet::all());
         let a = converter.convert_all(insns.iter());
         converter.reset();
         let b = converter.convert_all(insns.iter());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Improvement-set parsing round-trips through display.
-    #[test]
-    fn improvement_sets_round_trip(bits in 0u8..64) {
+/// Improvement-set parsing round-trips through display.
+#[test]
+fn improvement_sets_round_trip() {
+    for bits in 0u8..64 {
         let set: ImprovementSet = Improvement::ALL
             .into_iter()
             .enumerate()
@@ -192,7 +199,7 @@ proptest! {
             .map(|(_, imp)| imp)
             .collect();
         let text = set.to_string();
-        prop_assert_eq!(text.parse::<ImprovementSet>().unwrap(), set);
+        assert_eq!(text.parse::<ImprovementSet>().unwrap(), set);
     }
 }
 
@@ -200,51 +207,53 @@ proptest! {
 // Predictor / memory substrate invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// The RAS behaves as a bounded stack: contents match a reference
-    /// model up to capacity-eviction of the oldest entries.
-    #[test]
-    fn ras_matches_reference_model(ops in prop::collection::vec(any::<Option<u64>>(), 1..200)) {
+/// The RAS behaves as a bounded stack: contents match a reference model
+/// up to capacity-eviction of the oldest entries.
+#[test]
+fn ras_matches_reference_model() {
+    let mut rng = Xoshiro256::seed_from_u64(0x2a5);
+    for _ in 0..50 {
         let mut ras = trace_rebase::bpred::ReturnAddressStack::new(16);
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
-                Some(addr) => {
-                    ras.push(addr);
-                    model.push(addr);
-                    if model.len() > 16 {
-                        model.remove(0);
-                    }
+        let ops = 1 + rng.below(200);
+        for _ in 0..ops {
+            if rng.next_u64() & 1 == 1 {
+                let addr = rng.next_u64();
+                ras.push(addr);
+                model.push(addr);
+                if model.len() > 16 {
+                    model.remove(0);
                 }
-                None => {
-                    prop_assert_eq!(ras.pop(), model.pop());
-                }
+            } else {
+                assert_eq!(ras.pop(), model.pop());
             }
-            prop_assert_eq!(ras.len(), model.len());
+            assert_eq!(ras.len(), model.len());
         }
     }
+}
 
-    /// Cache fills never exceed capacity and a just-filled line is
-    /// always resident.
-    #[test]
-    fn cache_respects_capacity(addresses in prop::collection::vec(any::<u64>(), 1..300)) {
-        use trace_rebase::memsys::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
+/// Cache fills never exceed capacity and a just-filled line is always
+/// resident.
+#[test]
+fn cache_respects_capacity() {
+    use trace_rebase::memsys::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
+    let mut rng = Xoshiro256::seed_from_u64(0xcac4e);
+    for _ in 0..20 {
         let mut cache = Cache::new(CacheConfig {
             sets: 8,
             ways: 2,
             latency: 1,
             replacement: ReplacementPolicy::Lru,
         });
+        let n = 1 + rng.below(300);
+        // Cluster addresses so some fills alias into the same lines.
+        let addresses: Vec<u64> = (0..n).map(|_| rng.below(64 * 256) * 17).collect();
         for &a in &addresses {
             cache.fill(a, AccessKind::Load);
-            prop_assert!(cache.contains(a));
+            assert!(cache.contains(a));
         }
-        let distinct: std::collections::HashSet<u64> =
-            addresses.iter().map(|a| a / 64).collect();
-        let resident = distinct
-            .iter()
-            .filter(|&&line| cache.contains(line * 64))
-            .count();
-        prop_assert!(resident <= 16, "capacity is 16 lines: {resident}");
+        let distinct: std::collections::HashSet<u64> = addresses.iter().map(|a| a / 64).collect();
+        let resident = distinct.iter().filter(|&&line| cache.contains(line * 64)).count();
+        assert!(resident <= 16, "capacity is 16 lines: {resident}");
     }
 }
