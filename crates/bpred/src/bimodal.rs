@@ -9,6 +9,8 @@ use crate::util::SaturatingCounter;
 pub struct Bimodal {
     table: Vec<SaturatingCounter>,
     index_mask: u64,
+    predictions: u64,
+    updates: u64,
 }
 
 impl Bimodal {
@@ -22,6 +24,8 @@ impl Bimodal {
         Bimodal {
             table: vec![SaturatingCounter::weak_low(2); entries],
             index_mask: entries as u64 - 1,
+            predictions: 0,
+            updates: 0,
         }
     }
 
@@ -44,11 +48,18 @@ impl Bimodal {
 
 impl DirectionPredictor for Bimodal {
     fn predict(&mut self, pc: u64) -> bool {
+        self.predictions += 1;
         self.counter(pc).is_high()
     }
 
     fn update(&mut self, pc: u64, taken: bool) {
+        self.updates += 1;
         self.train(pc, taken);
+    }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_PREDICTIONS, self.predictions);
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_UPDATES, self.updates);
     }
 }
 

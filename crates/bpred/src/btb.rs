@@ -117,6 +117,23 @@ impl Btb {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Hit ratio in `0..=1` (0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.lookups - self.misses) as f64 / self.lookups as f64
+        }
+    }
+
+    /// Registers the BTB's counters under `bpred.btb.*`.
+    pub fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        use telemetry::catalog;
+        registry.counter(&catalog::BPRED_BTB_LOOKUPS, self.lookups);
+        registry.counter(&catalog::BPRED_BTB_MISSES, self.misses);
+        registry.gauge(&catalog::BPRED_BTB_HIT_RATIO, 100.0 * self.hit_ratio());
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@ pub struct Gshare {
     history: GlobalHistory,
     history_bits: usize,
     index_mask: u64,
+    predictions: u64,
+    updates: u64,
 }
 
 impl Gshare {
@@ -30,6 +32,8 @@ impl Gshare {
             history: GlobalHistory::new(history_bits.max(1)),
             history_bits,
             index_mask: entries as u64 - 1,
+            predictions: 0,
+            updates: 0,
         }
     }
 
@@ -42,13 +46,20 @@ impl Gshare {
 
 impl DirectionPredictor for Gshare {
     fn predict(&mut self, pc: u64) -> bool {
+        self.predictions += 1;
         self.table[self.index(pc)].is_high()
     }
 
     fn update(&mut self, pc: u64, taken: bool) {
+        self.updates += 1;
         let idx = self.index(pc);
         self.table[idx].train(taken);
         self.history.push(taken);
+    }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_PREDICTIONS, self.predictions);
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_UPDATES, self.updates);
     }
 }
 

@@ -69,6 +69,8 @@ pub struct Ittage {
     ctx_provider: Option<(usize, usize)>,
     ctx_pc: u64,
     rng: u64,
+    predictions: u64,
+    no_prediction: u64,
 }
 
 impl Ittage {
@@ -92,6 +94,8 @@ impl Ittage {
             ctx_provider: None,
             ctx_pc: u64::MAX,
             rng: 0xabcd_ef01_2345_6789,
+            predictions: 0,
+            no_prediction: 0,
         }
     }
 
@@ -124,10 +128,11 @@ impl Ittage {
     fn base_index(&self, pc: u64) -> usize {
         ((mix64(pc) >> 3) & self.base_mask) as usize
     }
-}
 
-impl IndirectPredictor for Ittage {
-    fn predict(&mut self, pc: u64) -> Option<u64> {
+    /// Prediction logic shared by [`IndirectPredictor::predict`] and the
+    /// provider recomputation in `update` (which must not count as an
+    /// extra prediction).
+    fn lookup(&mut self, pc: u64) -> Option<u64> {
         self.ctx_pc = pc;
         self.ctx_provider = None;
         for (i, table) in self.tables.iter().enumerate().rev() {
@@ -141,11 +146,22 @@ impl IndirectPredictor for Ittage {
         let (tag, target) = self.base[self.base_index(pc)];
         (tag == pc).then_some(target)
     }
+}
+
+impl IndirectPredictor for Ittage {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        self.predictions += 1;
+        let prediction = self.lookup(pc);
+        if prediction.is_none() {
+            self.no_prediction += 1;
+        }
+        prediction
+    }
 
     fn update(&mut self, pc: u64, target: u64) {
         // Recompute provider if predict() was not called for this pc.
         if self.ctx_pc != pc {
-            let _ = self.predict(pc);
+            let _ = self.lookup(pc);
         }
         let provider = self.ctx_provider.take();
         self.ctx_pc = u64::MAX;
@@ -193,6 +209,11 @@ impl IndirectPredictor for Ittage {
             }
         }
     }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        registry.counter(&telemetry::catalog::BPRED_INDIRECT_PREDICTIONS, self.predictions);
+        registry.counter(&telemetry::catalog::BPRED_INDIRECT_NO_PREDICTION, self.no_prediction);
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +228,18 @@ mod tests {
         assert_eq!(p.predict(0x400), Some(0x9000));
         p.update(0x400, 0xA000);
         assert_eq!(p.predict(0x400), Some(0xA000));
+    }
+
+    #[test]
+    fn telemetry_counts_predictions_not_internal_lookups() {
+        let mut p = Ittage::default_64kb();
+        p.predict(0x400);
+        p.update(0x400, 0x9000);
+        p.update(0x500, 0x9100); // update without predict: no count
+        let mut registry = telemetry::Registry::new();
+        p.export_telemetry(&mut registry);
+        assert_eq!(registry.counter_value("bpred.indirect.predictions"), 1);
+        assert_eq!(registry.counter_value("bpred.indirect.no_prediction"), 1);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! All predictors are deterministic and allocation-free after
 //! construction.
 //!
+//! # Data flow
+//!
+//! ```text
+//!   sim front-end ──► Btb ──► Tage (direction) / Ittage (target) / RAS
+//!                      │                    │
+//!                      ▼                    ▼
+//!               predicted target     telemetry (bpred.*)
+//! ```
+//!
 //! # Example
 //!
 //! ```

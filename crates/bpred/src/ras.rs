@@ -25,6 +25,9 @@ pub struct ReturnAddressStack {
     entries: Vec<u64>,
     top: usize,
     occupied: usize,
+    pushes: u64,
+    pops: u64,
+    underflows: u64,
 }
 
 impl ReturnAddressStack {
@@ -35,7 +38,14 @@ impl ReturnAddressStack {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ReturnAddressStack {
         assert!(capacity > 0, "RAS capacity must be positive");
-        ReturnAddressStack { entries: vec![0; capacity], top: 0, occupied: 0 }
+        ReturnAddressStack {
+            entries: vec![0; capacity],
+            top: 0,
+            occupied: 0,
+            pushes: 0,
+            pops: 0,
+            underflows: 0,
+        }
     }
 
     /// Number of live entries.
@@ -51,6 +61,7 @@ impl ReturnAddressStack {
     /// Pushes a return address (on a call). Overwrites the oldest entry
     /// when full.
     pub fn push(&mut self, return_address: u64) {
+        self.pushes += 1;
         self.entries[self.top] = return_address;
         self.top = (self.top + 1) % self.entries.len();
         self.occupied = (self.occupied + 1).min(self.entries.len());
@@ -59,7 +70,9 @@ impl ReturnAddressStack {
     /// Pops the predicted return target (on a return), or `None` when
     /// empty.
     pub fn pop(&mut self) -> Option<u64> {
+        self.pops += 1;
         if self.occupied == 0 {
+            self.underflows += 1;
             return None;
         }
         self.top = (self.top + self.entries.len() - 1) % self.entries.len();
@@ -77,10 +90,34 @@ impl ReturnAddressStack {
     }
 
     /// Clears all entries (pipeline flush in some designs; exposed for
-    /// experiments).
+    /// experiments). Counters survive the flush.
     pub fn clear(&mut self) {
         self.top = 0;
         self.occupied = 0;
+    }
+
+    /// Pushes performed (calls seen).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Pops attempted (returns seen).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Pops that found the stack empty — the desync signature of the
+    /// paper's `call-stack` bug (§3.2.1).
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Registers the stack's counters under `bpred.ras.*`.
+    pub fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        use telemetry::catalog;
+        registry.counter(&catalog::BPRED_RAS_PUSHES, self.pushes);
+        registry.counter(&catalog::BPRED_RAS_POPS, self.pops);
+        registry.counter(&catalog::BPRED_RAS_UNDERFLOWS, self.underflows);
     }
 }
 
@@ -144,5 +181,17 @@ mod tests {
         ras.clear();
         assert!(ras.is_empty());
         assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn counters_track_pushes_pops_and_underflows() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(1);
+        ras.pop();
+        ras.pop(); // underflow
+        assert_eq!((ras.pushes(), ras.pops(), ras.underflows()), (1, 2, 1));
+        let mut registry = telemetry::Registry::new();
+        ras.export_telemetry(&mut registry);
+        assert_eq!(registry.counter_value("bpred.ras.underflows"), 1);
     }
 }

@@ -143,6 +143,7 @@ pub struct Tage {
     tables: Vec<TaggedTable>,
     history: GlobalHistory,
     use_alt_on_na: SaturatingCounter,
+    predictions: u64,
     updates: u64,
     reset_period: u64,
     // Prediction-time context, stashed between predict() and update().
@@ -234,6 +235,7 @@ impl Tage {
             tables,
             history: GlobalHistory::new(max_hist + 1),
             use_alt_on_na: SaturatingCounter::weak_low(4),
+            predictions: 0,
             updates: 0,
             reset_period: config.reset_period,
             ctx: PredictionContext::default(),
@@ -396,8 +398,14 @@ impl Tage {
 
 impl DirectionPredictor for Tage {
     fn predict(&mut self, pc: u64) -> bool {
+        self.predictions += 1;
         self.ctx = self.predict_internal(pc);
         self.ctx.final_pred
+    }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_PREDICTIONS, self.predictions);
+        registry.counter(&telemetry::catalog::BPRED_DIRECTION_UPDATES, self.updates);
     }
 
     fn update(&mut self, pc: u64, taken: bool) {

@@ -13,6 +13,12 @@ pub trait DirectionPredictor {
     /// [`predict`](DirectionPredictor::predict) for `pc` and advances any
     /// internal history.
     fn update(&mut self, pc: u64, taken: bool);
+
+    /// Registers the predictor's internal counters under `bpred.direction.*`.
+    ///
+    /// The default is a no-op so minimal or experimental predictors need
+    /// not keep counters.
+    fn export_telemetry(&self, _registry: &mut telemetry::Registry) {}
 }
 
 /// An indirect-branch target predictor.
@@ -23,6 +29,12 @@ pub trait IndirectPredictor {
 
     /// Trains with the resolved `target` of the branch at `pc`.
     fn update(&mut self, pc: u64, target: u64);
+
+    /// Registers the predictor's internal counters under `bpred.indirect.*`.
+    ///
+    /// The default is a no-op so minimal or experimental predictors need
+    /// not keep counters.
+    fn export_telemetry(&self, _registry: &mut telemetry::Registry) {}
 }
 
 #[cfg(test)]

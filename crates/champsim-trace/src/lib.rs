@@ -19,6 +19,14 @@
 //!   classification, in both the `Original` form and the `Patched` form
 //!   the paper introduces (§3.2.2).
 //!
+//! # Data flow
+//!
+//! ```text
+//!   converter ──► ChampsimRecord ──► ChampsimWriter ──► trace.champsimtrace
+//!                                                             │
+//!   sim (core model) ◄── BranchRules::classify ◄── ChampsimReader
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +42,8 @@
 //! assert_eq!(BranchRules::Original.classify(&rec), BranchType::Conditional);
 //! assert_eq!(BranchRules::Patched.classify(&rec), BranchType::Conditional);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod regs;
 

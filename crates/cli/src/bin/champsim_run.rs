@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! champsim-run <trace.champsimtrace> [--core iiswc|ipc1] [--warmup N]
-//!              [--prefetcher <name>] [--max N]
+//!              [--prefetcher <name>] [--max N] [--metrics <path>]
+//!              [--epochs N]
 //! ```
 //!
 //! The core presets match the paper's §4 setups; `--prefetcher` plugs one
-//! of the IPC-1 instruction prefetchers into the L1I.
+//! of the IPC-1 instruction prefetchers into the L1I. `--metrics` writes
+//! the full `sim.*`/`memsys.*`/`bpred.*` telemetry document (see
+//! METRICS.md); `--epochs N` additionally samples cycles and miss
+//! counters every N instructions into the document's `epochs` section.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -28,28 +32,45 @@ fn main() -> ExitCode {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_path: Option<String> = None;
     let mut core = CoreConfig::iiswc_main();
+    let mut core_name = "iiswc";
     let mut warmup = 0u64;
     let mut prefetcher: Option<String> = None;
     let mut max_records = usize::MAX;
+    let mut metrics_path: Option<String> = None;
+    let mut epochs: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--core" => {
                 core = match args.next().as_deref() {
-                    Some("iiswc") => CoreConfig::iiswc_main(),
-                    Some("ipc1") => CoreConfig::ipc1(),
+                    Some("iiswc") => {
+                        core_name = "iiswc";
+                        CoreConfig::iiswc_main()
+                    }
+                    Some("ipc1") => {
+                        core_name = "ipc1";
+                        CoreConfig::ipc1()
+                    }
                     other => return Err(format!("unknown core {other:?}").into()),
                 };
             }
             "--warmup" => warmup = args.next().ok_or("--warmup needs a count")?.parse()?,
             "--prefetcher" => prefetcher = Some(args.next().ok_or("--prefetcher needs a name")?),
             "--max" => max_records = args.next().ok_or("--max needs a count")?.parse()?,
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
+            "--epochs" => {
+                let n: u64 = args.next().ok_or("--epochs needs a count")?.parse()?;
+                if n == 0 {
+                    return Err("--epochs must be positive".into());
+                }
+                epochs = Some(n);
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: champsim-run <trace.champsimtrace> [--core iiswc|ipc1] \
                      [--warmup N] [--prefetcher none|next-line|djolt|jip|mana|fnl+mma|pips|epi|barca|tap] \
-                     [--max N]"
+                     [--max N] [--metrics <path>] [--epochs N]"
                 );
                 return Ok(());
             }
@@ -71,12 +92,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut options = RunOptions::default().with_warmup(warmup);
+    if let Some(n) = epochs {
+        options = options.with_epochs(n);
+    }
     if let Some(name) = prefetcher {
         let pf = iprefetch_by_name(&name)?;
         options = options.with_prefetcher(pf);
     }
     let report = Simulator::new(core).run_with_options(&records, options);
     println!("{report}");
+    if let Some(path) = metrics_path {
+        let mut registry = telemetry::Registry::new();
+        registry.label("tool", "champsim-run");
+        registry.label("core", core_name);
+        registry.label("trace", &trace_path);
+        report.export(&mut registry);
+        cli::write_metrics(&path, &registry)?;
+    }
     Ok(())
 }
 

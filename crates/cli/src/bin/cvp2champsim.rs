@@ -1,13 +1,15 @@
 //! The paper's converter CLI, with the artifact's interface:
 //!
 //! ```text
-//! cvp2champsim -t <trace.cvp> [-i <improvement>] [-o <out.champsimtrace>] [--stats]
+//! cvp2champsim -t <trace.cvp> [-i <improvement>] [-o <out.champsimtrace>]
+//!              [--stats] [--metrics <path>]
 //! ```
 //!
 //! Reads a CVP-1 binary trace, converts it with the selected improvement
 //! set (`No_imp` by default, as in the original tool), and writes
 //! ChampSim 64-byte records to `-o` or standard output. `--stats` prints
-//! the conversion statistics to standard error.
+//! the conversion statistics to standard error; `--metrics` writes the
+//! `convert.*` telemetry document (see METRICS.md).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -32,6 +34,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut out_path: Option<String> = None;
     let mut improvements = ImprovementSet::none();
     let mut show_stats = false;
+    let mut metrics_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,10 +45,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 improvements = args.next().ok_or("-i needs an improvement name")?.parse()?;
             }
             "--stats" => show_stats = true,
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
                 eprintln!(
                     "usage: cvp2champsim -t <trace.cvp> [-i <improvement>] \
-                     [-o <out.champsimtrace>] [--stats]\n\
+                     [-o <out.champsimtrace>] [--stats] [--metrics <path>]\n\
                      improvements: No_imp (default), All_imps, Memory_imps, Branch_imps,\n\
                      imp_mem-regs, imp_base-update, imp_mem-footprint, imp_call-stack,\n\
                      imp_branch-regs, imp_flag-regs"
@@ -76,6 +80,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     if show_stats {
         eprintln!("{}", converter.stats());
+    }
+    if let Some(path) = metrics_path {
+        let mut registry = telemetry::Registry::new();
+        registry.label("tool", "cvp2champsim");
+        registry.label("trace", &trace_path);
+        registry.label("improvements", &improvements.to_string());
+        converter.stats().export(improvements, &mut registry);
+        cli::write_metrics(&path, &registry)?;
     }
     Ok(())
 }

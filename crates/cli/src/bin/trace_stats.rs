@@ -2,8 +2,11 @@
 //! statistics of the improved converter.
 //!
 //! ```text
-//! trace-stats <trace.cvp> [-i <improvement>]
+//! trace-stats <trace.cvp> [-i <improvement>] [--metrics <path>]
 //! ```
+//!
+//! `--metrics` writes the `cvp.*` mix and `convert.*` conversion
+//! telemetry as one JSON document (see METRICS.md).
 
 use std::fs::File;
 use std::io::BufReader;
@@ -25,6 +28,7 @@ fn main() -> ExitCode {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut trace_path: Option<String> = None;
     let mut improvements = ImprovementSet::all();
+    let mut metrics_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,8 +36,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "-i" | "--improvement" => {
                 improvements = args.next().ok_or("-i needs an improvement name")?.parse()?;
             }
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
-                eprintln!("usage: trace-stats <trace.cvp> [-i <improvement>]");
+                eprintln!("usage: trace-stats <trace.cvp> [-i <improvement>] [--metrics <path>]");
                 return Ok(());
             }
             other if trace_path.is_none() && !other.starts_with('-') => {
@@ -53,5 +58,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("instruction mix:\n{stats}\n");
     println!("conversion ({}):\n{}", improvements, converter.stats());
+    if let Some(path) = metrics_path {
+        let mut registry = telemetry::Registry::new();
+        registry.label("tool", "trace-stats");
+        registry.label("trace", &trace_path);
+        registry.label("improvements", &improvements.to_string());
+        cli::export_cvp_stats(&stats, &mut registry);
+        converter.stats().export(improvements, &mut registry);
+        cli::write_metrics(&path, &registry)?;
+    }
     Ok(())
 }

@@ -1,10 +1,13 @@
 //! Generates synthetic CVP-1 traces.
 //!
 //! ```text
-//! tracegen --kind <kind> --seed N --length N -o <out.cvp>
+//! tracegen --kind <kind> --seed N --length N -o <out.cvp> [--metrics <path>]
 //! tracegen --suite cvp1|ipc1 --name <trace> --length N -o <out.cvp>
 //! tracegen --suite cvp1|ipc1 --list
 //! ```
+//!
+//! `--metrics` writes the `workloads.*` telemetry document (see
+//! METRICS.md).
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -43,6 +46,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut length = 100_000usize;
     let mut out: Option<String> = None;
     let mut list = false;
+    let mut metrics_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,10 +58,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--length" => length = args.next().ok_or("--length needs a count")?.parse()?,
             "-o" | "--output" => out = Some(args.next().ok_or("-o needs a path")?),
             "--list" => list = true,
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
                 eprintln!(
                     "usage: tracegen --kind <pointer-chase|streaming|crypto|branchy-int|server|fp-kernel> \
-                     --seed N --length N -o <out.cvp>\n\
+                     --seed N --length N -o <out.cvp> [--metrics <path>]\n\
                      \x20      tracegen --suite cvp1|ipc1 --name <trace> --length N -o <out.cvp>\n\
                      \x20      tracegen --suite cvp1|ipc1 --list"
                 );
@@ -100,5 +105,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     writer.flush()?;
     eprintln!("wrote {} instructions to {out}", writer.records_written());
+    if let Some(path) = metrics_path {
+        let mut registry = telemetry::Registry::new();
+        registry.label("tool", "tracegen");
+        registry.label("trace", spec.name());
+        registry.label("kind", &spec.kind().to_string());
+        registry.counter(
+            &telemetry::catalog::WORKLOADS_GENERATED_INSTRUCTIONS,
+            writer.records_written(),
+        );
+        cli::write_metrics(&path, &registry)?;
+    }
     Ok(())
 }

@@ -1,0 +1,69 @@
+//! Shared plumbing for the command-line tools.
+//!
+//! The four binaries cover the paper's workflow end to end:
+//!
+//! ```text
+//!  tracegen ──► trace.cvp ──► cvp2champsim ──► trace.champsimtrace
+//!                  │                                  │
+//!                  ▼                                  ▼
+//!             trace-stats                        champsim-run
+//!          (mix + conversion)                 (IPC, MPKI, stalls)
+//! ```
+//!
+//! Every binary accepts `--metrics <path>` and writes one
+//! [`telemetry`] JSON document (see `METRICS.md`); this library holds
+//! the exporters the binaries share — most notably the `cvp.*` metrics
+//! for [`CvpTraceStats`], which live here because `cvp-trace` itself is
+//! dependency-free.
+
+use cvp_trace::{CvpClass, CvpTraceStats};
+use telemetry::{catalog, Registry};
+
+/// Registers a CVP-1 trace characterization under `cvp.*`, including
+/// one `cvp.class.{class}.count` instance per instruction class that
+/// occurs in the trace.
+pub fn export_cvp_stats(stats: &CvpTraceStats, registry: &mut Registry) {
+    registry.counter(&catalog::CVP_INSTRUCTIONS, stats.total());
+    registry.counter(&catalog::CVP_TAKEN_BRANCHES, stats.taken_branches());
+    registry.counter(&catalog::CVP_BRANCHES, stats.branches());
+    registry.counter(&catalog::CVP_MEMORY_NO_DEST, stats.memory_no_dest());
+    registry.counter(&catalog::CVP_LOADS_MULTI_DEST, stats.loads_multi_dest());
+    registry.counter(&catalog::CVP_ALU_FP_NO_DEST, stats.alu_fp_no_dest());
+    registry.gauge(&catalog::CVP_MEAN_SOURCES, stats.mean_sources());
+    registry.gauge(&catalog::CVP_MEAN_DESTINATIONS, stats.mean_destinations());
+    for class in CvpClass::ALL {
+        let n = stats.count(class);
+        if n > 0 {
+            registry.counter_at(&catalog::CVP_CLASS_COUNT, &class.to_string(), n);
+        }
+    }
+}
+
+/// Writes the registry's JSON document to `path` and prints a
+/// confirmation to standard error (the binaries' `--metrics` epilogue).
+pub fn write_metrics(path: &str, registry: &Registry) -> std::io::Result<()> {
+    std::fs::write(path, registry.to_json())?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvp_trace::CvpInstruction;
+
+    #[test]
+    fn cvp_export_covers_mix_and_classes() {
+        let mut stats = CvpTraceStats::new();
+        stats.record(&CvpInstruction::alu(0).with_destination(1, 0u64));
+        stats.record(&CvpInstruction::load(4, 0x100, 8).with_destination(2, 0u64));
+        stats.record(&CvpInstruction::cond_branch(8, true, 0x40));
+        let mut registry = Registry::new();
+        export_cvp_stats(&stats, &mut registry);
+        assert_eq!(registry.counter_value("cvp.instructions"), 3);
+        assert_eq!(registry.counter_value("cvp.class.load.count"), 1);
+        assert_eq!(registry.counter_value("cvp.class.cond-branch.count"), 1);
+        assert!(registry.get("cvp.class.store.count").is_none(), "empty classes are skipped");
+        assert!(registry.get("cvp.mean_sources").is_some());
+    }
+}

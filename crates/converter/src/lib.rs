@@ -17,6 +17,15 @@
 //! | [`Improvement::BranchRegs`] | §3.2.2 | keep the real source registers of branches |
 //! | [`Improvement::FlagReg`] | §3.2.3 | make flag-setting ALU/FP instructions write the flags register |
 //!
+//! # Data flow
+//!
+//! ```text
+//!   CvpInstruction ──► Converter::convert ──► [ChampsimRecord; 1..=2]
+//!                          │    (ImprovementSet gates each rewrite)
+//!                          ▼
+//!                   ConversionStats ──► telemetry (convert.*)
+//! ```
+//!
 //! # Example
 //!
 //! ```

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::improvements::{Improvement, ImprovementSet};
+
 /// Counters accumulated while converting one trace.
 ///
 /// These back the paper's §4.2 discussion (how many instructions each
@@ -85,6 +87,57 @@ impl ConversionStats {
         fraction(self.loads_multiple_destinations, self.input_instructions)
     }
 
+    /// How many input instructions `improvement` rewrites, derived from
+    /// the per-phenomenon counters (the paper's §4.2 "how much each
+    /// improvement touches" question).
+    pub fn rewrites(&self, improvement: Improvement) -> u64 {
+        match improvement {
+            Improvement::MemRegs => self.memory_no_destination + self.loads_multiple_destinations,
+            Improvement::BaseUpdate => self.base_update_total(),
+            Improvement::MemFootprint => self.two_cacheline_accesses + self.dc_zva_stores,
+            Improvement::CallStack => self.x30_read_write_branches,
+            Improvement::BranchRegs => self.conditional_with_sources,
+            Improvement::FlagReg => self.flag_destinations_added,
+        }
+    }
+
+    /// Registers every counter under `converter.*`, plus one
+    /// `converter.improvement.{name}.rewrites` instance per improvement
+    /// in `enabled`.
+    pub fn export(&self, enabled: ImprovementSet, registry: &mut telemetry::Registry) {
+        use telemetry::catalog;
+        registry.counter(&catalog::CONVERTER_INPUT_INSTRUCTIONS, self.input_instructions);
+        registry.counter(&catalog::CONVERTER_OUTPUT_RECORDS, self.output_records);
+        let expansion = if self.input_instructions == 0 {
+            0.0
+        } else {
+            self.output_records as f64 / self.input_instructions as f64
+        };
+        registry.gauge(&catalog::CONVERTER_EXPANSION_RATIO, expansion);
+        registry.counter(&catalog::CONVERTER_MEMORY_NO_DESTINATION, self.memory_no_destination);
+        registry.counter(&catalog::CONVERTER_LOADS_MULTI_DEST, self.loads_multiple_destinations);
+        registry.counter(&catalog::CONVERTER_BASE_UPDATE_LOADS, self.base_update_loads);
+        registry.counter(&catalog::CONVERTER_BASE_UPDATE_STORES, self.base_update_stores);
+        registry.counter(&catalog::CONVERTER_PRE_INDEX, self.pre_index);
+        registry.counter(&catalog::CONVERTER_POST_INDEX, self.post_index);
+        registry.counter(&catalog::CONVERTER_TWO_CACHELINE, self.two_cacheline_accesses);
+        registry.counter(&catalog::CONVERTER_DC_ZVA_STORES, self.dc_zva_stores);
+        registry.counter(&catalog::CONVERTER_X30_READ_WRITE, self.x30_read_write_branches);
+        registry.counter(&catalog::CONVERTER_RETURNS_EMITTED, self.returns_emitted);
+        registry.counter(&catalog::CONVERTER_CALLS_EMITTED, self.calls_emitted);
+        registry.counter(&catalog::CONVERTER_COND_WITH_SOURCES, self.conditional_with_sources);
+        registry.counter(&catalog::CONVERTER_FLAG_DESTS_ADDED, self.flag_destinations_added);
+        registry.counter(&catalog::CONVERTER_X30_DESTS_DROPPED, self.x30_destinations_dropped);
+        registry.counter(&catalog::CONVERTER_SRC_REGS_DROPPED, self.source_registers_dropped);
+        for improvement in enabled.iter() {
+            registry.counter_at(
+                &catalog::CONVERTER_IMPROVEMENT_REWRITES,
+                improvement.name(),
+                self.rewrites(improvement),
+            );
+        }
+    }
+
     /// Merges another statistics object into this one.
     pub fn merge(&mut self, other: &ConversionStats) {
         self.input_instructions += other.input_instructions;
@@ -121,15 +174,15 @@ impl fmt::Display for ConversionStats {
         writeln!(f, "output records            {:>12}", self.output_records)?;
         writeln!(
             f,
-            "memory w/o destination    {:>12} ({:.2}%)",
+            "memory w/o destination    {:>12} ({})",
             self.memory_no_destination,
-            100.0 * self.memory_no_destination_fraction()
+            telemetry::format::percent(self.memory_no_destination_fraction())
         )?;
         writeln!(
             f,
-            "multi-destination loads   {:>12} ({:.2}%)",
+            "multi-destination loads   {:>12} ({})",
             self.loads_multiple_destinations,
-            100.0 * self.loads_multiple_destinations_fraction()
+            telemetry::format::percent(self.loads_multiple_destinations_fraction())
         )?;
         writeln!(
             f,
@@ -138,9 +191,9 @@ impl fmt::Display for ConversionStats {
         )?;
         writeln!(
             f,
-            "two-cacheline accesses    {:>12} ({:.2}%)",
+            "two-cacheline accesses    {:>12} ({})",
             self.two_cacheline_accesses,
-            100.0 * self.two_cacheline_fraction()
+            telemetry::format::percent(self.two_cacheline_fraction())
         )?;
         writeln!(f, "dc-zva stores             {:>12}", self.dc_zva_stores)?;
         writeln!(f, "x30 read+write branches   {:>12}", self.x30_read_write_branches)?;
@@ -181,5 +234,24 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(ConversionStats::new().to_string().contains("input instructions"));
+    }
+
+    #[test]
+    fn export_registers_rewrites_per_enabled_improvement() {
+        let stats = ConversionStats {
+            input_instructions: 100,
+            output_records: 110,
+            base_update_loads: 7,
+            base_update_stores: 3,
+            flag_destinations_added: 5,
+            ..Default::default()
+        };
+        let enabled = ImprovementSet::only(Improvement::BaseUpdate).with(Improvement::FlagReg);
+        let mut registry = telemetry::Registry::new();
+        stats.export(enabled, &mut registry);
+        assert_eq!(registry.counter_value("converter.improvement.base-update.rewrites"), 10);
+        assert_eq!(registry.counter_value("converter.improvement.flag-reg.rewrites"), 5);
+        assert!(registry.get("converter.improvement.mem-regs.rewrites").is_none());
+        assert_eq!(registry.counter_value("converter.input_instructions"), 100);
     }
 }

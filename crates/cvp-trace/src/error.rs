@@ -8,21 +8,49 @@ pub enum TraceError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// The stream ended in the middle of a record.
-    ///
-    /// The byte offset is the start of the truncated record.
-    TruncatedRecord { offset: u64 },
+    TruncatedRecord {
+        /// Byte offset of the start of the truncated record.
+        offset: u64,
+    },
     /// An instruction-class byte that is not a valid [`CvpClass`].
     ///
     /// [`CvpClass`]: crate::CvpClass
-    InvalidClass { value: u8, offset: u64 },
+    InvalidClass {
+        /// The offending class byte.
+        value: u8,
+        /// Byte offset of the field in the stream.
+        offset: u64,
+    },
     /// A register count exceeded the format limit.
-    TooManyRegisters { kind: RegKind, count: u8, offset: u64 },
+    TooManyRegisters {
+        /// Which register list overflowed.
+        kind: RegKind,
+        /// The count read from the stream.
+        count: u8,
+        /// Byte offset of the field in the stream.
+        offset: u64,
+    },
     /// A register name outside the architectural namespace.
-    InvalidRegister { reg: u8, offset: u64 },
+    InvalidRegister {
+        /// The offending register number.
+        reg: u8,
+        /// Byte offset of the field in the stream.
+        offset: u64,
+    },
     /// A branch-taken byte that is neither 0 nor 1.
-    InvalidTakenFlag { value: u8, offset: u64 },
+    InvalidTakenFlag {
+        /// The offending flag byte.
+        value: u8,
+        /// Byte offset of the field in the stream.
+        offset: u64,
+    },
     /// A memory access size that is not a power of two in `1..=64`.
-    InvalidAccessSize { size: u8, offset: u64 },
+    InvalidAccessSize {
+        /// The offending size byte.
+        size: u8,
+        /// Byte offset of the field in the stream.
+        offset: u64,
+    },
 }
 
 /// Which register list a [`TraceError::TooManyRegisters`] refers to.

@@ -17,6 +17,14 @@
 //!   trace consumers that need to reconstruct input values,
 //! * [`CvpTraceStats`] — one-pass workload characterization.
 //!
+//! # Data flow
+//!
+//! ```text
+//!   trace.cvp ──► CvpReader ──► CvpInstruction ──► converter / stats
+//!                                    ▲
+//!   workloads (synthetic) ──► CvpWriter ──► trace.cvp
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +44,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod format;
 

@@ -15,7 +15,7 @@ const DEFAULT_BUF_CAPACITY: usize = 64 * 1024;
 /// works, since `Read` is implemented for mutable references). The reader
 /// is also an [`Iterator`] over `Result<CvpInstruction, TraceError>`.
 ///
-/// The reader buffers internally ([`DEFAULT_BUF_CAPACITY`] bytes, or
+/// The reader buffers internally (64 KiB by default, or
 /// [`CvpReader::with_buffer_capacity`]), so the per-field `u8`/`u64`
 /// decoding never issues tiny reads against an unbuffered source — do
 /// not wrap the source in another `BufReader`.

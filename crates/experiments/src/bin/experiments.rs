@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all]
-//!             [--scale test|paper] [--csv <dir>] [--threads <n>]
+//!             [--scale smoke|test|paper] [--csv <dir>] [--threads <n>]
+//!             [--metrics <path>]
 //! ```
 //!
 //! With no selection flags, everything is regenerated (`--all`). The
 //! `paper` scale (default) runs each synthetic trace at 120k
-//! instructions; `test` runs a quick sanity pass. Worker threads default
-//! to the machine's parallelism (`--threads` / `EXPERIMENTS_THREADS`
-//! override). Scheduled runs append their timing + cache report to
-//! `BENCH_experiments.json`; `--stats` also prints the reports.
+//! instructions; `test` runs a quick sanity pass and `smoke` an even
+//! smaller CI pass. Worker threads default to the machine's parallelism
+//! (`--threads` / `EXPERIMENTS_THREADS` override). Scheduled runs append
+//! their timing + cache report to `BENCH_experiments.json`; `--stats`
+//! also prints the reports plus the per-improvement attribution table.
+//! `--metrics <path>` writes the telemetry document (see METRICS.md):
+//! per-configuration grid aggregates, table 3/4 speedups, and the
+//! attribution table, byte-identical across `--threads` values.
 
 use experiments::figures::{
     figure1, figure2, figure3, figure4, figure5, render_figure1, render_figure2, render_figure3,
@@ -28,6 +33,7 @@ struct Selection {
     tables: Vec<u8>,
     stats: bool,
     csv_dir: Option<std::path::PathBuf>,
+    metrics_path: Option<std::path::PathBuf>,
 }
 
 /// Parses and validates one `--fig`/`--table` operand: numeric, in
@@ -70,13 +76,18 @@ fn main() {
             }
             "--all" => all = true,
             "--scale" => match args.next().as_deref() {
+                Some("smoke") => scale = ExperimentScale::smoke(),
                 Some("test") => scale = ExperimentScale::test(),
                 Some("paper") => scale = ExperimentScale::paper(),
                 other => fail(&format!(
-                    "--scale must be `test` or `paper`, got {}",
+                    "--scale must be `smoke`, `test` or `paper`, got {}",
                     other.map_or("nothing".into(), |o| format!("{o:?}"))
                 )),
             },
+            "--metrics" => {
+                selection.metrics_path =
+                    Some(args.next().unwrap_or_else(|| fail("--metrics needs a path")).into());
+            }
             "--threads" => {
                 let n: usize = args
                     .next()
@@ -94,6 +105,8 @@ fn main() {
         selection.stats = true;
     }
     let mut reports: Vec<SchedulerReport> = Vec::new();
+    let mut metrics = telemetry::Registry::new();
+    let mut attribution_rows: Option<Vec<experiments::metrics::AttributionRow>> = None;
 
     // Figures 1–5 share one grid; compute it once if any are selected.
     let grid: Option<Grid> = if selection.figs.is_empty() {
@@ -102,6 +115,8 @@ fn main() {
         eprintln!("[experiments] computing the improvement grid (135 traces x 10 configs)...");
         let (grid, report) = Grid::compute_with_report(scale, &sim::CoreConfig::iiswc_main());
         reports.push(report);
+        experiments::metrics::export_grid(&grid, &mut metrics);
+        attribution_rows = Some(experiments::metrics::attribution(&grid));
         Some(grid)
     };
 
@@ -167,6 +182,7 @@ fn main() {
                 eprintln!("[experiments] running the IPC-1 prefetcher study (2 x 10 x 50 runs)...");
                 let (t3, report) = table3_with_report(scale, &sim::CoreConfig::ipc1());
                 reports.push(report);
+                experiments::metrics::export_table3(&t3, 3, &mut metrics);
                 if let Some(dir) = csv {
                     csv_write(experiments::csv::table3(dir, &t3, "tab3.csv"));
                 }
@@ -176,6 +192,7 @@ fn main() {
                 eprintln!("[experiments] extension: re-ranking on the decoupled front-end...");
                 let (t4, report) = table4_decoupled_with_report(scale);
                 reports.push(report);
+                experiments::metrics::export_table3(&t4, 4, &mut metrics);
                 if let Some(dir) = csv {
                     csv_write(experiments::csv::table3(dir, &t4, "tab4.csv"));
                 }
@@ -189,7 +206,20 @@ fn main() {
         for report in &reports {
             println!("{}", report.render());
         }
+        if let Some(rows) = &attribution_rows {
+            println!("{}", experiments::metrics::render_attribution(rows));
+        }
         println!("{}", render_section42(&section42(scale)));
+    }
+    if let Some(path) = &selection.metrics_path {
+        let sections: Vec<(&str, String)> = attribution_rows
+            .as_ref()
+            .map(|rows| vec![("attribution", experiments::metrics::attribution_json(rows))])
+            .unwrap_or_default();
+        match std::fs::write(path, metrics.to_json_with_sections(&sections)) {
+            Ok(()) => eprintln!("[experiments] wrote {}", path.display()),
+            Err(e) => eprintln!("[experiments] could not write {}: {e}", path.display()),
+        }
     }
     if !reports.is_empty() {
         let path = "BENCH_experiments.json";
@@ -204,7 +234,7 @@ fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all] \
-         [--scale test|paper] [--csv <dir>] [--threads <n>]"
+         [--scale smoke|test|paper] [--csv <dir>] [--threads <n>] [--metrics <path>]"
     );
     std::process::exit(2);
 }

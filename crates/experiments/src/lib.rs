@@ -17,11 +17,26 @@
 //! figure/table modules each expose a `compute` function returning
 //! plain-data rows plus a `render` helper producing the textual output
 //! the artifact scripts would print.
+//!
+//! # Data flow
+//!
+//! ```text
+//!   workloads suite ──► runner (convert + simulate, work-stealing)
+//!                          │
+//!            TraceOutcome grid (index-ordered, schedule-independent)
+//!                │                │                   │
+//!                ▼                ▼                   ▼
+//!          figures/tables   metrics::export_*   metrics::attribution
+//!            (text, csv)         │                   │
+//!                                ▼                   ▼
+//!                     one telemetry JSON document (--metrics)
+//! ```
 
 pub mod bench;
 pub mod cache;
 pub mod csv;
 pub mod figures;
+pub mod metrics;
 pub mod runner;
 pub mod tables;
 

@@ -36,6 +36,12 @@ pub struct ExperimentScale {
 }
 
 impl ExperimentScale {
+    /// Minimal scale for CI smoke runs (`--scale smoke`): small enough
+    /// for `experiments --all` to finish in well under a minute.
+    pub fn smoke() -> ExperimentScale {
+        ExperimentScale { trace_length: 5_000, warmup: 1_000 }
+    }
+
     /// Quick scale for tests (~seconds for a handful of traces).
     pub fn test() -> ExperimentScale {
         ExperimentScale { trace_length: 20_000, warmup: 5_000 }
@@ -139,6 +145,11 @@ pub fn thread_count() -> usize {
 fn planned_threads(jobs: usize) -> usize {
     thread_count().min(jobs.max(1))
 }
+
+/// Serializes tests that mutate the global thread override (shared with
+/// the metrics determinism tests).
+#[cfg(test)]
+pub(crate) static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
 // ---------------------------------------------------------------------
 // Work-stealing execution
@@ -374,9 +385,6 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(parallel_cells(1, |i| i + 10), vec![10]);
     }
-
-    /// Serializes tests that mutate the global thread override.
-    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn panicking_job_propagates_without_poisoning_others() {

@@ -1,0 +1,94 @@
+use telemetry::catalog;
+
+use crate::traits::{FetchEvent, InstructionPrefetcher};
+
+/// Counting wrapper around any [`InstructionPrefetcher`].
+///
+/// Counts the events flowing through the trait — fetches, misses,
+/// retired branches, proposed prefetch blocks — and exports them under
+/// `iprefetch.*`, so every contest prefetcher gets uniform telemetry
+/// without touching its algorithm. The wrapped prefetcher's own
+/// `export_telemetry` still runs, so designs with bespoke counters keep
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use iprefetch::{FetchEvent, Instrumented, InstructionPrefetcher, NextLine};
+///
+/// let mut pf = Instrumented::new(Box::new(NextLine::new(2)));
+/// let mut out = Vec::new();
+/// pf.on_fetch(FetchEvent { block: 10, miss: true }, &mut out);
+/// let mut registry = telemetry::Registry::new();
+/// pf.export_telemetry(&mut registry);
+/// assert_eq!(registry.counter_value("iprefetch.issued"), 2);
+/// ```
+pub struct Instrumented {
+    inner: Box<dyn InstructionPrefetcher + Send>,
+    fetches_seen: u64,
+    misses_seen: u64,
+    issued: u64,
+    branches_seen: u64,
+}
+
+impl Instrumented {
+    /// Wraps `inner`, starting all counters at zero.
+    pub fn new(inner: Box<dyn InstructionPrefetcher + Send>) -> Instrumented {
+        Instrumented { inner, fetches_seen: 0, misses_seen: 0, issued: 0, branches_seen: 0 }
+    }
+
+    /// Prefetch block requests proposed so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl InstructionPrefetcher for Instrumented {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_fetch(&mut self, event: FetchEvent, out: &mut Vec<u64>) {
+        self.fetches_seen += 1;
+        if event.miss {
+            self.misses_seen += 1;
+        }
+        let before = out.len();
+        self.inner.on_fetch(event, out);
+        self.issued += (out.len() - before) as u64;
+    }
+
+    fn on_branch(&mut self, pc: u64, target: u64, taken: bool) {
+        self.branches_seen += 1;
+        self.inner.on_branch(pc, target, taken);
+    }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        registry.counter(&catalog::IPREFETCH_FETCHES_SEEN, self.fetches_seen);
+        registry.counter(&catalog::IPREFETCH_MISSES_SEEN, self.misses_seen);
+        registry.counter(&catalog::IPREFETCH_ISSUED, self.issued);
+        registry.counter(&catalog::IPREFETCH_BRANCHES_SEEN, self.branches_seen);
+        self.inner.export_telemetry(registry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nextline::NextLine;
+
+    #[test]
+    fn counts_flow_through_events() {
+        let mut pf = Instrumented::new(Box::new(NextLine::new(1)));
+        let mut out = Vec::new();
+        pf.on_fetch(FetchEvent { block: 5, miss: true }, &mut out);
+        pf.on_fetch(FetchEvent { block: 6, miss: false }, &mut out);
+        pf.on_branch(0x400, 0x500, true);
+        let mut registry = telemetry::Registry::new();
+        pf.export_telemetry(&mut registry);
+        assert_eq!(registry.counter_value("iprefetch.fetches_seen"), 2);
+        assert_eq!(registry.counter_value("iprefetch.misses_seen"), 1);
+        assert_eq!(registry.counter_value("iprefetch.branches_seen"), 1);
+        assert_eq!(registry.counter_value("iprefetch.issued"), pf.issued());
+    }
+}

@@ -16,6 +16,15 @@
 //! [`InstructionPrefetcher::on_branch`]; prefetchers respond with block
 //! numbers to bring into the L1I.
 //!
+//! # Data flow
+//!
+//! ```text
+//!   sim front-end ──► on_fetch / on_branch ──► InstructionPrefetcher
+//!                                                   │
+//!         L1I prefetch fills ◄── block numbers ◄────┘
+//!         (Instrumented wrapper counts events ──► telemetry iprefetch.*)
+//! ```
+//!
 //! # Example
 //!
 //! ```
@@ -33,6 +42,7 @@ mod barca;
 mod djolt;
 mod epi;
 mod fnl_mma;
+mod instrumented;
 mod jip;
 mod mana;
 mod nextline;
@@ -44,6 +54,7 @@ pub use barca::Barca;
 pub use djolt::DJolt;
 pub use epi::Epi;
 pub use fnl_mma::FnlMma;
+pub use instrumented::Instrumented;
 pub use jip::Jip;
 pub use mana::Mana;
 pub use nextline::{NextLine, NoInstructionPrefetcher};

@@ -24,6 +24,13 @@ pub trait InstructionPrefetcher {
     /// The default implementation ignores branches; control-flow-driven
     /// prefetchers override it.
     fn on_branch(&mut self, _pc: u64, _target: u64, _taken: bool) {}
+
+    /// Registers the prefetcher's internal counters under `iprefetch.*`.
+    ///
+    /// The default is a no-op; wrap a prefetcher in
+    /// [`Instrumented`](crate::Instrumented) to get the standard event
+    /// counters without touching the algorithm.
+    fn export_telemetry(&self, _registry: &mut telemetry::Registry) {}
 }
 
 #[cfg(test)]

@@ -90,16 +90,43 @@ impl CacheStats {
             self.demand_misses as f64 / self.demand_accesses as f64
         }
     }
+
+    /// Prefetch accuracy in `0..=1`: useful prefetches over prefetch
+    /// fills (0 when nothing was prefetched).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetch_fills == 0 {
+            0.0
+        } else {
+            self.useful_prefetches as f64 / self.prefetch_fills as f64
+        }
+    }
+
+    /// Registers this level's counters and ratios under
+    /// `memsys.<level>.*`, where `level` is one of `l1i`, `l1d`, `l2`,
+    /// `llc`.
+    pub fn export(&self, level: &str, registry: &mut telemetry::Registry) {
+        use telemetry::catalog;
+        registry.counter_at(&catalog::MEMSYS_DEMAND_ACCESSES, level, self.demand_accesses);
+        registry.counter_at(&catalog::MEMSYS_DEMAND_MISSES, level, self.demand_misses);
+        registry.gauge_at(&catalog::MEMSYS_MISS_RATIO, level, 100.0 * self.miss_ratio());
+        registry.counter_at(&catalog::MEMSYS_PREFETCH_FILLS, level, self.prefetch_fills);
+        registry.counter_at(&catalog::MEMSYS_USEFUL_PREFETCHES, level, self.useful_prefetches);
+        registry.gauge_at(
+            &catalog::MEMSYS_PREFETCH_ACCURACY,
+            level,
+            100.0 * self.prefetch_accuracy(),
+        );
+    }
 }
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "accesses {} misses {} ({:.2}%) pf-fills {} pf-useful {}",
+            "accesses {} misses {} ({}) pf-fills {} pf-useful {}",
             self.demand_accesses,
             self.demand_misses,
-            100.0 * self.miss_ratio(),
+            telemetry::format::percent(self.miss_ratio()),
             self.prefetch_fills,
             self.useful_prefetches
         )

@@ -151,6 +151,14 @@ impl Hierarchy {
         self.llc.reset_stats();
     }
 
+    /// Registers every level's statistics under `memsys.{level}.*`.
+    pub fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        self.l1i.stats().export("l1i", registry);
+        self.l1d.stats().export("l1d", registry);
+        self.l2.stats().export("l2", registry);
+        self.llc.stats().export("llc", registry);
+    }
+
     /// Fetches the instruction line containing `address`; returns the
     /// access latency in cycles.
     pub fn access_instruction(&mut self, address: u64) -> u64 {
@@ -331,6 +339,18 @@ mod tests {
             pf_misses < base_misses / 2,
             "stride prefetching should cut stream misses: {pf_misses} vs {base_misses}"
         );
+    }
+
+    #[test]
+    fn telemetry_export_covers_every_level() {
+        let mut mem = no_prefetch();
+        mem.access_data(0, 0x1000, false);
+        let mut registry = telemetry::Registry::new();
+        mem.export_telemetry(&mut registry);
+        assert_eq!(registry.counter_value("memsys.l1d.demand_accesses"), 1);
+        assert_eq!(registry.counter_value("memsys.llc.demand_misses"), 1);
+        // 6 metrics per level × 4 levels.
+        assert_eq!(registry.len(), 24);
     }
 
     #[test]

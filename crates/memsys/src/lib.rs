@@ -11,6 +11,15 @@
 //! back. Each cache tracks demand accesses/misses (for the MPKI columns
 //! of Table 2) and prefetch usefulness.
 //!
+//! # Data flow
+//!
+//! ```text
+//!   sim ──► Hierarchy::access_{code,data} ──► L1 ──► L2 ──► LLC ──► DRAM
+//!                      │                      (fills on the way back)
+//!                      ▼
+//!            latency + CacheStats ──► telemetry (memsys.*)
+//! ```
+//!
 //! # Example
 //!
 //! ```

@@ -10,7 +10,7 @@ use memsys::{Hierarchy, CACHELINE_BYTES};
 
 use crate::config::{CoreConfig, IndirectKind, PredictorKind};
 use crate::pipeline::{Scheduler, WidthLimiter};
-use crate::stats::{BranchStats, SimReport};
+use crate::stats::{BranchStats, PipelineStats, SimReport};
 
 /// Options for one simulation run.
 #[derive(Default)]
@@ -20,6 +20,10 @@ pub struct RunOptions {
     pub warmup_instructions: u64,
     /// Optional L1I instruction prefetcher (the Table 3 plug-in point).
     pub prefetcher: Option<Box<dyn InstructionPrefetcher + Send>>,
+    /// When set, snapshot counter deltas every this many retired records
+    /// into the report's epoch series (see
+    /// [`SimReport::components`](crate::SimReport)).
+    pub epoch_instructions: Option<u64>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -27,6 +31,7 @@ impl std::fmt::Debug for RunOptions {
         f.debug_struct("RunOptions")
             .field("warmup_instructions", &self.warmup_instructions)
             .field("prefetcher", &self.prefetcher.as_ref().map(|p| p.name()))
+            .field("epoch_instructions", &self.epoch_instructions)
             .finish()
     }
 }
@@ -43,6 +48,18 @@ impl RunOptions {
     #[must_use]
     pub fn with_prefetcher(mut self, pf: Box<dyn InstructionPrefetcher + Send>) -> RunOptions {
         self.prefetcher = Some(pf);
+        self
+    }
+
+    /// Record per-interval counter snapshots every `n` retired records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_epochs(mut self, n: u64) -> RunOptions {
+        assert!(n > 0, "epoch length must be positive");
+        self.epoch_instructions = Some(n);
         self
     }
 }
@@ -104,8 +121,9 @@ struct Engine<'c> {
     indirect: Option<Ittage>,
     btb: Btb,
     ras: ReturnAddressStack,
-    prefetcher: Option<Box<dyn InstructionPrefetcher + Send>>,
+    prefetcher: Option<iprefetch::Instrumented>,
     warmup: u64,
+    epoch_instructions: Option<u64>,
 
     reg_ready: [u64; 256],
     rob: VecDeque<u64>,
@@ -126,6 +144,7 @@ struct Engine<'c> {
     last_retire: u64,
 
     branches: BranchStats,
+    pipeline: PipelineStats,
     instruction_prefetches: u64,
     /// In-flight instruction prefetches: block → cycle when usable.
     /// Fetching a block before its prefetch completes stalls for the
@@ -153,8 +172,9 @@ impl<'c> Engine<'c> {
             indirect,
             btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
             ras: ReturnAddressStack::new(cfg.ras_size),
-            prefetcher: options.prefetcher,
+            prefetcher: options.prefetcher.map(iprefetch::Instrumented::new),
             warmup: options.warmup_instructions,
+            epoch_instructions: options.epoch_instructions,
             reg_ready: [0; 256],
             rob: VecDeque::with_capacity(cfg.rob_size),
             load_queue: VecDeque::with_capacity(cfg.load_queue_size),
@@ -169,6 +189,7 @@ impl<'c> Engine<'c> {
             block_ready: 0,
             last_retire: 0,
             branches: BranchStats::default(),
+            pipeline: PipelineStats::default(),
             instruction_prefetches: 0,
             prefetch_ready: HashMap::new(),
         }
@@ -180,9 +201,31 @@ impl<'c> Engine<'c> {
         let mut warm_prefetches = 0u64;
         let mut measured_start_index = 0usize;
 
+        let mut epochs = self.epoch_instructions.map(|n| {
+            telemetry::EpochSeries::new(
+                n,
+                &[
+                    "cycles",
+                    "branch_mispredicts",
+                    "l1i_demand_misses",
+                    "l1d_demand_misses",
+                    "llc_demand_misses",
+                ],
+            )
+        });
+        let mut epoch_prev = EpochCursor::default();
+
         for (i, rec) in records.iter().enumerate() {
             let next_ip = records.get(i + 1).map(|r| r.ip());
             self.step(rec, next_ip);
+
+            if let (Some(series), Some(n)) = (epochs.as_mut(), self.epoch_instructions) {
+                if (i as u64 + 1).is_multiple_of(n) {
+                    let now = self.epoch_cursor();
+                    series.push_row(&now.delta_from(&epoch_prev));
+                    epoch_prev = now;
+                }
+            }
 
             if (i as u64 + 1) == self.warmup {
                 warm_cycles = self.last_retire;
@@ -190,7 +233,25 @@ impl<'c> Engine<'c> {
                 warm_prefetches = self.instruction_prefetches;
                 measured_start_index = i + 1;
                 self.memory.reset_stats();
+                self.pipeline = PipelineStats::default();
+                // Cache counters restart at zero; keep epoch deltas
+                // consistent across the reset.
+                epoch_prev.zero_caches();
             }
+        }
+
+        let mut components = telemetry::Registry::new();
+        self.direction.export_telemetry(&mut components);
+        if let Some(ittage) = &self.indirect {
+            ittage.export_telemetry(&mut components);
+        }
+        self.btb.export_telemetry(&mut components);
+        self.ras.export_telemetry(&mut components);
+        if let Some(pf) = &self.prefetcher {
+            pf.export_telemetry(&mut components);
+        }
+        if let Some(series) = epochs {
+            components.set_epochs(series);
         }
 
         let measured = (records.len() - measured_start_index) as u64;
@@ -203,6 +264,19 @@ impl<'c> Engine<'c> {
             l2: *self.memory.l2().stats(),
             llc: *self.memory.llc().stats(),
             instruction_prefetches: self.instruction_prefetches - warm_prefetches,
+            pipeline: self.pipeline,
+            components,
+        }
+    }
+
+    /// The running totals the epoch series snapshots.
+    fn epoch_cursor(&self) -> EpochCursor {
+        EpochCursor {
+            cycles: self.last_retire,
+            branch_mispredicts: self.branches.total_mispredicts(),
+            l1i_demand_misses: self.memory.l1i().stats().demand_misses,
+            l1d_demand_misses: self.memory.l1d().stats().demand_misses,
+            llc_demand_misses: self.memory.llc().stats().demand_misses,
         }
     }
 
@@ -227,6 +301,9 @@ impl<'c> Engine<'c> {
                 0
             };
             self.block_ready = start + miss_penalty.saturating_sub(hidden);
+            // Whatever the lookahead could not hide starves the fetch
+            // stage for that many cycles.
+            self.pipeline.fetch_starve_cycles += self.block_ready - start;
             self.current_block = block;
             self.refilling = false;
 
@@ -250,8 +327,13 @@ impl<'c> Engine<'c> {
 
         // ---------------------------------------------- dispatch -------
         let mut dispatch = fetch_cycle + self.cfg.decode_latency;
+        self.pipeline.rob_occupancy.record(self.rob.len() as u64);
         if self.rob.len() >= self.cfg.rob_size {
             let head_retire = self.rob.pop_front().expect("ROB is full, so non-empty");
+            if head_retire > dispatch {
+                self.pipeline.rob_stalls += 1;
+                self.pipeline.rob_stall_cycles += head_retire - dispatch;
+            }
             dispatch = dispatch.max(head_retire);
         }
         let dispatch = self.dispatch_slots.allocate(dispatch);
@@ -264,6 +346,9 @@ impl<'c> Engine<'c> {
         let mut start = operands_ready;
         if rec.is_load() && self.load_queue.len() >= self.cfg.load_queue_size {
             let slot_free = self.load_queue.pop_front().expect("load queue full");
+            if slot_free > start {
+                self.pipeline.lsq_stalls += 1;
+            }
             start = start.max(slot_free);
         }
         let start = self.issue_slots.allocate(start);
@@ -286,6 +371,9 @@ impl<'c> Engine<'c> {
                 }
                 if self.mshrs.len() >= self.cfg.l1d_mshrs {
                     let oldest = self.mshrs.pop_front().expect("MSHRs are full, so non-empty");
+                    if oldest > start {
+                        self.pipeline.mshr_stalls += 1;
+                    }
                     start = start.max(oldest);
                 }
                 self.mshrs.push_back(start + latency);
@@ -311,7 +399,7 @@ impl<'c> Engine<'c> {
 
         // ------------------------------------------------ branch -------
         if rec.is_branch() {
-            self.resolve_branch(rec, next_ip, completion);
+            self.resolve_branch(rec, next_ip, dispatch, completion);
         }
 
         // ------------------------------------------------ retire -------
@@ -322,7 +410,13 @@ impl<'c> Engine<'c> {
         }
     }
 
-    fn resolve_branch(&mut self, rec: &ChampsimRecord, next_ip: Option<u64>, resolve: u64) {
+    fn resolve_branch(
+        &mut self,
+        rec: &ChampsimRecord,
+        next_ip: Option<u64>,
+        dispatch: u64,
+        resolve: u64,
+    ) {
         let branch_type = self.cfg.branch_rules.classify(rec);
         let taken = rec.branch_taken();
         // ChampSim derives targets from the trace stream: a taken
@@ -389,6 +483,7 @@ impl<'c> Engine<'c> {
         let mispredicted = direction_wrong || target_wrong;
         self.branches.record(branch_type, mispredicted);
         if mispredicted {
+            self.branches.mispredict_resolve_cycles += resolve.saturating_sub(dispatch);
             // The front-end restarts after resolution.
             self.fetch_barrier = self.fetch_barrier.max(resolve + 1);
             self.refilling = true;
@@ -398,6 +493,35 @@ impl<'c> Engine<'c> {
             self.fetch_barrier = self.fetch_barrier.max(self.block_ready + 1);
             self.current_block = u64::MAX;
         }
+    }
+}
+
+/// Snapshot of the counters sampled at epoch boundaries. Column order
+/// matches the series header built in [`Engine::run`].
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochCursor {
+    cycles: u64,
+    branch_mispredicts: u64,
+    l1i_demand_misses: u64,
+    l1d_demand_misses: u64,
+    llc_demand_misses: u64,
+}
+
+impl EpochCursor {
+    fn delta_from(&self, prev: &EpochCursor) -> [u64; 5] {
+        [
+            self.cycles.saturating_sub(prev.cycles),
+            self.branch_mispredicts.saturating_sub(prev.branch_mispredicts),
+            self.l1i_demand_misses.saturating_sub(prev.l1i_demand_misses),
+            self.l1d_demand_misses.saturating_sub(prev.l1d_demand_misses),
+            self.llc_demand_misses.saturating_sub(prev.llc_demand_misses),
+        ]
+    }
+
+    fn zero_caches(&mut self) {
+        self.l1i_demand_misses = 0;
+        self.l1d_demand_misses = 0;
+        self.llc_demand_misses = 0;
     }
 }
 
@@ -733,5 +857,61 @@ mod tests {
         let report = small_sim().run(&records);
         assert_eq!(report.instructions, 1234);
         assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn epoch_series_covers_the_run() {
+        let records = straight_line(10_000);
+        let report =
+            small_sim().run_with_options(&records, RunOptions::default().with_epochs(1_000));
+        let epochs = report.components.epochs().expect("epochs requested");
+        assert_eq!(epochs.rows(), 10);
+        let cycles = epochs.series("cycles").expect("cycles column");
+        assert_eq!(cycles.iter().sum::<u64>(), report.cycles);
+    }
+
+    #[test]
+    fn pipeline_stats_see_rob_pressure() {
+        // A long dependency chain keeps the ROB full: every instruction
+        // waits on its predecessor while fetch keeps delivering.
+        let mut records = Vec::new();
+        for i in 0..20_000u64 {
+            let mut r = ChampsimRecord::new(0x1000 + i * 4);
+            r.add_source_memory(0x10_0000 + (i.wrapping_mul(0x9e3779b97f4a7c15) % (1 << 28)));
+            r.add_source_register(regs::arch(1));
+            r.add_destination_register(regs::arch(1));
+            records.push(r);
+        }
+        let report = small_sim().run(&records);
+        assert!(report.pipeline.rob_stalls > 0, "serial chain must back up the ROB");
+        assert!(report.pipeline.rob_stall_cycles >= report.pipeline.rob_stalls);
+        assert_eq!(report.pipeline.rob_occupancy.count(), 20_000);
+    }
+
+    #[test]
+    fn pipeline_stats_reset_at_warmup() {
+        let records = straight_line(10_000);
+        let mut sim = small_sim();
+        let warm = sim.run_with_options(&records, RunOptions::default().with_warmup(5_000));
+        assert_eq!(warm.pipeline.rob_occupancy.count(), 5_000);
+    }
+
+    #[test]
+    fn component_registry_carries_predictor_counters() {
+        let mut records = Vec::new();
+        for i in 0..2_000u64 {
+            records.push(ChampsimRecord::new(0x1000 + (i % 8) * 4));
+            if i % 8 == 7 {
+                let mut b = pattern::conditional(0x1000 + 8 * 4, true);
+                b.set_ip(0x1020);
+                records.push(b);
+            }
+        }
+        let report = small_sim().run(&records);
+        let preds = report.components.counter_value("bpred.direction.predictions");
+        assert!(preds > 0, "conditional branches must hit the direction predictor");
+        let mut registry = telemetry::Registry::new();
+        report.export(&mut registry);
+        assert_eq!(registry.counter_value("bpred.direction.predictions"), preds);
     }
 }

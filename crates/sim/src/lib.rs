@@ -20,6 +20,22 @@
 //! [`CoreConfig::ipc1`] (the IPC-1 contest configuration with ideal
 //! branch-target prediction).
 //!
+//! # Data flow
+//!
+//! ```text
+//!   ChampsimRecord stream ──► Simulator::run ──► fetch (bpred, iprefetch)
+//!                                                  │
+//!                                  dispatch ◄──────┘
+//!                            (ROB, load queue, register ready cycles,
+//!                             memsys latencies)
+//!                                                  │
+//!                                                  ▼
+//!                     SimReport (+ PipelineStats, component Registry)
+//!                                                  │
+//!                                                  ▼
+//!                                        telemetry (sim.* metrics)
+//! ```
+//!
 //! # Example
 //!
 //! ```

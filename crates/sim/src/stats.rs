@@ -2,6 +2,7 @@ use std::fmt;
 
 use champsim_trace::BranchType;
 use memsys::CacheStats;
+use telemetry::{catalog, Log2Histogram, Registry};
 
 /// Per-branch-type and aggregate branch prediction statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -13,6 +14,11 @@ pub struct BranchStats {
     /// Taken branches whose predicted target was wrong (includes BTB and
     /// RAS misses).
     pub target_mispredicts: u64,
+    /// Dispatch-to-resolve cycles summed over mispredicted branches —
+    /// the exposed misprediction penalty. Branches fed by loads or
+    /// flag-setting ALU ops resolve late, which is the paper's
+    /// explanation for the `flag-reg`/`branch-regs` slowdowns.
+    pub mispredict_resolve_cycles: u64,
 }
 
 fn slot(t: BranchType) -> usize {
@@ -76,7 +82,43 @@ impl BranchStats {
         }
         out.direction_mispredicts -= snapshot.direction_mispredicts;
         out.target_mispredicts -= snapshot.target_mispredicts;
+        out.mispredict_resolve_cycles -= snapshot.mispredict_resolve_cycles;
         out
+    }
+}
+
+/// Pipeline-occupancy and stall statistics for one run's measured
+/// window.
+///
+/// Tracked by the engine at the three back-pressure points of the model
+/// — ROB-full dispatch, load-queue-full issue, MSHR-full misses — plus
+/// front-end instruction-supply stalls.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Dispatches delayed because the reorder buffer was full.
+    pub rob_stalls: u64,
+    /// Total cycles dispatch waited on the ROB head to retire.
+    pub rob_stall_cycles: u64,
+    /// Cycles the fetch stage stalled waiting for instruction supply.
+    pub fetch_starve_cycles: u64,
+    /// Loads delayed because the load queue was full.
+    pub lsq_stalls: u64,
+    /// L1D misses delayed because every MSHR was occupied.
+    pub mshr_stalls: u64,
+    /// ROB occupancy sampled at every dispatch.
+    pub rob_occupancy: Log2Histogram,
+}
+
+impl PipelineStats {
+    /// Registers the pipeline counters under `sim.rob.*`, `sim.lsq.*`,
+    /// `sim.mshr.*` and `sim.frontend.*`.
+    pub fn export(&self, registry: &mut Registry) {
+        registry.counter(&catalog::SIM_ROB_STALLS, self.rob_stalls);
+        registry.counter(&catalog::SIM_ROB_STALL_CYCLES, self.rob_stall_cycles);
+        registry.counter(&catalog::SIM_FETCH_STARVE_CYCLES, self.fetch_starve_cycles);
+        registry.counter(&catalog::SIM_LSQ_STALLS, self.lsq_stalls);
+        registry.counter(&catalog::SIM_MSHR_STALLS, self.mshr_stalls);
+        registry.histogram(&catalog::SIM_ROB_OCCUPANCY, self.rob_occupancy.clone());
     }
 }
 
@@ -102,6 +144,14 @@ pub struct SimReport {
     pub llc: CacheStats,
     /// Prefetch requests issued by the instruction prefetcher, if any.
     pub instruction_prefetches: u64,
+    /// Pipeline stall and occupancy statistics (measured window only).
+    pub pipeline: PipelineStats,
+    /// Component-level metrics the engine collected before tearing the
+    /// machine down: predictor/BTB/RAS counters (`bpred.*`), prefetcher
+    /// counters (`iprefetch.*`), and the per-epoch series when
+    /// [`RunOptions::with_epochs`](crate::RunOptions::with_epochs) was
+    /// set. Merged into the output of [`SimReport::export`].
+    pub components: Registry,
 }
 
 impl SimReport {
@@ -161,32 +211,71 @@ impl SimReport {
     pub fn llc_mpki(&self) -> f64 {
         self.mpki(self.llc.demand_misses)
     }
+
+    /// Registers everything this report knows into `registry`: `sim.*`
+    /// core metrics, per-branch-type counters, pipeline stalls,
+    /// `memsys.{level}.*`, and the component metrics the engine
+    /// collected (`bpred.*`, `iprefetch.*`, epochs).
+    pub fn export(&self, registry: &mut Registry) {
+        registry.counter(&catalog::SIM_INSTRUCTIONS, self.instructions);
+        registry.counter(&catalog::SIM_CYCLES, self.cycles);
+        registry.gauge(&catalog::SIM_IPC, self.ipc());
+        registry.counter(&catalog::SIM_BRANCH_EXECUTED, self.branches.total());
+        registry.counter(&catalog::SIM_BRANCH_MISPREDICTED, self.branches.total_mispredicts());
+        registry.counter(
+            &catalog::SIM_BRANCH_DIRECTION_MISPREDICTS,
+            self.branches.direction_mispredicts,
+        );
+        registry.counter(&catalog::SIM_BRANCH_TARGET_MISPREDICTS, self.branches.target_mispredicts);
+        registry.counter(
+            &catalog::SIM_BRANCH_MISPREDICT_RESOLVE_CYCLES,
+            self.branches.mispredict_resolve_cycles,
+        );
+        registry.gauge(&catalog::SIM_BRANCH_MPKI, self.branch_mpki());
+        registry.gauge(&catalog::SIM_BRANCH_DIRECTION_MPKI, self.direction_mpki());
+        registry.gauge(&catalog::SIM_BRANCH_TARGET_MPKI, self.target_mpki());
+        registry.gauge(&catalog::SIM_BRANCH_RETURN_MPKI, self.return_mpki());
+        for (branch_type, executed, mispredicted) in self.branches.per_type() {
+            let instance = branch_type.to_string();
+            registry.counter_at(&catalog::SIM_BRANCH_TYPE_EXECUTED, &instance, executed);
+            registry.counter_at(&catalog::SIM_BRANCH_TYPE_MISPREDICTED, &instance, mispredicted);
+        }
+        registry.counter(&catalog::SIM_IPREFETCH_ISSUED, self.instruction_prefetches);
+        self.pipeline.export(registry);
+        for (level, stats) in
+            [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2), ("llc", &self.llc)]
+        {
+            stats.export(level, registry);
+            registry.gauge_at(&catalog::SIM_CACHE_MPKI, level, self.mpki(stats.demand_misses));
+        }
+        registry.merge(&self.components);
+    }
 }
 
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "instructions {}  cycles {}  IPC {:.3}",
+            "instructions {}  cycles {}  IPC {}",
             self.instructions,
             self.cycles,
-            self.ipc()
+            telemetry::format::ratio(self.ipc())
         )?;
         writeln!(
             f,
-            "branch MPKI overall {:.2} direction {:.2} target {:.2} (returns {:.3})",
-            self.branch_mpki(),
-            self.direction_mpki(),
-            self.target_mpki(),
-            self.return_mpki()
+            "branch MPKI overall {} direction {} target {} (returns {})",
+            telemetry::format::mpki(self.branch_mpki()),
+            telemetry::format::mpki(self.direction_mpki()),
+            telemetry::format::mpki(self.target_mpki()),
+            telemetry::format::mpki(self.return_mpki())
         )?;
         writeln!(
             f,
-            "MPKI l1i {:.1} l1d {:.1} l2 {:.1} llc {:.1}",
-            self.l1i_mpki(),
-            self.l1d_mpki(),
-            self.l2_mpki(),
-            self.llc_mpki()
+            "MPKI l1i {} l1d {} l2 {} llc {}",
+            telemetry::format::mpki(self.l1i_mpki()),
+            telemetry::format::mpki(self.l1d_mpki()),
+            telemetry::format::mpki(self.l2_mpki()),
+            telemetry::format::mpki(self.llc_mpki())
         )?;
         for (t, count, miss) in self.branches.per_type() {
             writeln!(f, "  {t:<14} {count:>10} executed, {miss:>8} mispredicted")?;
@@ -261,5 +350,25 @@ mod tests {
         r.branches.record(BranchType::DirectCall, false);
         let text = r.to_string();
         assert!(text.contains("direct-call"), "{text}");
+    }
+
+    #[test]
+    fn export_registers_core_pipeline_and_cache_metrics() {
+        let mut r = SimReport { instructions: 10_000, cycles: 5_000, ..SimReport::default() };
+        r.branches.record(BranchType::Conditional, true);
+        r.pipeline.rob_stalls = 3;
+        r.pipeline.rob_occupancy.record(7);
+        r.l1d.demand_accesses = 100;
+        r.l1d.demand_misses = 10;
+        r.components.counter(&catalog::BPRED_RAS_PUSHES, 42);
+        let mut registry = Registry::new();
+        r.export(&mut registry);
+        assert_eq!(registry.counter_value("sim.instructions"), 10_000);
+        assert_eq!(registry.counter_value("sim.rob.stalls"), 3);
+        assert_eq!(registry.counter_value("sim.branch.type.conditional.executed"), 1);
+        assert_eq!(registry.counter_value("memsys.l1d.demand_misses"), 10);
+        assert_eq!(registry.counter_value("bpred.ras.pushes"), 42, "components merge in");
+        assert!(registry.get("sim.rob.occupancy").is_some());
+        assert!(registry.get("sim.cache.l1d.mpki").is_some());
     }
 }

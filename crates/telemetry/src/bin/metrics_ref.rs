@@ -1,0 +1,14 @@
+//! Prints the `METRICS.md` metrics reference to stdout.
+//!
+//! Regenerate the committed document with:
+//!
+//! ```text
+//! cargo run -p telemetry --bin metrics_ref > METRICS.md
+//! ```
+//!
+//! CI diffs the committed file against this dump, so the reference can
+//! never drift from the catalog.
+
+fn main() {
+    print!("{}", telemetry::catalog::reference_markdown());
+}

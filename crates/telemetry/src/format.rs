@@ -1,0 +1,36 @@
+//! Shared numeric formatting for the stack's `Display` impls.
+//!
+//! Before this crate existed, every stats struct hand-formatted its
+//! percentages (`{:.2}` here, `{:.1}` there). All human-readable
+//! reports now go through these helpers so the whole stack prints one
+//! way.
+
+/// Formats a `0..=1` fraction as a percentage with two decimals:
+/// `0.1234` → `"12.34%"`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", 100.0 * fraction)
+}
+
+/// Formats an events-per-kilo-instruction rate (MPKI) with two
+/// decimals.
+pub fn mpki(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a dimensionless ratio (IPC, speedup) with three decimals.
+pub fn ratio(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(percent(0.12345), "12.35%");
+        assert_eq!(percent(0.0), "0.00%");
+        assert_eq!(mpki(3.456), "3.46");
+        assert_eq!(ratio(1.23456), "1.235");
+    }
+}

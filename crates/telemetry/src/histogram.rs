@@ -1,0 +1,220 @@
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts the value `0`; bucket `i` (for `i >= 1`) counts
+/// values in `[2^(i-1), 2^i)`, so bucket 64 covers `[2^63, u64::MAX]`.
+/// The whole `u64` range is representable — recording `0`, powers of
+/// two and `u64::MAX` are all well-defined (see the tests).
+///
+/// # Example
+///
+/// ```
+/// use telemetry::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(0); // bucket 0
+/// h.record(1); // bucket 1: [1, 2)
+/// h.record(2); // bucket 2: [2, 4)
+/// h.record(3); // bucket 2
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_count(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram { buckets: [0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        }
+    }
+
+    /// Lower (inclusive) and upper (exclusive, saturating) bounds of
+    /// bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 65`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Log2Histogram::bucket_of(value)] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 65`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Iterates the non-empty buckets as `(lower, upper, count)` with
+    /// `lower` inclusive and `upper` exclusive (saturating at
+    /// `u64::MAX` for the last bucket).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, c)| **c > 0).map(|(i, c)| {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            (lo, hi, *c)
+        })
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} max={}", self.total, self.mean(), self.max)?;
+        for (lo, hi, c) in self.nonzero_buckets() {
+            write!(f, " [{lo},{hi}):{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn powers_of_two_open_their_own_bucket() {
+        // 2^k is the *lowest* value of bucket k+1: [2^k, 2^(k+1)).
+        for k in 0..64u32 {
+            let v = 1u64 << k;
+            assert_eq!(Log2Histogram::bucket_of(v), k as usize + 1, "2^{k}");
+            if v > 1 {
+                assert_eq!(Log2Histogram::bucket_of(v - 1), k as usize, "2^{k}-1");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket() {
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(64), 1);
+        assert_eq!(h.max(), u64::MAX);
+        let (lo, hi) = Log2Histogram::bucket_bounds(64);
+        assert_eq!(lo, 1 << 63);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_line_without_gaps() {
+        let mut expected_lo = 0u64;
+        for i in 0..65 {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where the last ended");
+            assert!(hi > lo);
+            expected_lo = hi;
+        }
+    }
+
+    #[test]
+    fn mean_max_and_merge() {
+        let mut a = Log2Histogram::new();
+        a.record_n(4, 3);
+        let mut b = Log2Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 100);
+        assert!((a.mean() - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let mut h = Log2Histogram::new();
+        h.record_n(42, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h, Log2Histogram::new());
+    }
+
+    #[test]
+    fn display_lists_nonzero_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        let text = h.to_string();
+        assert!(text.contains("[4,8):1"), "{text}");
+    }
+}

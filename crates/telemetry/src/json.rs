@@ -1,0 +1,61 @@
+//! Minimal deterministic JSON writing (the workspace carries no
+//! serializer dependency).
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `value` with a fixed six-decimal representation.
+///
+/// Non-finite values (which would not be valid JSON) are written as 0;
+/// every exporter in the stack guards its divisions, so this is a
+/// belt-and-braces rule, not an expected path.
+pub fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        out.push_str(&format!("{value:.6}"));
+    } else {
+        out.push_str("0.000000");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn string(s: &str) -> String {
+        let mut out = String::new();
+        write_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b"), r#""a\"b""#);
+        assert_eq!(string("a\\b"), r#""a\\b""#);
+        assert_eq!(string("a\nb"), r#""a\nb""#);
+        assert_eq!(string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn floats_are_fixed_precision() {
+        let mut out = String::new();
+        write_f64(&mut out, 1.5);
+        assert_eq!(out, "1.500000");
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "0.000000");
+    }
+}

@@ -1,0 +1,147 @@
+use crate::histogram::Log2Histogram;
+
+/// The unit a metric is expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Plain event count.
+    Count,
+    /// Retired trace records.
+    Instructions,
+    /// Core clock cycles.
+    Cycles,
+    /// Dimensionless ratio in `0..=1` (or around 1.0 for speedups).
+    Ratio,
+    /// Percentage, already scaled to `0..=100`.
+    Percent,
+    /// Events per 1000 retired instructions (the paper's MPKI scale).
+    PerKiloInstructions,
+}
+
+impl Unit {
+    /// The unit's stable spelling in exported documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Instructions => "instructions",
+            Unit::Cycles => "cycles",
+            Unit::Ratio => "ratio",
+            Unit::Percent => "percent",
+            Unit::PerKiloInstructions => "per-kilo-instructions",
+        }
+    }
+}
+
+/// What kind of value a metric carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic `u64` event count.
+    Counter,
+    /// Point-in-time `f64` (ratios, MPKIs, means).
+    Gauge,
+    /// Log2-bucketed distribution of `u64` samples.
+    Histogram,
+}
+
+impl Kind {
+    /// The kind's stable spelling in exported documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A static metric descriptor: the stable dotted name, unit, kind and
+/// one-line description.
+///
+/// All descriptors live in [`crate::catalog`]; registration functions
+/// take `&'static Desc`, so a binary can only ever emit metrics that
+/// the generated `METRICS.md` reference documents. A name may contain
+/// exactly one `{placeholder}` segment for per-instance metrics; fill
+/// it with [`Desc::instance`].
+#[derive(Debug)]
+pub struct Desc {
+    /// Stable dotted metric name, e.g. `sim.cache.{level}.demand_misses`.
+    pub name: &'static str,
+    /// Value kind.
+    pub kind: Kind,
+    /// Unit of the exported value.
+    pub unit: Unit,
+    /// One-line human description (used verbatim in `METRICS.md`).
+    pub description: &'static str,
+}
+
+impl Desc {
+    /// `true` when the name carries a `{placeholder}` segment.
+    pub fn is_templated(&self) -> bool {
+        self.name.contains('{')
+    }
+
+    /// The concrete name for one instance of a templated descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor is not templated.
+    pub fn instance(&self, instance: &str) -> String {
+        let open = self.name.find('{').expect("instance() needs a templated descriptor");
+        let close = self.name[open..].find('}').expect("unterminated placeholder") + open;
+        format!("{}{}{}", &self.name[..open], instance, &self.name[close + 1..])
+    }
+}
+
+/// The value payload of one registered metric.
+// Registries hold at most a few hundred metrics, so the histogram's
+// inline bucket array is cheaper than boxing every access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Point-in-time float.
+    Gauge(f64),
+    /// Log2-bucketed distribution.
+    Histogram(Log2Histogram),
+}
+
+/// One registered metric: a resolved name, its descriptor metadata and
+/// the recorded value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Fully resolved dotted name (placeholders filled in).
+    pub name: String,
+    /// The descriptor this metric was registered through.
+    pub desc: &'static Desc,
+    /// Recorded value.
+    pub value: MetricValue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static PLAIN: Desc =
+        Desc { name: "a.b.c", kind: Kind::Counter, unit: Unit::Count, description: "test" };
+    static TEMPLATED: Desc =
+        Desc { name: "a.{x}.c", kind: Kind::Counter, unit: Unit::Count, description: "test" };
+
+    #[test]
+    fn instance_fills_placeholder() {
+        assert!(!PLAIN.is_templated());
+        assert!(TEMPLATED.is_templated());
+        assert_eq!(TEMPLATED.instance("l1i"), "a.l1i.c");
+    }
+
+    #[test]
+    #[should_panic(expected = "templated")]
+    fn instance_on_plain_desc_panics() {
+        PLAIN.instance("x");
+    }
+
+    #[test]
+    fn unit_and_kind_spellings_are_stable() {
+        assert_eq!(Unit::PerKiloInstructions.as_str(), "per-kilo-instructions");
+        assert_eq!(Kind::Histogram.as_str(), "histogram");
+    }
+}

@@ -20,6 +20,14 @@
 //! [`cvp1_public_suite`] models the 135 public traces;
 //! [`ipc1_suite`] models the 50 IPC-1 traces with the names of Table 2.
 //!
+//! # Data flow
+//!
+//! ```text
+//!   TraceSpec (suite + seed + knobs) ──► generate() ──► Vec<CvpInstruction>
+//!                                                            │
+//!                     tracegen ──► trace.cvp ◄── CvpWriter ◄─┘
+//! ```
+//!
 //! # Example
 //!
 //! ```

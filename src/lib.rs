@@ -15,7 +15,22 @@
 //! * [`iprefetch`] — the eight IPC-1 instruction prefetchers,
 //! * [`sim`] — the ChampSim-class out-of-order core model,
 //! * [`workloads`] — synthetic CVP-1 trace suites,
-//! * [`experiments`] — the harness regenerating every figure and table.
+//! * [`experiments`] — the harness regenerating every figure and table,
+//! * [`telemetry`] — the unified metrics registry behind `--metrics`
+//!   (see `METRICS.md` for the full metric reference).
+//!
+//! # Data flow
+//!
+//! ```text
+//!   workloads ──► cvp ──► converter ──► champsim ──► sim
+//!                                                    │ (bpred, memsys,
+//!                                                    │  iprefetch)
+//!                                                    ▼
+//!   experiments (figures/tables) ◄───────────── SimReport
+//!            │
+//!            ▼
+//!   telemetry registry ──► metrics JSON + METRICS.md
+//! ```
 //!
 //! # Quickstart
 //!
@@ -46,4 +61,5 @@ pub use experiments;
 pub use iprefetch;
 pub use memsys;
 pub use sim;
+pub use telemetry;
 pub use workloads;
