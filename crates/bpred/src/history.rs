@@ -6,7 +6,16 @@
 /// into a table index or tag.
 #[derive(Debug, Clone)]
 pub struct GlobalHistory {
+    /// Circular bit buffer: the outcome `age` positions back lives at
+    /// bit `(pos + age) % (64 * bits.len())`. Writing one bit per push
+    /// replaces the old layout's shift across every word, which cost
+    /// O(capacity / 64) on each branch.
     bits: Vec<u64>,
+    /// Bit position of the newest outcome.
+    pos: usize,
+    /// `64 * bits.len() - 1`; the word count is a power of two so the
+    /// ring wraps with a mask.
+    pos_mask: usize,
     capacity: usize,
 }
 
@@ -18,7 +27,8 @@ impl GlobalHistory {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> GlobalHistory {
         assert!(capacity > 0, "history capacity must be positive");
-        GlobalHistory { bits: vec![0; capacity.div_ceil(64)], capacity }
+        let words = capacity.div_ceil(64).next_power_of_two();
+        GlobalHistory { bits: vec![0; words], pos: 0, pos_mask: words * 64 - 1, capacity }
     }
 
     /// Number of outcomes retained.
@@ -28,12 +38,10 @@ impl GlobalHistory {
 
     /// Shifts in one outcome (newest at position 0).
     pub fn push(&mut self, taken: bool) {
-        let mut carry = taken as u64;
-        for word in &mut self.bits {
-            let out = *word >> 63;
-            *word = (*word << 1) | carry;
-            carry = out;
-        }
+        let p = self.pos.wrapping_sub(1) & self.pos_mask;
+        let word = &mut self.bits[p / 64];
+        *word = (*word & !(1 << (p % 64))) | ((taken as u64) << (p % 64));
+        self.pos = p;
     }
 
     /// The outcome `age` positions back (0 = most recent).
@@ -43,7 +51,8 @@ impl GlobalHistory {
     /// Panics if `age` is at or beyond the capacity.
     pub fn bit(&self, age: usize) -> bool {
         assert!(age < self.capacity, "history age {age} out of range");
-        (self.bits[age / 64] >> (age % 64)) & 1 == 1
+        let p = (self.pos + age) & self.pos_mask;
+        (self.bits[p / 64] >> (p % 64)) & 1 == 1
     }
 
     /// The newest `n` outcomes packed into a word (bit 0 = newest).
@@ -56,8 +65,15 @@ impl GlobalHistory {
         if n == 0 {
             return 0;
         }
+        let offset = self.pos % 64;
+        let mut value = self.bits[self.pos / 64] >> offset;
+        if offset != 0 {
+            // The window may continue into the next ring word.
+            let next = (self.pos / 64 + 1) % self.bits.len();
+            value |= self.bits[next] << (64 - offset);
+        }
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        self.bits[0] & mask
+        value & mask
     }
 }
 

@@ -33,8 +33,10 @@ impl IttageTable {
         }
     }
 
-    fn index(&self, pc: u64) -> usize {
-        ((mix64(pc >> 2) ^ self.index_fold.value() ^ (self.history_length as u64 * 0x9e37))
+    /// Set index for a branch whose `mix64(pc >> 2)` is `pc_hash`
+    /// (hoisted by the caller: the hash is identical for every table).
+    fn index(&self, pc_hash: u64) -> usize {
+        ((pc_hash ^ self.index_fold.value() ^ (self.history_length as u64 * 0x9e37))
             & self.index_mask) as usize
     }
 
@@ -135,8 +137,9 @@ impl Ittage {
     fn lookup(&mut self, pc: u64) -> Option<u64> {
         self.ctx_pc = pc;
         self.ctx_provider = None;
+        let pc_hash = mix64(pc >> 2);
         for (i, table) in self.tables.iter().enumerate().rev() {
-            let idx = table.index(pc);
+            let idx = table.index(pc_hash);
             let e = &table.entries[idx];
             if e.tag == table.tag(pc) && e.target != 0 {
                 self.ctx_provider = Some((i, idx));
@@ -196,8 +199,9 @@ impl IndirectPredictor for Ittage {
             if start < self.tables.len() {
                 let skip = (self.next_random() & 1) as usize;
                 let from = start + skip.min(self.tables.len() - start - 1);
+                let pc_hash = mix64(pc >> 2);
                 for t in from..self.tables.len() {
-                    let idx = self.tables[t].index(pc);
+                    let idx = self.tables[t].index(pc_hash);
                     let tag = self.tables[t].tag(pc);
                     let e = &mut self.tables[t].entries[idx];
                     if e.useful == 0 {

@@ -104,8 +104,10 @@ impl TaggedTable {
         }
     }
 
-    fn index(&self, pc: u64) -> usize {
-        let h = mix64(pc >> 2) ^ self.index_fold.value() ^ (self.history_length as u64);
+    /// Set index for a branch whose `mix64(pc >> 2)` is `pc_hash`
+    /// (hoisted by the caller: the hash is identical for every table).
+    fn index(&self, pc_hash: u64) -> usize {
+        let h = pc_hash ^ self.index_fold.value() ^ (self.history_length as u64);
         (h & self.index_mask) as usize
     }
 
@@ -155,7 +157,11 @@ pub struct Tage {
     rng: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Most tagged tables a [`TageConfig`] may request: the prediction
+/// context caches one index and tag per table in fixed arrays.
+pub const MAX_TAGGED_TABLES: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
 struct PredictionContext {
     pc: u64,
     provider: Option<usize>,
@@ -168,7 +174,38 @@ struct PredictionContext {
     used_loop: bool,
     loop_pred: bool,
     loop_index: usize,
+    loop_tag: u16,
     sc_sum: i32,
+    sc_idx: [usize; 3],
+    /// Per-table set index / tag computed at prediction time, so the
+    /// update path (provider training, allocation) never re-hashes.
+    tbl_idx: [u32; MAX_TAGGED_TABLES],
+    tbl_tag: [u16; MAX_TAGGED_TABLES],
+}
+
+impl Default for PredictionContext {
+    fn default() -> PredictionContext {
+        PredictionContext {
+            // Sentinel: never matches a real branch PC, so a default
+            // context is always recomputed rather than consumed.
+            pc: u64::MAX,
+            provider: None,
+            provider_index: 0,
+            alt: None,
+            alt_index: 0,
+            base_pred: false,
+            tage_pred: false,
+            final_pred: false,
+            used_loop: false,
+            loop_pred: false,
+            loop_index: 0,
+            loop_tag: 0,
+            sc_sum: 0,
+            sc_idx: [0; 3],
+            tbl_idx: [0; MAX_TAGGED_TABLES],
+            tbl_tag: [0; MAX_TAGGED_TABLES],
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -184,18 +221,20 @@ impl ScState {
         ScState { tables: vec![vec![0i8; size]; 3], mask: size as u64 - 1, threshold: 6 }
     }
 
-    fn indices(&self, pc: u64, hist: &GlobalHistory) -> [usize; 3] {
+    /// Table indices from the branch's two PC hashes (`mix64(pc)` and
+    /// `mix64(pc >> 2)`, hoisted by the caller and shared with the other
+    /// components) and the current history.
+    fn indices(&self, pc: u64, pc_hash: u64, pc_hash2: u64, hist: &GlobalHistory) -> [usize; 3] {
         let h0 = hist.low_bits(8);
         let h1 = hist.low_bits(16);
         [
-            ((mix64(pc) ^ h0) & self.mask) as usize,
+            ((pc_hash ^ h0) & self.mask) as usize,
             ((mix64(pc.rotate_left(17)) ^ h1) & self.mask) as usize,
-            ((mix64(pc >> 2)) & self.mask) as usize,
+            (pc_hash2 & self.mask) as usize,
         ]
     }
 
-    fn sum(&self, pc: u64, hist: &GlobalHistory, tage_taken: bool) -> i32 {
-        let idx = self.indices(pc, hist);
+    fn sum(&self, idx: [usize; 3], tage_taken: bool) -> i32 {
         let mut sum: i32 = if tage_taken { 4 } else { -4 };
         for (t, &i) in self.tables.iter().zip(idx.iter()) {
             sum += t[i] as i32;
@@ -203,8 +242,7 @@ impl ScState {
         sum
     }
 
-    fn train(&mut self, pc: u64, hist: &GlobalHistory, taken: bool) {
-        let idx = self.indices(pc, hist);
+    fn train(&mut self, idx: [usize; 3], taken: bool) {
         for (t, &i) in self.tables.iter_mut().zip(idx.iter()) {
             let w = &mut t[i];
             if taken {
@@ -221,9 +259,14 @@ impl Tage {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has no tagged tables.
+    /// Panics if the configuration has no tagged tables or more than
+    /// [`MAX_TAGGED_TABLES`].
     pub fn new(config: TageConfig) -> Tage {
         assert!(!config.history_lengths.is_empty(), "TAGE needs at least one tagged table");
+        assert!(
+            config.history_lengths.len() <= MAX_TAGGED_TABLES,
+            "TAGE supports at most {MAX_TAGGED_TABLES} tagged tables"
+        );
         let max_hist = *config.history_lengths.iter().max().unwrap();
         let tables = config
             .history_lengths
@@ -250,29 +293,29 @@ impl Tage {
         Tage::new(TageConfig::storage_64kb())
     }
 
-    fn next_random(&mut self) -> u64 {
-        // xorshift64* — deterministic allocation tie-breaking.
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn loop_slot(pc: u64) -> (usize, u16) {
-        let h = mix64(pc);
-        ((h as usize) % LOOP_ENTRIES, (h >> 32) as u16)
+    /// Loop-table slot and tag from the branch's `mix64(pc)` hash.
+    fn loop_slot(pc_hash: u64) -> (usize, u16) {
+        ((pc_hash as usize) % LOOP_ENTRIES, (pc_hash >> 32) as u16)
     }
 
     fn predict_internal(&mut self, pc: u64) -> PredictionContext {
         let mut ctx = PredictionContext { pc, ..PredictionContext::default() };
         ctx.base_pred = self.base.counter(pc).is_high();
+        // Both PC hashes are branch-invariant across tables and
+        // components; hash once here instead of once per consumer.
+        let pc_hash = mix64(pc);
+        let pc_hash2 = mix64(pc >> 2);
 
-        // Find provider (longest history hit) and alternate (next hit).
+        // Find provider (longest history hit) and alternate (next hit),
+        // stashing each scanned table's index and tag for the update
+        // path. Allocation only ever looks at tables above the provider,
+        // which are all scanned before the loop can break.
         for (i, table) in self.tables.iter().enumerate().rev() {
-            let idx = table.index(pc);
-            if table.entries[idx].tag == table.tag(pc) {
+            let idx = table.index(pc_hash2);
+            let tag = table.tag(pc);
+            ctx.tbl_idx[i] = idx as u32;
+            ctx.tbl_tag[i] = tag;
+            if table.entries[idx].tag == tag {
                 if ctx.provider.is_none() {
                     ctx.provider = Some(i);
                     ctx.provider_index = idx;
@@ -305,7 +348,9 @@ impl Tage {
 
         // Statistical corrector: overturn low-confidence predictions.
         if let Some(sc) = &self.sc {
-            let sum = sc.sum(pc, &self.history, ctx.tage_pred);
+            let idx = sc.indices(pc, pc_hash, pc_hash2, &self.history);
+            let sum = sc.sum(idx, ctx.tage_pred);
+            ctx.sc_idx = idx;
             ctx.sc_sum = sum;
             if sum.abs() >= sc.threshold {
                 ctx.final_pred = sum >= 0;
@@ -314,23 +359,21 @@ impl Tage {
 
         // Loop predictor: overrides everything at high confidence.
         if let Some(loops) = &self.loops {
-            let (slot, tag) = Tage::loop_slot(pc);
+            let (slot, tag) = Tage::loop_slot(pc_hash);
+            ctx.loop_index = slot;
+            ctx.loop_tag = tag;
             let e = &loops[slot];
             if e.tag == tag && e.confidence == 3 && e.past_iter > 0 {
                 ctx.used_loop = true;
-                ctx.loop_index = slot;
                 ctx.loop_pred = e.current_iter + 1 != e.past_iter;
                 ctx.final_pred = ctx.loop_pred;
-            } else {
-                ctx.loop_index = slot;
             }
         }
         ctx
     }
 
-    fn update_loop(&mut self, pc: u64, taken: bool) {
+    fn update_loop(&mut self, slot: usize, tag: u16, taken: bool) {
         let Some(loops) = &mut self.loops else { return };
-        let (slot, tag) = Tage::loop_slot(pc);
         let e = &mut loops[slot];
         if e.tag == tag {
             if taken {
@@ -362,38 +405,51 @@ impl Tage {
             }
         }
     }
+}
 
-    fn allocate(&mut self, ctx: &PredictionContext, taken: bool) {
-        // Allocate into a table with longer history than the provider,
-        // preferring entries with zero usefulness.
-        let start = ctx.provider.map_or(0, |p| p + 1);
-        if start >= self.tables.len() {
-            return;
-        }
-        // Randomize the starting candidate slightly, as TAGE does, so
-        // allocations spread across tables.
-        let skip = (self.next_random() & 1) as usize;
-        let mut allocated = false;
-        for t in (start + skip.min(self.tables.len() - start - 1))..self.tables.len() {
-            let idx = self.tables[t].index(ctx.pc);
-            let tag = self.tables[t].tag(ctx.pc);
-            let entry = &mut self.tables[t].entries[idx];
-            if entry.useful == 0 {
-                *entry = TaggedEntry { tag, counter: if taken { 0 } else { -1 }, useful: 0 };
-                allocated = true;
-                break;
-            }
-        }
-        if !allocated {
-            // Global contention: decay usefulness so future allocations
-            // succeed.
-            for t in start..self.tables.len() {
-                let idx = self.tables[t].index(ctx.pc);
-                let e = &mut self.tables[t].entries[idx];
-                e.useful = e.useful.saturating_sub(1);
-            }
+/// Allocates a longer-history entry after a provider misprediction.
+///
+/// A free function over the split-out fields so the caller can keep
+/// borrowing `ctx` from `self` while the tables mutate.
+fn allocate(tables: &mut [TaggedTable], rng: &mut u64, ctx: &PredictionContext, taken: bool) {
+    // Allocate into a table with longer history than the provider,
+    // preferring entries with zero usefulness.
+    let start = ctx.provider.map_or(0, |p| p + 1);
+    if start >= tables.len() {
+        return;
+    }
+    // Randomize the starting candidate slightly, as TAGE does, so
+    // allocations spread across tables.
+    let skip = (xorshift64(rng) & 1) as usize;
+    let mut allocated = false;
+    for t in (start + skip.min(tables.len() - start - 1))..tables.len() {
+        let idx = ctx.tbl_idx[t] as usize;
+        let entry = &mut tables[t].entries[idx];
+        if entry.useful == 0 {
+            *entry =
+                TaggedEntry { tag: ctx.tbl_tag[t], counter: if taken { 0 } else { -1 }, useful: 0 };
+            allocated = true;
+            break;
         }
     }
+    if !allocated {
+        // Global contention: decay usefulness so future allocations
+        // succeed.
+        for (t, table) in tables.iter_mut().enumerate().skip(start) {
+            let e = &mut table.entries[ctx.tbl_idx[t] as usize];
+            e.useful = e.useful.saturating_sub(1);
+        }
+    }
+}
+
+/// xorshift64* step — deterministic allocation tie-breaking.
+fn xorshift64(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
 }
 
 impl DirectionPredictor for Tage {
@@ -414,29 +470,30 @@ impl DirectionPredictor for Tage {
         if self.ctx.pc != pc {
             self.ctx = self.predict_internal(pc);
         }
-        let ctx = self.ctx;
         self.updates += 1;
 
         // Loop predictor trains on every conditional branch.
-        self.update_loop(pc, taken);
+        self.update_loop(self.ctx.loop_index, self.ctx.loop_tag, taken);
 
         // Statistical corrector trains when its decision was used or weak.
         if let Some(sc) = &mut self.sc {
-            if ctx.sc_sum.abs() <= sc.threshold * 4 {
-                sc.train(pc, &self.history, taken);
+            if self.ctx.sc_sum.abs() <= sc.threshold * 4 {
+                sc.train(self.ctx.sc_idx, taken);
             }
         }
 
-        // Provider update.
-        let alt_pred = match ctx.alt {
-            Some(t) => self.tables[t].entries[ctx.alt_index].predicts_taken(),
-            None => ctx.base_pred,
+        // Provider update. `self.ctx` stays borrowed in place — the
+        // context is large enough that copying it out costs more than
+        // the whole table update.
+        let alt_pred = match self.ctx.alt {
+            Some(t) => self.tables[t].entries[self.ctx.alt_index].predicts_taken(),
+            None => self.ctx.base_pred,
         };
-        match ctx.provider {
+        match self.ctx.provider {
             Some(t) => {
                 let provider_pred;
                 {
-                    let entry = &mut self.tables[t].entries[ctx.provider_index];
+                    let entry = &mut self.tables[t].entries[self.ctx.provider_index];
                     provider_pred = entry.predicts_taken();
                     // use_alt_on_na policy training on weak new entries.
                     if entry.is_weak() && entry.useful == 0 && provider_pred != alt_pred {
@@ -452,17 +509,17 @@ impl DirectionPredictor for Tage {
                     }
                 }
                 // Also train the base when the provider was freshly weak.
-                if alt_pred == ctx.base_pred && ctx.alt.is_none() {
+                if alt_pred == self.ctx.base_pred && self.ctx.alt.is_none() {
                     self.base.train(pc, taken);
                 }
                 if provider_pred != taken {
-                    self.allocate(&ctx, taken);
+                    allocate(&mut self.tables, &mut self.rng, &self.ctx, taken);
                 }
             }
             None => {
                 self.base.train(pc, taken);
-                if ctx.base_pred != taken {
-                    self.allocate(&ctx, taken);
+                if self.ctx.base_pred != taken {
+                    allocate(&mut self.tables, &mut self.rng, &self.ctx, taken);
                 }
             }
         }
@@ -484,7 +541,8 @@ impl DirectionPredictor for Tage {
             table.tag_fold_b.push(taken, outgoing);
         }
         self.history.push(taken);
-        self.ctx = PredictionContext::default();
+        // Invalidate without rewriting the whole context.
+        self.ctx.pc = u64::MAX;
     }
 }
 

@@ -123,6 +123,17 @@ impl Converter {
         }
     }
 
+    /// Converts an instruction stream lazily, yielding records as they
+    /// are produced. Feeding this into `Simulator::run_iter` simulates a
+    /// trace without ever materializing the record buffer.
+    pub fn stream<'a, I>(&'a mut self, insns: I) -> impl Iterator<Item = ChampsimRecord> + 'a
+    where
+        I: IntoIterator<Item = &'a CvpInstruction>,
+        I::IntoIter: 'a,
+    {
+        insns.into_iter().flat_map(move |insn| self.convert(insn))
+    }
+
     // ------------------------------------------------------------------
     // Branches (§3.2)
     // ------------------------------------------------------------------
@@ -235,9 +246,17 @@ impl Converter {
         let split_base = if on(Improvement::BaseUpdate) { mode.base_register() } else { None };
 
         // Destination registers of the memory record: everything the
-        // trace lists, minus the base when it is split out.
-        let mem_dests: Vec<Reg> =
-            insn.destinations().iter().copied().filter(|&d| Some(d) != split_base).collect();
+        // trace lists, minus the base when it is split out. Collected
+        // into a stack buffer — this runs once per memory instruction.
+        let mut dest_buf = [0 as Reg; cvp_trace::MAX_DSTS];
+        let mut dest_len = 0usize;
+        for &d in insn.destinations() {
+            if Some(d) != split_base {
+                dest_buf[dest_len] = d;
+                dest_len += 1;
+            }
+        }
+        let mem_dests = &dest_buf[..dest_len];
 
         let mut mem = ChampsimRecord::new(insn.pc);
         // Source registers: the real ones. The original converter
@@ -259,7 +278,7 @@ impl Converter {
 
         // Destination registers.
         if on(Improvement::MemRegs) {
-            for &d in &mem_dests {
+            for &d in mem_dests {
                 // ChampSim records have two destination slots; overflow
                 // (e.g. LDP with base update under a disabled
                 // base-update) keeps the first two, as in the paper.
@@ -278,7 +297,7 @@ impl Converter {
         }
 
         // Memory addresses (§3.1.3).
-        let (lines, zva) = self.footprint(insn, &mem_dests, mode);
+        let (lines, zva) = self.footprint(insn, mem_dests, mode);
         if zva {
             self.stats.dc_zva_stores += 1;
         }

@@ -29,25 +29,33 @@ impl BenchGroup {
     }
 
     /// Times `f`, printing `group/name: <mean per iteration>`.
-    pub fn bench_function<T>(&mut self, name: impl AsRef<str>, mut f: impl FnMut() -> T) {
+    pub fn bench_function<T>(&mut self, name: impl AsRef<str>, f: impl FnMut() -> T) {
         let id = format!("{}/{}", self.group, name.as_ref());
         if let Some(filter) = &self.filter {
             if !id.contains(filter.as_str()) {
                 return;
             }
         }
-        std::hint::black_box(f()); // warmup
-        let start = Instant::now();
-        let mut iters = 0u32;
-        while iters < MIN_ITERS || start.elapsed() < BUDGET {
-            std::hint::black_box(f());
-            iters += 1;
-        }
-        let mean = start.elapsed().as_secs_f64() / f64::from(iters);
+        let (mean, iters) = measure(f);
         println!("{id}: {} ({iters} iterations)", format_secs(mean));
     }
 
     pub fn finish(self) {}
+}
+
+/// Warms `f` up once, then repeats it until the time budget is spent,
+/// returning the mean wall-clock seconds per iteration and the number of
+/// timed iterations. The measurement primitive behind both the bench
+/// targets and the `sim_bench` throughput suite.
+pub fn measure<T>(mut f: impl FnMut() -> T) -> (f64, u32) {
+    std::hint::black_box(f()); // warmup
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < MIN_ITERS || start.elapsed() < BUDGET {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    (start.elapsed().as_secs_f64() / f64::from(iters), iters)
 }
 
 fn format_secs(secs: f64) -> String {

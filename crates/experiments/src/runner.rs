@@ -90,9 +90,10 @@ pub fn simulate_with_options(
 ) -> TraceOutcome {
     let cvp = spec.clone().with_length(scale.trace_length).generate();
     let mut converter = Converter::new(improvements);
-    let records = converter.convert_all(cvp.iter());
-    let report =
-        Simulator::new(core.clone()).run_with_options(&records, run_options(warmup, prefetcher));
+    // Stream conversion straight into the simulator: the record buffer
+    // is never materialized, so this path allocates nothing per record.
+    let report = Simulator::new(core.clone())
+        .run_iter(converter.stream(cvp.iter()), run_options(warmup, prefetcher));
     TraceOutcome {
         trace: spec.name().to_owned(),
         improvements,
@@ -419,6 +420,19 @@ mod tests {
         assert_eq!(thread_count(), 3);
         set_threads(0);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn thread_count_defaults_to_available_parallelism() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_threads(0);
+        if std::env::var("EXPERIMENTS_THREADS").is_ok() {
+            // The environment override outranks the hardware default;
+            // nothing to pin in that configuration.
+            return;
+        }
+        let expected = std::thread::available_parallelism().map_or(4, |n| n.get());
+        assert_eq!(thread_count(), expected);
     }
 
     #[test]

@@ -133,28 +133,32 @@ impl fmt::Display for CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    lru: u64,
-    rrpv: u8,
-    prefetched: bool,
-}
-
-impl Default for Line {
-    fn default() -> Line {
-        Line { tag: 0, valid: false, lru: 0, rrpv: 3, prefetched: false }
-    }
-}
+/// RRPV value of an empty way (SRRIP's "distant" re-reference).
+const META_INVALID: u8 = 3;
+/// RRPV mask within a [`Cache::meta`] byte.
+const META_RRPV: u8 = 0b011;
+/// Prefetched-and-not-yet-demand-touched flag within a meta byte.
+const META_PREFETCHED: u8 = 0b100;
 
 /// A set-associative cache with pluggable replacement.
 ///
 /// Addresses are byte addresses; the cache works on 64-byte lines.
+///
+/// Way state is kept struct-of-arrays so the hot probe path scans a
+/// dense `u64` slice: each way packs `(tag << 1) | valid` into one word
+/// (a 12-way set is 96 contiguous bytes), with LRU stamps and RRPV bits
+/// in cold side arrays touched only on hits and fills.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Line>,
+    /// `sets - 1`; the set index is `(line & set_mask) * ways`.
+    set_mask: u64,
+    /// Per way: `(tag << 1) | valid`.
+    tags: Box<[u64]>,
+    /// Per way: last-touch tick (LRU).
+    stamps: Box<[u64]>,
+    /// Per way: RRPV in bits 0-1, prefetched flag in bit 2.
+    meta: Box<[u8]>,
     tick: u64,
     rng: u64,
     stats: CacheStats,
@@ -170,9 +174,13 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Cache {
         assert!(config.sets.is_power_of_two() && config.sets > 0, "sets must be a power of two");
         assert!(config.ways > 0, "ways must be positive");
+        let lines = config.sets * config.ways;
         Cache {
             config,
-            lines: vec![Line::default(); config.sets * config.ways],
+            set_mask: config.sets as u64 - 1,
+            tags: vec![0u64; lines].into_boxed_slice(),
+            stamps: vec![0u64; lines].into_boxed_slice(),
+            meta: vec![META_INVALID; lines].into_boxed_slice(),
             tick: 0,
             rng: 0x853c_49e6_748f_ea9b,
             stats: CacheStats::default(),
@@ -194,11 +202,23 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    fn set_range(&self, address: u64) -> (usize, usize) {
-        let line = address / CACHELINE_BYTES;
-        let set = (line as usize) & (self.config.sets - 1);
-        let start = set * self.config.ways;
-        (start, start + self.config.ways)
+    #[inline]
+    fn set_start(&self, tag: u64) -> usize {
+        (tag & self.set_mask) as usize * self.config.ways
+    }
+
+    /// Branch-free scan for `packed` in the set at `start`; returns the
+    /// matching way's line index. At most one way can match, so keeping
+    /// the last match seen is equivalent to keeping the first.
+    #[inline]
+    fn find_way(&self, start: usize, packed: u64) -> Option<usize> {
+        let mut found = usize::MAX;
+        for (i, &w) in self.tags[start..start + self.config.ways].iter().enumerate() {
+            if w == packed {
+                found = start + i;
+            }
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Probes for `address`; on a hit refreshes replacement state.
@@ -209,18 +229,17 @@ impl Cache {
             self.stats.demand_accesses += 1;
         }
         let tag = address / CACHELINE_BYTES;
-        let (start, end) = self.set_range(address);
-        let tick = self.tick;
-        for line in &mut self.lines[start..end] {
-            if line.valid && line.tag == tag {
-                line.lru = tick;
-                line.rrpv = 0;
-                if kind.is_demand() && line.prefetched {
-                    line.prefetched = false;
-                    self.stats.useful_prefetches += 1;
-                }
-                return true;
+        let start = self.set_start(tag);
+        if let Some(i) = self.find_way(start, (tag << 1) | 1) {
+            self.stamps[i] = self.tick;
+            let meta = self.meta[i] & !META_RRPV;
+            if kind.is_demand() && meta & META_PREFETCHED != 0 {
+                self.meta[i] = 0;
+                self.stats.useful_prefetches += 1;
+            } else {
+                self.meta[i] = meta;
             }
+            return true;
         }
         if kind.is_demand() {
             self.stats.demand_misses += 1;
@@ -236,45 +255,44 @@ impl Cache {
             self.stats.prefetch_fills += 1;
         }
         let tag = address / CACHELINE_BYTES;
-        let (start, end) = self.set_range(address);
+        let start = self.set_start(tag);
+        let end = start + self.config.ways;
         let tick = self.tick;
 
         // Already present (e.g. racing prefetch): refresh only.
-        if let Some(line) = self.lines[start..end].iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = tick;
-            line.rrpv = 0;
+        if let Some(i) = self.find_way(start, (tag << 1) | 1) {
+            self.stamps[i] = tick;
+            self.meta[i] &= !META_RRPV;
             return None;
         }
+        // SRRIP long re-reference insertion; prefetch fills get no
+        // distant-insertion bias (they share the demand RRPV).
+        let fill_meta = 2 | if kind == AccessKind::Prefetch { META_PREFETCHED } else { 0 };
         // Invalid way available.
-        if let Some(line) = self.lines[start..end].iter_mut().find(|l| !l.valid) {
-            *line = Line {
-                tag,
-                valid: true,
-                lru: tick,
-                // SRRIP long re-reference insertion; prefetch fills get
-                // no distant-insertion bias (they share the demand RRPV).
-                rrpv: 2,
-                prefetched: kind == AccessKind::Prefetch,
-            };
+        if let Some(i) = (start..end).find(|&i| self.tags[i] & 1 == 0) {
+            self.tags[i] = (tag << 1) | 1;
+            self.stamps[i] = tick;
+            self.meta[i] = fill_meta;
             return None;
         }
         // Pick a victim.
-        let victim_offset = match self.config.replacement {
+        let victim = match self.config.replacement {
             ReplacementPolicy::Lru => {
                 let mut best = start;
                 for i in start..end {
-                    if self.lines[i].lru < self.lines[best].lru {
+                    if self.stamps[i] < self.stamps[best] {
                         best = i;
                     }
                 }
                 best
             }
             ReplacementPolicy::Srrip => loop {
-                if let Some(i) = (start..end).find(|&i| self.lines[i].rrpv >= 3) {
+                if let Some(i) = (start..end).find(|&i| self.meta[i] & META_RRPV >= 3) {
                     break i;
                 }
-                for line in &mut self.lines[start..end] {
-                    line.rrpv = (line.rrpv + 1).min(3);
+                for m in &mut self.meta[start..end] {
+                    let aged = (*m & META_RRPV) + 1;
+                    *m = (*m & !META_RRPV) | aged.min(3);
                 }
             },
             ReplacementPolicy::Random => {
@@ -286,10 +304,10 @@ impl Cache {
                 start + (x as usize) % (end - start)
             }
         };
-        let victim = &mut self.lines[victim_offset];
-        let evicted = victim.tag * CACHELINE_BYTES;
-        *victim =
-            Line { tag, valid: true, lru: tick, rrpv: 2, prefetched: kind == AccessKind::Prefetch };
+        let evicted = (self.tags[victim] >> 1) * CACHELINE_BYTES;
+        self.tags[victim] = (tag << 1) | 1;
+        self.stamps[victim] = tick;
+        self.meta[victim] = fill_meta;
         Some(evicted)
     }
 
@@ -297,8 +315,7 @@ impl Cache {
     /// changes, no statistics).
     pub fn contains(&self, address: u64) -> bool {
         let tag = address / CACHELINE_BYTES;
-        let (start, end) = self.set_range(address);
-        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+        self.find_way(self.set_start(tag), (tag << 1) | 1).is_some()
     }
 }
 
@@ -360,6 +377,18 @@ mod tests {
         c.probe(0x1000, AccessKind::Prefetch);
         assert_eq!(c.stats().demand_accesses, 0);
         assert_eq!(c.stats().demand_misses, 0);
+    }
+
+    #[test]
+    fn prefetch_probe_keeps_usefulness_pending() {
+        // A prefetch probe touching a prefetched line must not consume
+        // the first-demand-touch credit.
+        let mut c = small(ReplacementPolicy::Lru);
+        c.fill(0x1000, AccessKind::Prefetch);
+        assert!(c.probe(0x1000, AccessKind::Prefetch));
+        assert_eq!(c.stats().useful_prefetches, 0);
+        assert!(c.probe(0x1000, AccessKind::Load));
+        assert_eq!(c.stats().useful_prefetches, 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::cache::{AccessKind, Cache, CacheConfig, ReplacementPolicy};
-use crate::prefetch::{DataPrefetcher, IpStridePrefetcher, NextLinePrefetcher, NoPrefetcher};
+use crate::prefetch::{DataPrefetcher, IpStridePrefetcher, NextLinePrefetcher};
 use crate::tlb::{TranslationConfig, TranslationHierarchy};
 
 /// Configuration of the four-level hierarchy.
@@ -69,6 +69,35 @@ impl HierarchyConfig {
     }
 }
 
+/// One of the stock data prefetchers, statically dispatched.
+///
+/// The hierarchy's hot path runs `on_access` on every demand access;
+/// matching on this enum instead of calling through
+/// `Box<dyn DataPrefetcher>` lets the compiler inline the (tiny)
+/// prefetcher bodies into the access path.
+#[derive(Debug, Clone)]
+enum AttachedPrefetcher {
+    None,
+    NextLine(NextLinePrefetcher),
+    IpStride(IpStridePrefetcher),
+}
+
+impl AttachedPrefetcher {
+    #[inline]
+    fn on_access(&mut self, pc: u64, address: u64, hit: bool, out: &mut Vec<u64>) {
+        match self {
+            AttachedPrefetcher::None => {}
+            AttachedPrefetcher::NextLine(p) => p.on_access(pc, address, hit, out),
+            AttachedPrefetcher::IpStride(p) => p.on_access(pc, address, hit, out),
+        }
+    }
+
+    #[inline]
+    fn is_none(&self) -> bool {
+        matches!(self, AttachedPrefetcher::None)
+    }
+}
+
 /// The L1I/L1D/L2/LLC + DRAM hierarchy.
 ///
 /// Demand accesses walk down the levels, accumulate latency, and fill
@@ -82,29 +111,27 @@ pub struct Hierarchy {
     l2: Cache,
     llc: Cache,
     dram_latency: u64,
-    l1d_prefetcher: Box<dyn DataPrefetcher + Send>,
-    l2_prefetcher: Box<dyn DataPrefetcher + Send>,
+    l1d_prefetcher: AttachedPrefetcher,
+    l2_prefetcher: AttachedPrefetcher,
+    /// Reused across accesses so prefetcher proposals never allocate in
+    /// steady state. Never used re-entrantly: the L2 prefetcher drains it
+    /// inside `below_l1` before the L1D prefetcher runs.
+    pf_buf: Vec<u64>,
     translation: Option<TranslationHierarchy>,
-}
-
-impl std::fmt::Debug for Box<dyn DataPrefetcher + Send> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DataPrefetcher({})", self.name())
-    }
 }
 
 impl Hierarchy {
     /// Builds a hierarchy from `config`.
     pub fn new(config: HierarchyConfig) -> Hierarchy {
-        let l1d_prefetcher: Box<dyn DataPrefetcher + Send> = if config.l1d_ip_stride {
-            Box::new(IpStridePrefetcher::default_l1d())
+        let l1d_prefetcher = if config.l1d_ip_stride {
+            AttachedPrefetcher::IpStride(IpStridePrefetcher::default_l1d())
         } else {
-            Box::new(NoPrefetcher)
+            AttachedPrefetcher::None
         };
-        let l2_prefetcher: Box<dyn DataPrefetcher + Send> = if config.l2_next_line {
-            Box::new(NextLinePrefetcher::new())
+        let l2_prefetcher = if config.l2_next_line {
+            AttachedPrefetcher::NextLine(NextLinePrefetcher::new())
         } else {
-            Box::new(NoPrefetcher)
+            AttachedPrefetcher::None
         };
         Hierarchy {
             l1i: Cache::new(config.l1i),
@@ -114,6 +141,7 @@ impl Hierarchy {
             dram_latency: config.dram_latency,
             l1d_prefetcher,
             l2_prefetcher,
+            pf_buf: Vec::new(),
             translation: config.translation.map(TranslationHierarchy::new),
         }
     }
@@ -188,8 +216,14 @@ impl Hierarchy {
             latency += self.below_l1(address, kind);
             self.l1d.fill(address, kind);
         }
-        for pf in self.l1d_prefetcher.on_access(pc, address, hit) {
-            self.prefetch_into_l1d(pf);
+        if !self.l1d_prefetcher.is_none() {
+            let mut buf = std::mem::take(&mut self.pf_buf);
+            buf.clear();
+            self.l1d_prefetcher.on_access(pc, address, hit, &mut buf);
+            for &pf in &buf {
+                self.prefetch_into_l1d(pf);
+            }
+            self.pf_buf = buf;
         }
         latency
     }
@@ -255,13 +289,19 @@ impl Hierarchy {
             }
             self.l2.fill(address, kind);
         }
-        for pf in self.l2_prefetcher.on_access(0, address, l2_hit) {
-            if !self.l2.contains(pf) {
-                if !self.llc.probe(pf, AccessKind::Prefetch) {
-                    self.llc.fill(pf, AccessKind::Prefetch);
+        if !self.l2_prefetcher.is_none() {
+            let mut buf = std::mem::take(&mut self.pf_buf);
+            buf.clear();
+            self.l2_prefetcher.on_access(0, address, l2_hit, &mut buf);
+            for &pf in &buf {
+                if !self.l2.contains(pf) {
+                    if !self.llc.probe(pf, AccessKind::Prefetch) {
+                        self.llc.fill(pf, AccessKind::Prefetch);
+                    }
+                    self.l2.fill(pf, AccessKind::Prefetch);
                 }
-                self.l2.fill(pf, AccessKind::Prefetch);
             }
+            self.pf_buf = buf;
         }
         latency
     }

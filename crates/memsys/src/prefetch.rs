@@ -3,15 +3,18 @@ use crate::cache::CACHELINE_BYTES;
 /// A data prefetcher attached to one cache level.
 ///
 /// On every demand access the owning level calls
-/// [`on_access`](DataPrefetcher::on_access); the returned addresses are
-/// prefetched into that level (through the levels below it).
+/// [`on_access`](DataPrefetcher::on_access); addresses pushed into `out`
+/// are prefetched into that level (through the levels below it).
 pub trait DataPrefetcher {
-    /// Observes a demand access and proposes prefetch addresses.
+    /// Observes a demand access and appends proposed prefetch addresses
+    /// to `out`.
     ///
     /// `pc` is the accessing instruction's address (0 when unknown, e.g.
     /// for L2 accesses), `address` the byte address accessed, `hit`
-    /// whether the access hit this level.
-    fn on_access(&mut self, pc: u64, address: u64, hit: bool) -> Vec<u64>;
+    /// whether the access hit this level. The caller clears and reuses
+    /// `out` across accesses, so this path allocates only until the
+    /// buffer reaches the prefetcher's degree.
+    fn on_access(&mut self, pc: u64, address: u64, hit: bool, out: &mut Vec<u64>);
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -22,9 +25,7 @@ pub trait DataPrefetcher {
 pub struct NoPrefetcher;
 
 impl DataPrefetcher for NoPrefetcher {
-    fn on_access(&mut self, _pc: u64, _address: u64, _hit: bool) -> Vec<u64> {
-        Vec::new()
-    }
+    fn on_access(&mut self, _pc: u64, _address: u64, _hit: bool, _out: &mut Vec<u64>) {}
 
     fn name(&self) -> &'static str {
         "none"
@@ -47,9 +48,9 @@ impl NextLinePrefetcher {
 }
 
 impl DataPrefetcher for NextLinePrefetcher {
-    fn on_access(&mut self, _pc: u64, address: u64, _hit: bool) -> Vec<u64> {
+    fn on_access(&mut self, _pc: u64, address: u64, _hit: bool, out: &mut Vec<u64>) {
         let degree = self.degree.max(1) as u64;
-        (1..=degree).map(|i| (address & !(CACHELINE_BYTES - 1)) + i * CACHELINE_BYTES).collect()
+        out.extend((1..=degree).map(|i| (address & !(CACHELINE_BYTES - 1)) + i * CACHELINE_BYTES));
     }
 
     fn name(&self) -> &'static str {
@@ -92,10 +93,9 @@ impl IpStridePrefetcher {
 }
 
 impl DataPrefetcher for IpStridePrefetcher {
-    fn on_access(&mut self, pc: u64, address: u64, _hit: bool) -> Vec<u64> {
+    fn on_access(&mut self, pc: u64, address: u64, _hit: bool, out: &mut Vec<u64>) {
         let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
         let e = &mut self.table[idx];
-        let mut out = Vec::new();
         if e.pc_tag == pc {
             let stride = address.wrapping_sub(e.last_address) as i64;
             if stride == e.stride && stride != 0 {
@@ -116,7 +116,6 @@ impl DataPrefetcher for IpStridePrefetcher {
         } else {
             *e = StrideEntry { pc_tag: pc, last_address: address, stride: 0, confidence: 0 };
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -128,12 +127,18 @@ impl DataPrefetcher for IpStridePrefetcher {
 mod tests {
     use super::*;
 
+    fn collect(p: &mut dyn DataPrefetcher, pc: u64, address: u64, hit: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.on_access(pc, address, hit, &mut out);
+        out
+    }
+
     #[test]
     fn next_line_prefetches_following_lines() {
         let mut p = NextLinePrefetcher::new();
-        assert_eq!(p.on_access(0, 0x1004, true), vec![0x1040]);
+        assert_eq!(collect(&mut p, 0, 0x1004, true), vec![0x1040]);
         let mut deep = NextLinePrefetcher { degree: 3 };
-        assert_eq!(deep.on_access(0, 0x1000, false), vec![0x1040, 0x1080, 0x10C0]);
+        assert_eq!(collect(&mut deep, 0, 0x1000, false), vec![0x1040, 0x1080, 0x10C0]);
     }
 
     #[test]
@@ -141,7 +146,7 @@ mod tests {
         let mut p = IpStridePrefetcher::new(64, 2);
         let mut issued = Vec::new();
         for i in 0..8u64 {
-            issued = p.on_access(0x400, 0x1000 + i * 256, false);
+            issued = collect(&mut p, 0x400, 0x1000 + i * 256, false);
         }
         // After confidence builds, prefetches run 2 strides ahead.
         assert_eq!(issued, vec![0x1000 + 8 * 256, 0x1000 + 9 * 256]);
@@ -153,7 +158,7 @@ mod tests {
         let addrs = [0x1000u64, 0x5000, 0x2000, 0x9000, 0x3000, 0x7777];
         let mut total = 0;
         for &a in &addrs {
-            total += p.on_access(0x400, a, false).len();
+            total += collect(&mut p, 0x400, a, false).len();
         }
         assert_eq!(total, 0, "no stride, no prefetch");
     }
@@ -162,18 +167,26 @@ mod tests {
     fn ip_stride_separates_pcs() {
         let mut p = IpStridePrefetcher::new(64, 1);
         for i in 0..6u64 {
-            p.on_access(0x400, 0x1000 + i * 64, false);
-            p.on_access(0x404, 0x8000 + i * 128, false);
+            collect(&mut p, 0x400, 0x1000 + i * 64, false);
+            collect(&mut p, 0x404, 0x8000 + i * 128, false);
         }
-        let a = p.on_access(0x400, 0x1000 + 6 * 64, false);
-        let b = p.on_access(0x404, 0x8000 + 6 * 128, false);
+        let a = collect(&mut p, 0x400, 0x1000 + 6 * 64, false);
+        let b = collect(&mut p, 0x404, 0x8000 + 6 * 128, false);
         assert_eq!(a, vec![0x1000 + 7 * 64]);
         assert_eq!(b, vec![0x8000 + 7 * 128]);
     }
 
     #[test]
+    fn reused_buffer_is_appended_not_replaced() {
+        let mut p = NextLinePrefetcher::new();
+        let mut out = vec![0xdead];
+        p.on_access(0, 0x1000, false, &mut out);
+        assert_eq!(out, vec![0xdead, 0x1040], "on_access must append, never clear");
+    }
+
+    #[test]
     fn no_prefetcher_is_silent() {
-        assert!(NoPrefetcher.on_access(1, 2, false).is_empty());
+        assert!(collect(&mut NoPrefetcher, 1, 2, false).is_empty());
         assert_eq!(NoPrefetcher.name(), "none");
     }
 }

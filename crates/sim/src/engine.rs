@@ -1,4 +1,4 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bpred::{
     Bimodal, Btb, DirectionPredictor, Gshare, HashedPerceptron, IndirectPredictor, Ittage,
@@ -9,8 +9,68 @@ use iprefetch::{FetchEvent, InstructionPrefetcher};
 use memsys::{Hierarchy, CACHELINE_BYTES};
 
 use crate::config::{CoreConfig, IndirectKind, PredictorKind};
+use crate::inflight::InflightTable;
 use crate::pipeline::{Scheduler, WidthLimiter};
 use crate::stats::{BranchStats, PipelineStats, SimReport};
+
+/// The run's direction predictor, dispatched statically.
+///
+/// The predictor kind is fixed for the whole run, so resolving it once
+/// at engine construction lets `predict`/`update` inline instead of
+/// going through a `Box<dyn DirectionPredictor>` virtual call per
+/// conditional branch.
+//
+// One Direction exists per simulated core, so the size skew between
+// variants costs a few hundred bytes total; boxing the TAGE variant
+// would reintroduce the pointer chase this enum exists to remove.
+#[allow(clippy::large_enum_variant)]
+enum Direction {
+    Bimodal(Bimodal),
+    Gshare(Gshare),
+    Tage(Tage),
+    Perceptron(HashedPerceptron),
+}
+
+impl Direction {
+    fn for_kind(kind: PredictorKind) -> Direction {
+        match kind {
+            PredictorKind::Bimodal(entries) => Direction::Bimodal(Bimodal::new(entries)),
+            PredictorKind::Gshare(entries, hist) => Direction::Gshare(Gshare::new(entries, hist)),
+            PredictorKind::Tage64kb => Direction::Tage(Tage::default_64kb()),
+            PredictorKind::TageSmall => Direction::Tage(Tage::new(TageConfig::storage_small())),
+            PredictorKind::Perceptron => Direction::Perceptron(HashedPerceptron::default_config()),
+        }
+    }
+
+    #[inline]
+    fn predict(&mut self, pc: u64) -> bool {
+        match self {
+            Direction::Bimodal(p) => p.predict(pc),
+            Direction::Gshare(p) => p.predict(pc),
+            Direction::Tage(p) => p.predict(pc),
+            Direction::Perceptron(p) => p.predict(pc),
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            Direction::Bimodal(p) => p.update(pc, taken),
+            Direction::Gshare(p) => p.update(pc, taken),
+            Direction::Tage(p) => p.update(pc, taken),
+            Direction::Perceptron(p) => p.update(pc, taken),
+        }
+    }
+
+    fn export_telemetry(&self, registry: &mut telemetry::Registry) {
+        match self {
+            Direction::Bimodal(p) => p.export_telemetry(registry),
+            Direction::Gshare(p) => p.export_telemetry(registry),
+            Direction::Tage(p) => p.export_telemetry(registry),
+            Direction::Perceptron(p) => p.export_telemetry(registry),
+        }
+    }
+}
 
 /// Options for one simulation run.
 #[derive(Default)]
@@ -97,7 +157,24 @@ impl Simulator {
         records: &[ChampsimRecord],
         options: RunOptions,
     ) -> SimReport {
-        Engine::new(&self.config, options).run(records)
+        Engine::new(&self.config, options).run(records.iter().copied())
+    }
+
+    /// Simulates a record stream with explicit options, consuming it
+    /// chunk-by-chunk without requiring the trace to be materialized.
+    ///
+    /// This is the streaming twin of
+    /// [`run_with_options`](Simulator::run_with_options): feed it a
+    /// conversion iterator (or chained chunks) and converted traces
+    /// never need a full in-memory `Vec`. Reports are identical to the
+    /// slice path on the same record sequence — the engine keeps a
+    /// one-record lookahead internally to derive taken-branch targets,
+    /// exactly as the slice path derives them from `records[i + 1]`.
+    pub fn run_iter<I>(&mut self, records: I, options: RunOptions) -> SimReport
+    where
+        I: IntoIterator<Item = ChampsimRecord>,
+    {
+        Engine::new(&self.config, options).run(records.into_iter())
     }
 
     /// Simulates `records` on a borrowed configuration, without
@@ -109,7 +186,7 @@ impl Simulator {
         records: &[ChampsimRecord],
         options: RunOptions,
     ) -> SimReport {
-        Engine::new(config, options).run(records)
+        Engine::new(config, options).run(records.iter().copied())
     }
 }
 
@@ -117,7 +194,7 @@ impl Simulator {
 struct Engine<'c> {
     cfg: &'c CoreConfig,
     memory: Hierarchy,
-    direction: Box<dyn DirectionPredictor + Send>,
+    direction: Direction,
     indirect: Option<Ittage>,
     btb: Btb,
     ras: ReturnAddressStack,
@@ -149,18 +226,14 @@ struct Engine<'c> {
     /// In-flight instruction prefetches: block → cycle when usable.
     /// Fetching a block before its prefetch completes stalls for the
     /// remainder (a late prefetch).
-    prefetch_ready: HashMap<u64, u64>,
+    prefetch_ready: InflightTable,
+    /// Reused buffer for instruction-prefetcher proposals.
+    pf_buf: Vec<u64>,
 }
 
 impl<'c> Engine<'c> {
     fn new(cfg: &'c CoreConfig, options: RunOptions) -> Engine<'c> {
-        let direction: Box<dyn DirectionPredictor + Send> = match cfg.predictor {
-            PredictorKind::Bimodal(entries) => Box::new(Bimodal::new(entries)),
-            PredictorKind::Gshare(entries, hist) => Box::new(Gshare::new(entries, hist)),
-            PredictorKind::Tage64kb => Box::new(Tage::default_64kb()),
-            PredictorKind::TageSmall => Box::new(Tage::new(TageConfig::storage_small())),
-            PredictorKind::Perceptron => Box::new(HashedPerceptron::default_config()),
-        };
+        let direction = Direction::for_kind(cfg.predictor);
         let indirect = match cfg.indirect {
             IndirectKind::Ittage => Some(Ittage::default_64kb()),
             IndirectKind::LastTarget => None,
@@ -191,11 +264,18 @@ impl<'c> Engine<'c> {
             branches: BranchStats::default(),
             pipeline: PipelineStats::default(),
             instruction_prefetches: 0,
-            prefetch_ready: HashMap::new(),
+            prefetch_ready: InflightTable::new(),
+            pf_buf: Vec::new(),
         }
     }
 
-    fn run(mut self, records: &[ChampsimRecord]) -> SimReport {
+    /// The scalar and streaming entry points share this loop: the slice
+    /// path passes `records.iter().copied()`, so both consume the same
+    /// one-record lookahead and produce identical reports.
+    fn run<I>(mut self, mut records: I) -> SimReport
+    where
+        I: Iterator<Item = ChampsimRecord>,
+    {
         let mut warm_cycles = 0u64;
         let mut warm_branches = BranchStats::default();
         let mut warm_prefetches = 0u64;
@@ -215,9 +295,12 @@ impl<'c> Engine<'c> {
         });
         let mut epoch_prev = EpochCursor::default();
 
-        for (i, rec) in records.iter().enumerate() {
-            let next_ip = records.get(i + 1).map(|r| r.ip());
-            self.step(rec, next_ip);
+        let mut pending = records.next();
+        let mut i = 0usize;
+        while let Some(rec) = pending {
+            let next = records.next();
+            let next_ip = next.as_ref().map(|r| r.ip());
+            self.step(&rec, next_ip);
 
             if let (Some(series), Some(n)) = (epochs.as_mut(), self.epoch_instructions) {
                 if (i as u64 + 1).is_multiple_of(n) {
@@ -238,6 +321,9 @@ impl<'c> Engine<'c> {
                 // consistent across the reset.
                 epoch_prev.zero_caches();
             }
+
+            pending = next;
+            i += 1;
         }
 
         let mut components = telemetry::Registry::new();
@@ -254,7 +340,7 @@ impl<'c> Engine<'c> {
             components.set_epochs(series);
         }
 
-        let measured = (records.len() - measured_start_index) as u64;
+        let measured = (i - measured_start_index) as u64;
         SimReport {
             instructions: measured,
             cycles: self.last_retire.saturating_sub(warm_cycles).max(1),
@@ -290,7 +376,7 @@ impl<'c> Engine<'c> {
             let start = self.fetch_barrier.max(self.block_ready);
             // A hit on a still-in-flight prefetched line stalls for the
             // remainder of the fill (late prefetch).
-            if let Some(ready) = self.prefetch_ready.remove(&block) {
+            if let Some(ready) = self.prefetch_ready.take(block) {
                 if miss_penalty == 0 {
                     miss_penalty = ready.saturating_sub(start);
                 }
@@ -308,19 +394,19 @@ impl<'c> Engine<'c> {
             self.refilling = false;
 
             if let Some(pf) = self.prefetcher.as_mut() {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.pf_buf);
+                out.clear();
                 pf.on_fetch(FetchEvent { block, miss: miss_penalty > 0 }, &mut out);
-                for b in out {
+                for &b in &out {
                     self.instruction_prefetches += 1;
                     let fill = self.memory.prefetch_instruction(b * CACHELINE_BYTES);
                     if fill > 0 {
-                        self.prefetch_ready.insert(b, start + fill);
+                        // Fills completed by `start` can no longer stall
+                        // anything; the table reclaims their slots.
+                        self.prefetch_ready.insert(b, start + fill, start);
                     }
                 }
-                if self.prefetch_ready.len() > 16 * 1024 {
-                    // Drop long-completed fills to bound the map.
-                    self.prefetch_ready.retain(|_, ready| *ready > start);
-                }
+                self.pf_buf = out;
             }
         }
         let fetch_cycle = self.fetch_slots.allocate(self.fetch_barrier.max(self.block_ready));

@@ -1,0 +1,284 @@
+//! Fixed-capacity open-addressed table of in-flight instruction
+//! prefetches.
+//!
+//! The engine tracks, per prefetched line, the cycle at which its fill
+//! completes; a fetch arriving earlier stalls for the remainder (a late
+//! prefetch). A `HashMap` here costs SipHash on every block change and
+//! grows without bound on workloads whose prefetched lines are evicted
+//! before ever being fetched. This table is bounded by construction:
+//! capacity is fixed, probes use a multiply-shift hash, and stale
+//! entries (fills that completed in the past and so can no longer stall
+//! anything) are reclaimed in place during insertion.
+
+/// In-flight instruction prefetches: block → cycle when usable.
+///
+/// Capacity is fixed at [`InflightTable::CAPACITY`] slots. Entries whose
+/// ready cycle has passed are semantically dead — [`take`] would report
+/// a stall of `ready - start <= 0` cycles — so they are overwritten by
+/// later insertions and swept wholesale when occupancy crosses the sweep
+/// threshold. Live entries are never silently dropped: the number of
+/// genuinely in-flight fills is bounded by the fill latency times the
+/// issue rate, far below capacity.
+///
+/// [`take`]: InflightTable::take
+#[derive(Debug)]
+pub(crate) struct InflightTable {
+    /// `(block, ready)` pairs; `ready == 0` marks an empty slot (a real
+    /// fill always completes at cycle >= 1).
+    slots: Box<[(u64, u64)]>,
+    /// Occupied slots, live or stale.
+    occupied: usize,
+}
+
+/// Fibonacci multiplicative hashing: cheap, and strong enough for
+/// line-address keys that arrive nearly sequential.
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl InflightTable {
+    /// Slot count. At 16 bytes per slot the table is 128 KiB — two
+    /// orders of magnitude above the worst-case live in-flight count
+    /// (every fill completes within a DRAM latency of issue).
+    pub(crate) const CAPACITY: usize = 8192;
+
+    /// Occupancy at which insertion sweeps completed fills.
+    const SWEEP_THRESHOLD: usize = Self::CAPACITY * 3 / 4;
+
+    pub(crate) fn new() -> InflightTable {
+        InflightTable { slots: vec![(0, 0); Self::CAPACITY].into_boxed_slice(), occupied: 0 }
+    }
+
+    #[inline]
+    fn index(block: u64) -> usize {
+        (block.wrapping_mul(HASH_MUL) >> 51) as usize & (Self::CAPACITY - 1)
+    }
+
+    /// Occupied slots (live or stale); bounded by `CAPACITY`.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Records that `block`'s fill completes at cycle `ready`.
+    ///
+    /// `now` is the current fetch cycle: any resident entry whose fill
+    /// completed at or before `now` can no longer stall a fetch, so its
+    /// slot is fair game for reuse.
+    pub(crate) fn insert(&mut self, block: u64, ready: u64, now: u64) {
+        if self.occupied >= Self::SWEEP_THRESHOLD {
+            self.sweep(now);
+        }
+        self.insert_unchecked(block, ready, now);
+    }
+
+    /// The insertion probe itself, without the occupancy-triggered sweep
+    /// (so [`sweep`](InflightTable::sweep) can reuse it for rehashing
+    /// without recursing).
+    fn insert_unchecked(&mut self, block: u64, ready: u64, now: u64) {
+        debug_assert!(ready > 0, "ready cycle 0 is the empty-slot sentinel");
+        let mut i = Self::index(block);
+        let mut reusable = usize::MAX;
+        for _ in 0..Self::CAPACITY {
+            let (b, r) = self.slots[i];
+            if r == 0 {
+                // End of the probe chain: the block is not resident.
+                // Prefer overwriting a stale entry passed on the way (the
+                // slot stays occupied, so later chain members stay
+                // reachable); otherwise claim this empty slot.
+                if reusable != usize::MAX {
+                    self.slots[reusable] = (block, ready);
+                } else {
+                    self.slots[i] = (block, ready);
+                    self.occupied += 1;
+                }
+                return;
+            }
+            if b == block {
+                self.slots[i].1 = ready;
+                return;
+            }
+            if reusable == usize::MAX && r <= now {
+                reusable = i;
+            }
+            i = (i + 1) & (Self::CAPACITY - 1);
+        }
+        // Pathological backstop, unreachable in real runs (the sweep
+        // keeps occupancy under the threshold unless more than
+        // SWEEP_THRESHOLD fills are genuinely in flight at once): with
+        // every slot occupied and live, displace the entry completing
+        // soonest — the one whose late-prefetch stall matters least.
+        let victim = if reusable != usize::MAX {
+            reusable
+        } else {
+            (0..Self::CAPACITY).min_by_key(|&j| self.slots[j].1).expect("table is non-empty")
+        };
+        self.slots[victim] = (block, ready);
+    }
+
+    /// Removes and returns `block`'s pending ready cycle, if any.
+    pub(crate) fn take(&mut self, block: u64) -> Option<u64> {
+        let mut i = Self::index(block);
+        // Bounded for the saturated-table backstop case, where no empty
+        // slot terminates the probe chain.
+        for _ in 0..Self::CAPACITY {
+            let (b, r) = self.slots[i];
+            if r == 0 {
+                return None;
+            }
+            if b == block {
+                self.remove_at(i);
+                return Some(r);
+            }
+            i = (i + 1) & (Self::CAPACITY - 1);
+        }
+        None
+    }
+
+    /// Deletes slot `i` with backward-shift deletion, keeping every
+    /// remaining probe chain gap-free (no tombstones).
+    fn remove_at(&mut self, mut hole: usize) {
+        const MASK: usize = InflightTable::CAPACITY - 1;
+        self.occupied -= 1;
+        let mut j = (hole + 1) & MASK;
+        // Bounded like `take`: a saturated table has no empty slot to
+        // stop the shift scan.
+        for _ in 0..Self::CAPACITY {
+            let (b, r) = self.slots[j];
+            if r == 0 {
+                break;
+            }
+            let ideal = Self::index(b);
+            // Move `j` back into the hole only if the hole still lies on
+            // `j`'s probe path (cyclically between its ideal slot and j).
+            if (hole.wrapping_sub(ideal) & MASK) <= (j.wrapping_sub(ideal) & MASK) {
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+            j = (j + 1) & MASK;
+        }
+        self.slots[hole] = (0, 0);
+    }
+
+    /// Drops every completed fill (`ready <= now`), rehashing survivors.
+    fn sweep(&mut self, now: u64) {
+        let mut live: Vec<(u64, u64)> =
+            self.slots.iter().copied().filter(|&(_, r)| r > now).collect();
+        self.slots.fill((0, 0));
+        self.occupied = 0;
+        // Deterministic re-insertion order; no entry is stale, so no
+        // reuse happens and occupancy equals the live count.
+        live.sort_unstable();
+        for (b, r) in live {
+            self.insert_unchecked(b, r, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut t = InflightTable::new();
+        t.insert(42, 100, 0);
+        t.insert(43, 200, 0);
+        assert_eq!(t.take(42), Some(100));
+        assert_eq!(t.take(42), None, "taken entries are removed");
+        assert_eq!(t.take(43), Some(200));
+    }
+
+    #[test]
+    fn reinsert_updates_ready_cycle() {
+        let mut t = InflightTable::new();
+        t.insert(7, 50, 0);
+        t.insert(7, 80, 0);
+        assert_eq!(t.take(7), Some(80));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn colliding_blocks_remain_reachable() {
+        // All multiples of CAPACITY hash near each other only if the
+        // hash is weak; with multiply-shift they spread, so force long
+        // chains by filling many keys and checking every one survives.
+        let mut t = InflightTable::new();
+        for b in 0..1000u64 {
+            t.insert(b * 977, 10_000 + b, 0);
+        }
+        for b in 0..1000u64 {
+            assert_eq!(t.take(b * 977), Some(10_000 + b), "block {b}");
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn backward_shift_deletion_keeps_chains_intact() {
+        let mut t = InflightTable::new();
+        let keys: Vec<u64> = (0..64).map(|i| i * 31 + 5).collect();
+        for &k in &keys {
+            t.insert(k, k + 1000, 0);
+        }
+        // Remove every other key, then confirm the rest still resolve.
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(t.take(k), Some(k + 1000));
+        }
+        for &k in keys.iter().skip(1).step_by(2) {
+            assert_eq!(t.take(k), Some(k + 1000));
+        }
+    }
+
+    /// The satellite regression: unbounded streams of never-fetched
+    /// prefetches must not grow the table past its fixed capacity —
+    /// stale in-flight entries are evicted, live ones retained.
+    #[test]
+    fn occupancy_stays_bounded_under_unfetched_prefetch_stream() {
+        let mut t = InflightTable::new();
+        let mut now = 0u64;
+        for b in 0..1_000_000u64 {
+            now += 1;
+            // Each fill completes 240 cycles out (DRAM-ish) and is never
+            // fetched — the old HashMap grew one entry per iteration.
+            t.insert(b, now + 240, now);
+            assert!(t.len() <= InflightTable::CAPACITY);
+        }
+        assert!(t.len() < InflightTable::CAPACITY, "stale entries must be reclaimed: {}", t.len());
+        // Live entries (the last ~240) are still present and exact.
+        assert_eq!(t.take(999_999), Some(now + 240));
+    }
+
+    #[test]
+    fn sweep_preserves_live_entries() {
+        let mut t = InflightTable::new();
+        // A handful of fills still in flight at cycle 100...
+        for b in 0..10u64 {
+            t.insert(0x1_0000 + b, 500 + b, 0);
+        }
+        // ...buried under enough soon-completed fills to reach the
+        // sweep threshold exactly.
+        for b in 0..(InflightTable::SWEEP_THRESHOLD - 10) as u64 {
+            t.insert(b, 1, 0);
+        }
+        assert_eq!(t.len(), InflightTable::SWEEP_THRESHOLD);
+        t.insert(0xdead, 400, 100); // triggers the sweep at now=100
+        assert!(t.len() <= 11, "sweep must reclaim completed fills: {}", t.len());
+        for b in 0..10u64 {
+            assert_eq!(t.take(0x1_0000 + b), Some(500 + b));
+        }
+        assert_eq!(t.take(0xdead), Some(400));
+    }
+
+    /// Even a table saturated with live fills must terminate: the
+    /// backstop displaces the fill completing soonest.
+    #[test]
+    fn saturated_table_displaces_soonest_completion() {
+        let mut t = InflightTable::new();
+        for b in 0..(2 * InflightTable::CAPACITY) as u64 {
+            // Every entry stays live forever (never stale at now=0).
+            t.insert(b, 1_000_000 + b, 0);
+        }
+        assert!(t.len() <= InflightTable::CAPACITY);
+        // The most recent insertion always survives the backstop.
+        let last = 2 * InflightTable::CAPACITY as u64 - 1;
+        assert_eq!(t.take(last), Some(1_000_000 + last));
+    }
+}

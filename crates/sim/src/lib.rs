@@ -52,6 +52,7 @@
 
 mod config;
 mod engine;
+mod inflight;
 mod pipeline;
 mod stats;
 

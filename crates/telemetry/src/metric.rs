@@ -15,6 +15,11 @@ pub enum Unit {
     Percent,
     /// Events per 1000 retired instructions (the paper's MPKI scale).
     PerKiloInstructions,
+    /// Wall-clock seconds (host timing, not simulated time).
+    Seconds,
+    /// Millions of retired trace records per wall-clock second (host
+    /// simulation throughput).
+    Mips,
 }
 
 impl Unit {
@@ -27,6 +32,8 @@ impl Unit {
             Unit::Ratio => "ratio",
             Unit::Percent => "percent",
             Unit::PerKiloInstructions => "per-kilo-instructions",
+            Unit::Seconds => "seconds",
+            Unit::Mips => "mips",
         }
     }
 }
