@@ -260,7 +260,7 @@ impl Tage {
     /// # Panics
     ///
     /// Panics if the configuration has no tagged tables or more than
-    /// [`MAX_TAGGED_TABLES`].
+    /// `MAX_TAGGED_TABLES` (16).
     pub fn new(config: TageConfig) -> Tage {
         assert!(!config.history_lengths.is_empty(), "TAGE needs at least one tagged table");
         assert!(

@@ -12,6 +12,12 @@ pub enum ChampsimTraceError {
         /// Byte offset of the incomplete record.
         offset: u64,
     },
+    /// A block of a compressed trace store failed its checksum or could
+    /// not be decoded. Raised only when reading `.champsimz` stores.
+    CorruptedBlock {
+        /// Zero-based index of the corrupted block.
+        block: u64,
+    },
 }
 
 impl fmt::Display for ChampsimTraceError {
@@ -20,6 +26,9 @@ impl fmt::Display for ChampsimTraceError {
             ChampsimTraceError::Io(e) => write!(f, "i/o error: {e}"),
             ChampsimTraceError::TruncatedRecord { offset } => {
                 write!(f, "trace truncated inside record starting at byte {offset}")
+            }
+            ChampsimTraceError::CorruptedBlock { block } => {
+                write!(f, "corrupted store block {block} (checksum or payload mismatch)")
             }
         }
     }

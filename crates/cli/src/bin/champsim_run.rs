@@ -6,18 +6,18 @@
 //!              [--epochs N]
 //! ```
 //!
+//! Accepts flat record files and block-compressed `.champsimz` stores.
 //! The core presets match the paper's §4 setups; `--prefetcher` plugs one
 //! of the IPC-1 instruction prefetchers into the L1I. `--metrics` writes
 //! the full `sim.*`/`memsys.*`/`bpred.*` telemetry document (see
 //! METRICS.md); `--epochs N` additionally samples cycles and miss
 //! counters every N instructions into the document's `epochs` section.
 
-use std::fs::File;
-use std::io::BufReader;
+use std::path::Path;
 use std::process::ExitCode;
 
-use champsim_trace::ChampsimReader;
 use sim::{CoreConfig, RunOptions, Simulator};
+use trace_store::ChampsimTraceReader;
 
 fn main() -> ExitCode {
     match run() {
@@ -82,7 +82,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing trace path")?;
-    let reader = ChampsimReader::new(BufReader::new(File::open(&trace_path)?));
+    let reader = ChampsimTraceReader::open(Path::new(&trace_path))?;
     let mut records = Vec::new();
     for rec in reader {
         records.push(rec?);

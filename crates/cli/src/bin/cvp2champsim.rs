@@ -5,19 +5,22 @@
 //!              [--stats] [--metrics <path>]
 //! ```
 //!
-//! Reads a CVP-1 binary trace, converts it with the selected improvement
-//! set (`No_imp` by default, as in the original tool), and writes
-//! ChampSim 64-byte records to `-o` or standard output. `--stats` prints
-//! the conversion statistics to standard error; `--metrics` writes the
-//! `convert.*` telemetry document (see METRICS.md).
+//! Reads a CVP-1 binary trace (flat `.cvp` or compressed `.cvpz`),
+//! converts it with the selected improvement set (`No_imp` by default,
+//! as in the original tool), and writes ChampSim 64-byte records to
+//! `-o` or standard output; an output path ending in `.champsimz`
+//! writes a block-compressed store. `--stats` prints the conversion
+//! statistics to standard error; `--metrics` writes the `convert.*`
+//! telemetry document (plus `store.*` counters in store mode; see
+//! METRICS.md).
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 
-use champsim_trace::ChampsimWriter;
+use champsim_trace::{ChampsimRecord, ChampsimWriter};
 use converter::{Converter, ImprovementSet};
-use cvp_trace::CvpReader;
+use trace_store::{ChampsimTraceWriter, CvpTraceReader, StoreStats};
 
 fn main() -> ExitCode {
     match run() {
@@ -61,25 +64,44 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing -t <trace.cvp>")?;
-    let input = BufReader::new(File::open(&trace_path)?);
-    let mut reader = CvpReader::new(input);
+    let mut reader = CvpTraceReader::open(Path::new(&trace_path))?;
 
-    let sink: Box<dyn Write> = match &out_path {
-        Some(p) => Box::new(BufWriter::new(File::create(p)?)),
-        None => Box::new(BufWriter::new(io::stdout().lock())),
+    // `-o` dispatches on extension (`.champsimz` = compressed store);
+    // standard output is always a flat record stream.
+    enum Sink {
+        File(ChampsimTraceWriter),
+        Stdout(ChampsimWriter<BufWriter<io::Stdout>>),
+    }
+    let mut sink = match &out_path {
+        Some(p) => Sink::File(ChampsimTraceWriter::create(Path::new(p))?),
+        None => Sink::Stdout(ChampsimWriter::new(BufWriter::new(io::stdout()))),
     };
-    let mut writer = ChampsimWriter::new(sink);
+    let mut write = |rec: &ChampsimRecord| -> Result<(), champsim_trace::ChampsimTraceError> {
+        match &mut sink {
+            Sink::File(w) => w.write(rec),
+            Sink::Stdout(w) => w.write(rec),
+        }
+    };
     let mut converter = Converter::new(improvements);
 
     while let Some(insn) = reader.read()? {
         for rec in converter.convert(&insn) {
-            writer.write(&rec)?;
+            write(&rec)?;
         }
     }
-    writer.flush()?;
+    let store_stats: Option<StoreStats> = match sink {
+        Sink::File(w) => w.finish()?,
+        Sink::Stdout(mut w) => {
+            w.flush()?;
+            None
+        }
+    };
 
     if show_stats {
         eprintln!("{}", converter.stats());
+        if let Some(stats) = &store_stats {
+            eprintln!("{}", cli::store_summary(stats));
+        }
     }
     if let Some(path) = metrics_path {
         let mut registry = telemetry::Registry::new();
@@ -87,6 +109,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         registry.label("trace", &trace_path);
         registry.label("improvements", &improvements.to_string());
         converter.stats().export(improvements, &mut registry);
+        if let Some(stats) = &store_stats {
+            cli::export_store_stats(stats, &mut registry);
+        }
         cli::write_metrics(&path, &registry)?;
     }
     Ok(())

@@ -2,18 +2,19 @@
 //! statistics of the improved converter.
 //!
 //! ```text
-//! trace-stats <trace.cvp> [-i <improvement>] [--metrics <path>]
+//! trace-stats <trace.cvp|trace.cvpz> [-i <improvement>] [--metrics <path>]
 //! ```
 //!
+//! Accepts flat `.cvp` traces and block-compressed `.cvpz` stores.
 //! `--metrics` writes the `cvp.*` mix and `convert.*` conversion
 //! telemetry as one JSON document (see METRICS.md).
 
-use std::fs::File;
-use std::io::BufReader;
+use std::path::Path;
 use std::process::ExitCode;
 
 use converter::{Converter, ImprovementSet};
-use cvp_trace::{CvpReader, CvpTraceStats};
+use cvp_trace::CvpTraceStats;
+use trace_store::CvpTraceReader;
 
 fn main() -> ExitCode {
     match run() {
@@ -38,7 +39,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
-                eprintln!("usage: trace-stats <trace.cvp> [-i <improvement>] [--metrics <path>]");
+                eprintln!(
+                    "usage: trace-stats <trace.cvp|trace.cvpz> [-i <improvement>] [--metrics <path>]"
+                );
                 return Ok(());
             }
             other if trace_path.is_none() && !other.starts_with('-') => {
@@ -49,7 +52,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing trace path")?;
-    let mut reader = CvpReader::new(BufReader::new(File::open(&trace_path)?));
+    let mut reader = CvpTraceReader::open(Path::new(&trace_path))?;
     let mut stats = CvpTraceStats::new();
     let mut converter = Converter::new(improvements);
     while let Some(insn) = reader.read()? {

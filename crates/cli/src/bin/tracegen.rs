@@ -6,14 +6,15 @@
 //! tracegen --suite cvp1|ipc1 --list
 //! ```
 //!
-//! `--metrics` writes the `workloads.*` telemetry document (see
-//! METRICS.md).
+//! An output path ending in `.cvpz` writes a block-compressed store
+//! instead of a flat record stream (readable by every tool that takes a
+//! trace path). `--metrics` writes the `workloads.*` telemetry document
+//! (plus `store.*` volume counters in store mode; see METRICS.md).
 
-use std::fs::File;
-use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
 
-use cvp_trace::CvpWriter;
+use trace_store::CvpTraceWriter;
 use workloads::{cvp1_public_suite, ipc1_suite, TraceSpec, WorkloadKind};
 
 fn main() -> ExitCode {
@@ -99,21 +100,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     .with_length(length);
 
     let out = out.ok_or("missing -o <out.cvp>")?;
-    let mut writer = CvpWriter::new(BufWriter::new(File::create(&out)?));
+    let mut writer = CvpTraceWriter::create(Path::new(&out))?;
     for insn in spec.generate() {
         writer.write(&insn)?;
     }
-    writer.flush()?;
-    eprintln!("wrote {} instructions to {out}", writer.records_written());
+    let records = writer.records_written();
+    let store_stats = writer.finish()?;
+    eprintln!("wrote {records} instructions to {out}");
+    if let Some(stats) = &store_stats {
+        eprintln!("{}", cli::store_summary(stats));
+    }
     if let Some(path) = metrics_path {
         let mut registry = telemetry::Registry::new();
         registry.label("tool", "tracegen");
         registry.label("trace", spec.name());
         registry.label("kind", &spec.kind().to_string());
-        registry.counter(
-            &telemetry::catalog::WORKLOADS_GENERATED_INSTRUCTIONS,
-            writer.records_written(),
-        );
+        registry.counter(&telemetry::catalog::WORKLOADS_GENERATED_INSTRUCTIONS, records);
+        if let Some(stats) = &store_stats {
+            cli::export_store_stats(stats, &mut registry);
+        }
         cli::write_metrics(&path, &registry)?;
     }
     Ok(())

@@ -18,6 +18,7 @@
 
 use cvp_trace::{CvpClass, CvpTraceStats};
 use telemetry::{catalog, Registry};
+use trace_store::StoreStats;
 
 /// Registers a CVP-1 trace characterization under `cvp.*`, including
 /// one `cvp.class.{class}.count` instance per instruction class that
@@ -39,6 +40,26 @@ pub fn export_cvp_stats(stats: &CvpTraceStats, registry: &mut Registry) {
     }
 }
 
+/// Registers a written store's volume counters under `store.*`.
+pub fn export_store_stats(stats: &StoreStats, registry: &mut Registry) {
+    registry.counter(&catalog::STORE_BLOCKS_WRITTEN, stats.blocks_written);
+    registry.counter(&catalog::STORE_BYTES_RAW, stats.bytes_raw);
+    registry.counter(&catalog::STORE_BYTES_COMPRESSED, stats.bytes_compressed);
+    registry.gauge(&catalog::STORE_COMPRESSION_RATIO, stats.compression_ratio());
+}
+
+/// One-line human summary of a written store (the binaries print this
+/// to standard error after finishing a `.cvpz`/`.champsimz` file).
+pub fn store_summary(stats: &StoreStats) -> String {
+    format!(
+        "store: {} blocks, {} -> {} bytes ({:.2}x)",
+        stats.blocks_written,
+        stats.bytes_raw,
+        stats.bytes_compressed,
+        stats.compression_ratio()
+    )
+}
+
 /// Writes the registry's JSON document to `path` and prints a
 /// confirmation to standard error (the binaries' `--metrics` epilogue).
 pub fn write_metrics(path: &str, registry: &Registry) -> std::io::Result<()> {
@@ -51,6 +72,18 @@ pub fn write_metrics(path: &str, registry: &Registry) -> std::io::Result<()> {
 mod tests {
     use super::*;
     use cvp_trace::CvpInstruction;
+
+    #[test]
+    fn store_export_covers_volume_and_ratio() {
+        let stats = StoreStats { blocks_written: 2, bytes_raw: 1000, bytes_compressed: 250 };
+        let mut registry = Registry::new();
+        export_store_stats(&stats, &mut registry);
+        assert_eq!(registry.counter_value("store.blocks_written"), 2);
+        assert_eq!(registry.counter_value("store.bytes_raw"), 1000);
+        assert_eq!(registry.counter_value("store.bytes_compressed"), 250);
+        assert!(registry.get("store.compression_ratio").is_some());
+        assert_eq!(store_summary(&stats), "store: 2 blocks, 1000 -> 250 bytes (4.00x)");
+    }
 
     #[test]
     fn cvp_export_covers_mix_and_classes() {

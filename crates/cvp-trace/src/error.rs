@@ -51,6 +51,12 @@ pub enum TraceError {
         /// Byte offset of the field in the stream.
         offset: u64,
     },
+    /// A block of a compressed trace store failed its checksum or could
+    /// not be decoded. Raised only when reading `.cvpz` stores.
+    CorruptedBlock {
+        /// Zero-based index of the corrupted block.
+        block: u64,
+    },
 }
 
 /// Which register list a [`TraceError::TooManyRegisters`] refers to.
@@ -93,6 +99,9 @@ impl fmt::Display for TraceError {
             TraceError::InvalidAccessSize { size, offset } => {
                 write!(f, "invalid memory access size {size} at byte {offset}")
             }
+            TraceError::CorruptedBlock { block } => {
+                write!(f, "corrupted store block {block} (checksum or payload mismatch)")
+            }
         }
     }
 }
@@ -126,6 +135,7 @@ mod tests {
             TraceError::InvalidRegister { reg: 200, offset: 8 },
             TraceError::InvalidTakenFlag { value: 7, offset: 1 },
             TraceError::InvalidAccessSize { size: 3, offset: 2 },
+            TraceError::CorruptedBlock { block: 6 },
         ];
         for e in errs {
             let s = e.to_string();

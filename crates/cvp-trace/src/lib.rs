@@ -64,4 +64,4 @@ pub use insn::{
 pub use reader::CvpReader;
 pub use regfile::RegisterFile;
 pub use stats::CvpTraceStats;
-pub use writer::CvpWriter;
+pub use writer::{encode_record, CvpWriter};

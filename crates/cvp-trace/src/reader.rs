@@ -77,6 +77,16 @@ impl<R: Read> CvpReader<R> {
         self.inner
     }
 
+    /// Mutable access to the underlying source.
+    ///
+    /// Reading from the source directly desynchronizes the internal
+    /// buffer; this is intended for out-of-band operations that restore
+    /// the position afterwards (e.g. a store reader fetching its footer
+    /// index).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
     /// Bytes decoded so far (not bytes pulled from the source, which may
     /// run ahead by up to one buffer).
     pub fn bytes_read(&self) -> u64 {

@@ -3,11 +3,48 @@ use std::io::Write;
 use crate::error::TraceError;
 use crate::insn::{CvpInstruction, NUM_INT_REGS, VEC_REG_BASE};
 
+/// Appends the binary encoding of one record to `out`.
+///
+/// This is the encoding primitive behind [`CvpWriter`]; block-store
+/// writers use it directly to fill record-aligned buffers without going
+/// through an I/O sink. The byte layout is the exact inverse of
+/// [`CvpReader`](crate::CvpReader); see [`format`](crate::format).
+pub fn encode_record(insn: &CvpInstruction, out: &mut Vec<u8>) {
+    out.extend_from_slice(&insn.pc.to_le_bytes());
+    out.push(insn.class as u8);
+    if insn.is_memory() {
+        out.extend_from_slice(&insn.mem_address.to_le_bytes());
+        out.push(insn.mem_size);
+    }
+    if insn.is_branch() {
+        out.push(insn.taken as u8);
+        if insn.taken {
+            out.extend_from_slice(&insn.target.to_le_bytes());
+        }
+    }
+    let srcs = insn.sources();
+    out.push(srcs.len() as u8);
+    out.extend_from_slice(srcs);
+    let dsts = insn.destinations();
+    out.push(dsts.len() as u8);
+    out.extend_from_slice(dsts);
+    for (&reg, value) in dsts.iter().zip(insn.output_values()) {
+        out.extend_from_slice(&value.lo.to_le_bytes());
+        if (VEC_REG_BASE..VEC_REG_BASE + NUM_INT_REGS).contains(&reg) {
+            out.extend_from_slice(&value.hi.to_le_bytes());
+        }
+    }
+}
+
 /// Streaming encoder for CVP-1 trace records.
 ///
-/// Writes records to any [`Write`] sink (a `&mut W` also works). The
-/// encoding is the exact inverse of [`CvpReader`](crate::CvpReader); see
-/// [`format`](crate::format) for the byte layout.
+/// Writes records to any [`Write`] sink (a `&mut W` also works),
+/// issuing exactly **one** `write` call per record: each record is
+/// encoded into a small reused scratch buffer first, so even an
+/// unbuffered sink never sees the per-field byte shuffling (the write
+///-side mirror of [`CvpReader`](crate::CvpReader)'s internal
+/// buffering). Nothing beyond the current record is ever buffered, so
+/// no final flush is required for the bytes to reach the sink.
 ///
 /// # Example
 ///
@@ -25,13 +62,18 @@ use crate::insn::{CvpInstruction, NUM_INT_REGS, VEC_REG_BASE};
 #[derive(Debug)]
 pub struct CvpWriter<W> {
     inner: W,
+    scratch: Vec<u8>,
     records: u64,
 }
+
+/// Upper bound on one record's encoding: pc + class + memory fields +
+/// taken + target + source and destination lists + four 128-bit values.
+const MAX_RECORD_BYTES: usize = 8 + 1 + 9 + 9 + (1 + 8) + (1 + 4) + 4 * 16;
 
 impl<W: Write> CvpWriter<W> {
     /// Creates a writer over `inner`.
     pub fn new(inner: W) -> CvpWriter<W> {
-        CvpWriter { inner, records: 0 }
+        CvpWriter { inner, scratch: Vec::with_capacity(MAX_RECORD_BYTES), records: 0 }
     }
 
     /// Consumes the writer, returning the underlying sink.
@@ -44,37 +86,15 @@ impl<W: Write> CvpWriter<W> {
         self.records
     }
 
-    /// Encodes one record.
+    /// Encodes one record and writes it to the sink in a single call.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
     pub fn write(&mut self, insn: &CvpInstruction) -> Result<(), TraceError> {
-        let w = &mut self.inner;
-        w.write_all(&insn.pc.to_le_bytes())?;
-        w.write_all(&[insn.class as u8])?;
-        if insn.is_memory() {
-            w.write_all(&insn.mem_address.to_le_bytes())?;
-            w.write_all(&[insn.mem_size])?;
-        }
-        if insn.is_branch() {
-            w.write_all(&[insn.taken as u8])?;
-            if insn.taken {
-                w.write_all(&insn.target.to_le_bytes())?;
-            }
-        }
-        let srcs = insn.sources();
-        w.write_all(&[srcs.len() as u8])?;
-        w.write_all(srcs)?;
-        let dsts = insn.destinations();
-        w.write_all(&[dsts.len() as u8])?;
-        w.write_all(dsts)?;
-        for (&reg, value) in dsts.iter().zip(insn.output_values()) {
-            w.write_all(&value.lo.to_le_bytes())?;
-            if (VEC_REG_BASE..VEC_REG_BASE + NUM_INT_REGS).contains(&reg) {
-                w.write_all(&value.hi.to_le_bytes())?;
-            }
-        }
+        self.scratch.clear();
+        encode_record(insn, &mut self.scratch);
+        self.inner.write_all(&self.scratch)?;
         self.records += 1;
         Ok(())
     }

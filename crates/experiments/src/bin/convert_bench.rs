@@ -1,0 +1,314 @@
+//! Trace-store I/O benchmark: encode/decode throughput and compression
+//! ratio per workload family.
+//!
+//! ```text
+//! convert_bench [--scale smoke|test|paper] [--out <path>] [--metrics <path>]
+//!               [--check <baseline.json>] [--tolerance <pct>]
+//! ```
+//!
+//! For each synthetic workload family the harness generates one CVP-1
+//! trace and its All_imps ChampSim conversion, then measures the block
+//! store's in-memory encode and decode speed for both stream kinds
+//! (`.cvpz` and `.champsimz`), in raw megabytes per second, along with
+//! the achieved compression ratio. Results land in `BENCH_io.json`
+//! (`--out` to redirect).
+//!
+//! `--check <baseline>` compares against a committed `BENCH_io.json`:
+//! the run fails (exit 1) if any family's encode or decode MB/s
+//! regresses more than `--tolerance` percent (default 25) below the
+//! baseline, or its compression ratio drops below the baseline by the
+//! same margin — the CI perf-smoke gate for the I/O layer. `--metrics`
+//! writes the aggregate `store.*` volume counters of the benched
+//! encodes as one telemetry document.
+
+use std::io::Cursor;
+use std::time::Instant;
+
+use champsim_trace::{ChampsimRecord, RECORD_BYTES};
+use converter::{Converter, ImprovementSet};
+use cvp_trace::CvpInstruction;
+use experiments::bench::measure;
+use experiments::runner::ExperimentScale;
+use telemetry::catalog;
+use trace_store::{ChampsimzReader, ChampsimzWriter, CvpzReader, CvpzWriter, StoreStats};
+use workloads::{TraceSpec, WorkloadKind};
+
+/// The benched families, named as in `WorkloadKind::to_string`.
+const FAMILIES: [WorkloadKind; 6] = [
+    WorkloadKind::PointerChase,
+    WorkloadKind::Streaming,
+    WorkloadKind::Crypto,
+    WorkloadKind::BranchyInt,
+    WorkloadKind::Server,
+    WorkloadKind::FpKernel,
+];
+
+/// One stream kind's measurements on one family.
+struct StreamResult {
+    raw_bytes: u64,
+    encode_mbps: f64,
+    decode_mbps: f64,
+    ratio: f64,
+}
+
+struct FamilyResult {
+    family: String,
+    cvpz: StreamResult,
+    champsimz: StreamResult,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut scale_name = "paper".to_string();
+    let mut scale = ExperimentScale::paper();
+    let mut out_path = "BENCH_io.json".to_string();
+    let mut metrics_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale_name = args.next().unwrap_or_else(|| fail("--scale needs a value"));
+                scale = match scale_name.as_str() {
+                    "smoke" => ExperimentScale::smoke(),
+                    "test" => ExperimentScale::test(),
+                    "paper" => ExperimentScale::paper(),
+                    other => fail(&format!("--scale must be smoke|test|paper, got {other:?}")),
+                };
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out needs a path")),
+            "--metrics" => {
+                metrics_path = Some(args.next().unwrap_or_else(|| fail("--metrics needs a path")));
+            }
+            "--check" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| fail("--check needs a path")));
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t > 0.0 && *t < 100.0)
+                    .unwrap_or_else(|| fail("--tolerance needs a percentage in (0, 100)"));
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut totals = StoreStats::default();
+    for kind in FAMILIES {
+        let family = kind.to_string();
+        let spec =
+            TraceSpec::new(format!("bench_{family}"), kind, 0xb1a5).with_length(scale.trace_length);
+        let start = Instant::now();
+        let cvp = spec.generate();
+        let records = Converter::new(ImprovementSet::all()).convert_all(cvp.iter());
+        let prep = start.elapsed().as_secs_f64();
+
+        let cvpz = bench_cvpz(&cvp, &mut totals);
+        let champsimz = bench_champsimz(&records, &mut totals);
+        eprintln!(
+            "[convert_bench] {family}: cvpz {:.1}/{:.1} MB/s enc/dec ({:.2}x), \
+             champsimz {:.1}/{:.1} MB/s enc/dec ({:.2}x) [prep {prep:.2} s]",
+            cvpz.encode_mbps,
+            cvpz.decode_mbps,
+            cvpz.ratio,
+            champsimz.encode_mbps,
+            champsimz.decode_mbps,
+            champsimz.ratio,
+        );
+        results.push(FamilyResult { family, cvpz, champsimz });
+    }
+
+    let json = to_json(&scale_name, &results);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[convert_bench] wrote {out_path}"),
+        Err(e) => fail(&format!("could not write {out_path}: {e}")),
+    }
+    if let Some(path) = &metrics_path {
+        let mut registry = telemetry::Registry::new();
+        registry.label("scale", &scale_name);
+        registry.counter(&catalog::STORE_BLOCKS_WRITTEN, totals.blocks_written);
+        registry.counter(&catalog::STORE_BYTES_RAW, totals.bytes_raw);
+        registry.counter(&catalog::STORE_BYTES_COMPRESSED, totals.bytes_compressed);
+        registry.gauge(&catalog::STORE_COMPRESSION_RATIO, totals.compression_ratio());
+        match std::fs::write(path, registry.to_json()) {
+            Ok(()) => eprintln!("[convert_bench] wrote {path}"),
+            Err(e) => fail(&format!("could not write {path}: {e}")),
+        }
+    }
+    if let Some(path) = &baseline_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("could not read baseline {path}: {e}")));
+        check_against_baseline(&baseline, &results, tolerance_pct);
+    }
+}
+
+/// Measures the `.cvpz` store on one trace: in-memory encode, decode of
+/// the produced bytes, raw-volume throughput for both.
+fn bench_cvpz(cvp: &[CvpInstruction], totals: &mut StoreStats) -> StreamResult {
+    let encode = || {
+        let mut w = CvpzWriter::new(Vec::with_capacity(1 << 20)).expect("vec write");
+        for insn in cvp {
+            w.write(insn).expect("vec write");
+        }
+        w.finish().expect("vec write")
+    };
+    let (encode_seconds, _) = measure(&encode);
+    let (encoded, stats) = encode();
+    totals.blocks_written += stats.blocks_written;
+    totals.bytes_raw += stats.bytes_raw;
+    totals.bytes_compressed += stats.bytes_compressed;
+
+    let decode = || {
+        let mut n = 0u64;
+        let mut r = CvpzReader::new(Cursor::new(&encoded)).expect("valid store");
+        while r.read().expect("valid store").is_some() {
+            n += 1;
+        }
+        n
+    };
+    let (decode_seconds, _) = measure(decode);
+    StreamResult {
+        raw_bytes: stats.bytes_raw,
+        encode_mbps: mbps(stats.bytes_raw, encode_seconds),
+        decode_mbps: mbps(stats.bytes_raw, decode_seconds),
+        ratio: stats.compression_ratio(),
+    }
+}
+
+/// Measures the `.champsimz` store on one record buffer.
+fn bench_champsimz(records: &[ChampsimRecord], totals: &mut StoreStats) -> StreamResult {
+    let encode = || {
+        let mut w = ChampsimzWriter::new(Vec::with_capacity(1 << 20)).expect("vec write");
+        for rec in records {
+            w.write(rec).expect("vec write");
+        }
+        w.finish().expect("vec write")
+    };
+    let (encode_seconds, _) = measure(&encode);
+    let (encoded, stats) = encode();
+    totals.blocks_written += stats.blocks_written;
+    totals.bytes_raw += stats.bytes_raw;
+    totals.bytes_compressed += stats.bytes_compressed;
+
+    let raw_bytes = (records.len() * RECORD_BYTES) as u64;
+    let decode = || {
+        let mut n = 0u64;
+        let mut r = ChampsimzReader::new(Cursor::new(&encoded)).expect("valid store");
+        while r.read().expect("valid store").is_some() {
+            n += 1;
+        }
+        n
+    };
+    let (decode_seconds, _) = measure(decode);
+    StreamResult {
+        raw_bytes,
+        encode_mbps: mbps(raw_bytes, encode_seconds),
+        decode_mbps: mbps(raw_bytes, decode_seconds),
+        ratio: stats.compression_ratio(),
+    }
+}
+
+fn mbps(raw_bytes: u64, seconds: f64) -> f64 {
+    raw_bytes as f64 / 1e6 / seconds
+}
+
+fn stream_json(s: &StreamResult) -> String {
+    format!(
+        "{{\"raw_bytes\":{},\"encode_mbps\":{:.3},\"decode_mbps\":{:.3},\"ratio\":{:.3}}}",
+        s.raw_bytes, s.encode_mbps, s.decode_mbps, s.ratio
+    )
+}
+
+fn to_json(scale: &str, results: &[FamilyResult]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"scale\":\"{scale}\",\"results\":["));
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"family\":\"{}\",\"cvpz\":{},\"champsimz\":{}}}",
+            r.family,
+            stream_json(&r.cvpz),
+            stream_json(&r.champsimz)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Compares this run against a committed `BENCH_io.json`, exiting
+/// non-zero on any regression beyond `tolerance_pct` percent.
+fn check_against_baseline(baseline: &str, results: &[FamilyResult], tolerance_pct: f64) {
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let mut failures = Vec::new();
+    for r in results {
+        let Some(entry) = family_entry(baseline, &r.family) else {
+            eprintln!("[convert_bench] baseline has no entry for {} — skipping", r.family);
+            continue;
+        };
+        for (kind, stream) in [("cvpz", &r.cvpz), ("champsimz", &r.champsimz)] {
+            let Some(base) = stream_entry(entry, kind) else { continue };
+            for (field, value) in [
+                ("encode_mbps", stream.encode_mbps),
+                ("decode_mbps", stream.decode_mbps),
+                ("ratio", stream.ratio),
+            ] {
+                let Some(base_value) = json_f64_field(base, &format!("\"{field}\":")) else {
+                    continue;
+                };
+                if value < base_value * floor {
+                    failures.push(format!(
+                        "{}/{kind} {field}: {value:.2} vs baseline {base_value:.2} ({:+.1}%)",
+                        r.family,
+                        (value / base_value - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("[convert_bench] I/O throughput within {tolerance_pct}% of baseline");
+    } else {
+        eprintln!("error: store I/O regression beyond {tolerance_pct}% tolerance:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Slices one family's object out of a `BENCH_io.json` document (the
+/// fixed format `to_json` writes — not a general parser).
+fn family_entry<'a>(doc: &'a str, family: &str) -> Option<&'a str> {
+    let marker = format!("\"family\":\"{family}\"");
+    let entry = &doc[doc.find(&marker)? + marker.len()..];
+    // Ends at the family-object close: the second `}}` closes champsimz
+    // and the family entry together.
+    Some(&entry[..entry.find("}}")? + 2])
+}
+
+/// Slices one stream kind's object out of a family entry.
+fn stream_entry<'a>(entry: &'a str, kind: &str) -> Option<&'a str> {
+    let marker = format!("\"{kind}\":{{");
+    let body = &entry[entry.find(&marker)? + marker.len()..];
+    Some(&body[..body.find('}')?])
+}
+
+/// Reads the number following `key` in `doc`.
+fn json_f64_field(doc: &str, key: &str) -> Option<f64> {
+    let rest = &doc[doc.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: convert_bench [--scale smoke|test|paper] [--out <path>] [--metrics <path>] \
+         [--check <baseline.json>] [--tolerance <pct>]"
+    );
+    std::process::exit(2);
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all]
 //!             [--scale smoke|test|paper] [--csv <dir>] [--threads <n>]
-//!             [--metrics <path>]
+//!             [--metrics <path>] [--cache-dir <dir>]
+//!             [--cache-mem-budget <bytes>]
 //! ```
 //!
 //! With no selection flags, everything is regenerated (`--all`). The
@@ -15,7 +16,15 @@
 //! also prints the reports plus the per-improvement attribution table.
 //! `--metrics <path>` writes the telemetry document (see METRICS.md):
 //! per-configuration grid aggregates, table 3/4 speedups, and the
-//! attribution table, byte-identical across `--threads` values.
+//! attribution table, byte-identical across `--threads` values (and
+//! across spill settings).
+//!
+//! `--cache-dir <dir>` bounds the artifact cache's resident memory:
+//! when the cached traces and conversions exceed the byte budget
+//! (`--cache-mem-budget`, default 256 MiB, suffixes `K`/`M`/`G`
+//! accepted), least-recently-used artifacts are compressed into block
+//! stores under `<dir>` and reloaded on demand instead of being
+//! recomputed. Spill files are removed as they are consumed.
 
 use experiments::figures::{
     figure1, figure2, figure3, figure4, figure5, render_figure1, render_figure2, render_figure3,
@@ -52,11 +61,27 @@ fn select(seen: &mut Vec<u8>, flag: &str, value: Option<String>, max: u8) -> u8 
     n
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024, case-insensitive).
+fn parse_bytes(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, shift) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 10),
+        'm' | 'M' => (&raw[..raw.len() - 1], 20),
+        'g' | 'G' => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|v| v >> shift == n)
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut selection = Selection::default();
     let mut scale = ExperimentScale::paper();
     let mut all = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_budget: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fig" => {
@@ -96,8 +121,36 @@ fn main() {
                     .unwrap_or_else(|| fail("--threads needs a positive number"));
                 experiments::runner::set_threads(n);
             }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    args.next().unwrap_or_else(|| fail("--cache-dir needs a directory")).into(),
+                );
+            }
+            "--cache-mem-budget" => {
+                let raw = args.next().unwrap_or_else(|| fail("--cache-mem-budget needs a size"));
+                cache_budget = Some(parse_bytes(&raw).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--cache-mem-budget {raw:?} is not a byte count (suffixes K/M/G accepted)"
+                    ))
+                }));
+            }
             other => fail(&format!("unknown argument {other:?}")),
         }
+    }
+    match (cache_dir, cache_budget) {
+        (Some(dir), budget) => {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                fail(&format!("cannot create cache directory {}: {e}", dir.display()));
+            }
+            // Default budget: 256 MiB of resident artifacts.
+            let mem_budget = budget.unwrap_or(256 << 20);
+            experiments::cache::set_spill(Some(experiments::cache::SpillConfig {
+                dir,
+                mem_budget,
+            }));
+        }
+        (None, Some(_)) => fail("--cache-mem-budget requires --cache-dir"),
+        (None, None) => {}
     }
     if all || (selection.figs.is_empty() && selection.tables.is_empty() && !selection.stats) {
         selection.figs = vec![1, 2, 3, 4, 5];
@@ -234,7 +287,8 @@ fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: experiments [--fig 1|2|3|4|5] [--table 1|2|3|4] [--stats] [--all] \
-         [--scale smoke|test|paper] [--csv <dir>] [--threads <n>] [--metrics <path>]"
+         [--scale smoke|test|paper] [--csv <dir>] [--threads <n>] [--metrics <path>] \
+         [--cache-dir <dir>] [--cache-mem-budget <bytes>]"
     );
     std::process::exit(2);
 }

@@ -291,7 +291,8 @@ impl SchedulerReport {
             "scheduler [{label}]: {jobs} jobs on {threads} threads, wall {wall:.3} s\n\
              \x20 generate: {gen:.3} s CPU, {tm} misses / {th} hits ({tr:.1}% hit rate)\n\
              \x20 convert:  {conv:.3} s CPU, {cm} misses / {ch} hits ({cr:.1}% hit rate)\n\
-             \x20 simulate: {sim:.3} s CPU\n",
+             \x20 simulate: {sim:.3} s CPU\n\
+             \x20 spill:    {spills} spills, {dh} disk hits, {peak:.1} MB peak resident\n",
             label = self.label,
             jobs = self.jobs,
             threads = self.threads,
@@ -305,6 +306,9 @@ impl SchedulerReport {
             ch = c.convert_hits,
             cr = 100.0 * c.convert_hit_rate(),
             sim = c.simulate_ns as f64 / 1e9,
+            spills = c.spills,
+            dh = c.disk_hits,
+            peak = c.peak_resident_bytes as f64 / 1e6,
         )
     }
 
@@ -316,7 +320,8 @@ impl SchedulerReport {
             "{{\"label\":\"{}\",\"threads\":{},\"jobs\":{},\"wall_seconds\":{:.6},\
              \"generate_seconds\":{:.6},\"convert_seconds\":{:.6},\"simulate_seconds\":{:.6},\
              \"trace_hits\":{},\"trace_misses\":{},\"trace_hit_rate\":{:.6},\
-             \"convert_hits\":{},\"convert_misses\":{},\"convert_hit_rate\":{:.6}}}",
+             \"convert_hits\":{},\"convert_misses\":{},\"convert_hit_rate\":{:.6},\
+             \"spills\":{},\"disk_hits\":{},\"peak_resident_bytes\":{}}}",
             self.label,
             self.threads,
             self.jobs,
@@ -330,6 +335,9 @@ impl SchedulerReport {
             c.convert_hits,
             c.convert_misses,
             c.convert_hit_rate(),
+            c.spills,
+            c.disk_hits,
+            c.peak_resident_bytes,
         )
     }
 }
@@ -481,6 +489,9 @@ mod tests {
                 trace_misses: 4,
                 convert_hits: 0,
                 convert_misses: 40,
+                spills: 3,
+                disk_hits: 2,
+                peak_resident_bytes: 12_500_000,
                 generate_ns: 2_000_000_000,
                 convert_ns: 1_000_000_000,
                 simulate_ns: 3_000_000_000,
@@ -495,6 +506,10 @@ mod tests {
         assert!(json.contains("\"label\":\"grid\""), "{json}");
         assert!(json.contains("\"wall_seconds\":1.500000"), "{json}");
         assert!(json.contains("\"trace_hit_rate\":0.900000"), "{json}");
+        assert!(json.contains("\"spills\":3"), "{json}");
+        assert!(json.contains("\"disk_hits\":2"), "{json}");
+        assert!(json.contains("\"peak_resident_bytes\":12500000"), "{json}");
+        assert!(text.contains("3 spills, 2 disk hits, 12.5 MB peak resident"), "{text}");
         assert!(json.trim_end().ends_with("]}"), "{json}");
     }
 }

@@ -20,6 +20,8 @@ pub enum Unit {
     /// Millions of retired trace records per wall-clock second (host
     /// simulation throughput).
     Mips,
+    /// Bytes on disk or in memory.
+    Bytes,
 }
 
 impl Unit {
@@ -34,6 +36,7 @@ impl Unit {
             Unit::PerKiloInstructions => "per-kilo-instructions",
             Unit::Seconds => "seconds",
             Unit::Mips => "mips",
+            Unit::Bytes => "bytes",
         }
     }
 }

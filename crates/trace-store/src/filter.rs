@@ -1,0 +1,288 @@
+//! Reversible delta filters applied to a raw block before compression.
+//!
+//! Trace fields like the program counter and effective address change
+//! by small strides between records, but as absolute 64-bit
+//! little-endian values they defeat a byte-oriented LZ matcher. Each
+//! filter rewrites those fields as deltas **in place** (same length,
+//! exactly invertible), turning the hot fields into long runs of zero
+//! bytes the codec folds away. Filters reset their state at every
+//! block boundary, so blocks stay independently decodable.
+//!
+//! The inverse runs on decompressed-but-unverified bytes, so both
+//! directions are bounds-checked and fail soft: a malformed payload
+//! yields [`FilterCorrupt`], never a panic or out-of-bounds access.
+
+use champsim_trace::RECORD_BYTES;
+use cvp_trace::{CvpClass, MAX_DSTS, MAX_SRCS, NUM_INT_REGS, NUM_REGS, VEC_REG_BASE};
+
+/// The block payload does not parse as the stream the filter expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterCorrupt;
+
+/// Which delta transform a store applies to its blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Filter {
+    /// No transform: blocks are compressed as-is.
+    None = 0,
+    /// CVP-1 records: PC, effective address, and branch target are
+    /// delta-encoded (PC against the previous record's PC, address
+    /// against the previous memory access, target against its own PC).
+    Cvp = 1,
+    /// ChampSim 64-byte records: the instruction pointer is
+    /// delta-encoded against the previous record's.
+    Champsim = 2,
+}
+
+impl Filter {
+    /// Decodes the header byte, returning `None` for unknown filters.
+    pub fn from_u8(v: u8) -> Option<Filter> {
+        match v {
+            0 => Some(Filter::None),
+            1 => Some(Filter::Cvp),
+            2 => Some(Filter::Champsim),
+            _ => None,
+        }
+    }
+
+    /// Applies the forward transform in place (before compression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterCorrupt`] if `block` does not parse as the
+    /// expected record stream.
+    pub fn apply(self, block: &mut [u8]) -> Result<(), FilterCorrupt> {
+        match self {
+            Filter::None => Ok(()),
+            Filter::Cvp => cvp_walk(block, Direction::Apply),
+            Filter::Champsim => champsim_delta(block, Direction::Apply),
+        }
+    }
+
+    /// Inverts the transform in place (after decompression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FilterCorrupt`] if `block` does not parse as the
+    /// expected record stream.
+    pub fn invert(self, block: &mut [u8]) -> Result<(), FilterCorrupt> {
+        match self {
+            Filter::None => Ok(()),
+            Filter::Cvp => cvp_walk(block, Direction::Invert),
+            Filter::Champsim => champsim_delta(block, Direction::Invert),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Apply,
+    Invert,
+}
+
+fn read_u64(block: &[u8], at: usize) -> Result<u64, FilterCorrupt> {
+    let bytes = block.get(at..at + 8).ok_or(FilterCorrupt)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn write_u64(block: &mut [u8], at: usize, value: u64) {
+    block[at..at + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Rewrites a u64 field as a delta (or back), returning the absolute
+/// value so the caller can update its predictor state.
+fn delta_field(
+    block: &mut [u8],
+    at: usize,
+    base: u64,
+    dir: Direction,
+) -> Result<u64, FilterCorrupt> {
+    let stored = read_u64(block, at)?;
+    let (absolute, rewritten) = match dir {
+        Direction::Apply => (stored, stored.wrapping_sub(base)),
+        Direction::Invert => (base.wrapping_add(stored), base.wrapping_add(stored)),
+    };
+    write_u64(block, at, rewritten);
+    Ok(absolute)
+}
+
+fn champsim_delta(block: &mut [u8], dir: Direction) -> Result<(), FilterCorrupt> {
+    if !block.len().is_multiple_of(RECORD_BYTES) {
+        return Err(FilterCorrupt);
+    }
+    let mut prev_ip = 0u64;
+    for at in (0..block.len()).step_by(RECORD_BYTES) {
+        prev_ip = delta_field(block, at, prev_ip, dir)?;
+    }
+    Ok(())
+}
+
+/// Walks the variable-length CVP-1 record stream, delta-rewriting the
+/// PC, effective address, and taken-branch target fields.
+fn cvp_walk(block: &mut [u8], dir: Direction) -> Result<(), FilterCorrupt> {
+    let mut at = 0usize;
+    let mut prev_pc = 0u64;
+    let mut prev_mem = 0u64;
+    while at < block.len() {
+        let pc = delta_field(block, at, prev_pc, dir)?;
+        prev_pc = pc;
+        at += 8;
+        let class_byte = *block.get(at).ok_or(FilterCorrupt)?;
+        let class = CvpClass::from_u8(class_byte).ok_or(FilterCorrupt)?;
+        at += 1;
+        if class.is_memory() {
+            prev_mem = delta_field(block, at, prev_mem, dir)?;
+            at += 9; // address + size byte
+        }
+        if class.is_branch() {
+            let taken = *block.get(at).ok_or(FilterCorrupt)?;
+            at += 1;
+            match taken {
+                0 => {}
+                1 => {
+                    // The target is usually near the branch itself.
+                    delta_field(block, at, pc, dir)?;
+                    at += 8;
+                }
+                _ => return Err(FilterCorrupt),
+            }
+        }
+        let num_srcs = *block.get(at).ok_or(FilterCorrupt)? as usize;
+        if num_srcs > MAX_SRCS {
+            return Err(FilterCorrupt);
+        }
+        at += 1 + num_srcs;
+        let num_dsts = *block.get(at).ok_or(FilterCorrupt)? as usize;
+        if num_dsts > MAX_DSTS {
+            return Err(FilterCorrupt);
+        }
+        at += 1;
+        let mut value_bytes = 0usize;
+        for _ in 0..num_dsts {
+            let reg = *block.get(at).ok_or(FilterCorrupt)?;
+            if reg >= NUM_REGS {
+                return Err(FilterCorrupt);
+            }
+            at += 1;
+            let vector = (VEC_REG_BASE..VEC_REG_BASE + NUM_INT_REGS).contains(&reg);
+            value_bytes += if vector { 16 } else { 8 };
+        }
+        at = at.checked_add(value_bytes).ok_or(FilterCorrupt)?;
+        if at > block.len() {
+            return Err(FilterCorrupt);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvp_trace::{encode_record, CvpInstruction, OutputValue};
+
+    fn cvp_block() -> Vec<u8> {
+        let insns = vec![
+            CvpInstruction::alu(0x1000).with_sources(&[1, 2]).with_destination(3, 9u64),
+            CvpInstruction::load(0x1004, 0xffff_0000, 8).with_destination(1, 5u64),
+            CvpInstruction::store(0x1008, 0xffff_0040, 4).with_sources(&[1, 2]),
+            CvpInstruction::cond_branch(0x100c, true, 0x1000),
+            CvpInstruction::cond_branch(0x1010, false, 0),
+            CvpInstruction::fp(0x1014).with_destination(40, OutputValue::vector(1, 2)),
+            CvpInstruction::indirect_branch(0x1018, 0x4000).with_sources(&[30]),
+            CvpInstruction::undef(0x101c),
+        ];
+        let mut block = Vec::new();
+        for i in &insns {
+            encode_record(i, &mut block);
+        }
+        block
+    }
+
+    #[test]
+    fn cvp_filter_round_trips_and_changes_bytes() {
+        let original = cvp_block();
+        let mut block = original.clone();
+        Filter::Cvp.apply(&mut block).unwrap();
+        assert_ne!(block, original, "the transform must actually rewrite fields");
+        Filter::Cvp.invert(&mut block).unwrap();
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn cvp_filter_zeroes_sequential_pc_deltas() {
+        // Sequential +4 PCs become the constant delta 4, so the high
+        // PC bytes vanish from the filtered block.
+        let mut block = Vec::new();
+        for i in 0..64u64 {
+            encode_record(&CvpInstruction::alu(0x4000_0000 + 4 * i), &mut block);
+        }
+        Filter::Cvp.apply(&mut block).unwrap();
+        // Every record is 11 bytes (pc + class + nsrc + ndst); records
+        // past the first hold the delta 4 in their PC field.
+        assert_eq!(u64::from_le_bytes(block[11..19].try_into().unwrap()), 4);
+        assert_eq!(u64::from_le_bytes(block[22..30].try_into().unwrap()), 4);
+    }
+
+    #[test]
+    fn champsim_filter_round_trips() {
+        let mut block = Vec::new();
+        for i in 0..32u64 {
+            let mut rec = [0u8; RECORD_BYTES];
+            rec[..8].copy_from_slice(&(0x1000 + 4 * i).to_le_bytes());
+            rec[8] = (i % 3) as u8;
+            block.extend_from_slice(&rec);
+        }
+        let original = block.clone();
+        Filter::Champsim.apply(&mut block).unwrap();
+        assert_ne!(block, original);
+        // Constant stride: every later record's ip field is the delta 4.
+        assert_eq!(
+            u64::from_le_bytes(block[RECORD_BYTES..RECORD_BYTES + 8].try_into().unwrap()),
+            4
+        );
+        Filter::Champsim.invert(&mut block).unwrap();
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn champsim_filter_rejects_partial_records() {
+        let mut block = vec![0u8; RECORD_BYTES + 1];
+        assert_eq!(Filter::Champsim.apply(&mut block), Err(FilterCorrupt));
+    }
+
+    #[test]
+    fn cvp_filter_rejects_malformed_streams() {
+        // Truncations of a valid block must never panic.
+        let block = cvp_block();
+        for cut in 1..block.len() {
+            let mut partial = block[..cut].to_vec();
+            let _ = Filter::Cvp.invert(&mut partial);
+        }
+        // Bogus class byte.
+        let mut bad = block.clone();
+        bad[8] = 42;
+        assert_eq!(Filter::Cvp.invert(&mut bad), Err(FilterCorrupt));
+        // Oversized source count.
+        let mut bad = vec![0u8; 8]; // pc
+        bad.push(CvpClass::Alu as u8);
+        bad.push(MAX_SRCS as u8 + 1);
+        assert_eq!(Filter::Cvp.invert(&mut bad), Err(FilterCorrupt));
+    }
+
+    #[test]
+    fn filter_ids_round_trip() {
+        for f in [Filter::None, Filter::Cvp, Filter::Champsim] {
+            assert_eq!(Filter::from_u8(f as u8), Some(f));
+        }
+        assert_eq!(Filter::from_u8(9), None);
+    }
+
+    #[test]
+    fn empty_block_is_fine_for_all_filters() {
+        for f in [Filter::None, Filter::Cvp, Filter::Champsim] {
+            let mut empty: Vec<u8> = Vec::new();
+            f.apply(&mut empty).unwrap();
+            f.invert(&mut empty).unwrap();
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Path-dispatch helpers: open a trace as plain or block-compressed
+//! based on its file extension.
+//!
+//! The command-line tools accept both flat record files and `.cvpz` /
+//! `.champsimz` stores on every trace argument; these enums give them
+//! one reader/writer type per stream kind, chosen by
+//! [`is_store_path`]. Readers iterate identically in both modes;
+//! writers report [`StoreStats`] from [`finish`](CvpTraceWriter::finish)
+//! when the store path was taken.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use champsim_trace::{ChampsimReader, ChampsimRecord, ChampsimTraceError, ChampsimWriter};
+use cvp_trace::{CvpInstruction, CvpReader, CvpWriter, TraceError};
+
+use crate::block::StoreStats;
+use crate::champsimz::{ChampsimzReader, ChampsimzWriter};
+use crate::cvpz::{map_store, CvpzReader, CvpzWriter};
+use crate::error::StoreError;
+
+/// File extension marking a block-compressed CVP-1 store.
+pub const CVPZ_EXT: &str = "cvpz";
+/// File extension marking a block-compressed ChampSim store.
+pub const CHAMPSIMZ_EXT: &str = "champsimz";
+
+/// Whether `path` names a block-compressed store (by extension).
+pub fn is_store_path(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some(e) if e.eq_ignore_ascii_case(CVPZ_EXT) || e.eq_ignore_ascii_case(CHAMPSIMZ_EXT)
+    )
+}
+
+fn champsim_store(e: StoreError) -> ChampsimTraceError {
+    match e {
+        StoreError::Io(io) => ChampsimTraceError::Io(io),
+        other => match other.block() {
+            Some(block) => ChampsimTraceError::CorruptedBlock { block },
+            None => ChampsimTraceError::Io(other.into()),
+        },
+    }
+}
+
+/// A CVP-1 trace file opened for reading, plain or compressed.
+#[derive(Debug)]
+pub enum CvpTraceReader {
+    /// Flat `.cvp` record stream.
+    Plain(CvpReader<BufReader<File>>),
+    /// Block-compressed `.cvpz` store.
+    Store(CvpzReader<File>),
+}
+
+impl CvpTraceReader {
+    /// Opens `path`, choosing the decoder from its extension.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the file; store header errors (as
+    /// [`TraceError::Io`]) if a `.cvpz` file is not a valid store.
+    pub fn open(path: &Path) -> Result<CvpTraceReader, TraceError> {
+        let file = File::open(path)?;
+        if is_store_path(path) {
+            Ok(CvpTraceReader::Store(CvpzReader::new(file).map_err(map_store)?))
+        } else {
+            Ok(CvpTraceReader::Plain(CvpReader::new(BufReader::new(file))))
+        }
+    }
+
+    /// Decodes the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// The underlying decoder's errors; store corruption surfaces as
+    /// [`TraceError::CorruptedBlock`].
+    pub fn read(&mut self) -> Result<Option<CvpInstruction>, TraceError> {
+        match self {
+            CvpTraceReader::Plain(r) => r.read(),
+            CvpTraceReader::Store(r) => r.read(),
+        }
+    }
+}
+
+impl Iterator for CvpTraceReader {
+    type Item = Result<CvpInstruction, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read().transpose()
+    }
+}
+
+/// A CVP-1 trace file opened for writing, plain or compressed.
+#[derive(Debug)]
+pub enum CvpTraceWriter {
+    /// Flat `.cvp` record stream.
+    Plain(CvpWriter<BufWriter<File>>),
+    /// Block-compressed `.cvpz` store.
+    Store(CvpzWriter<File>),
+}
+
+impl CvpTraceWriter {
+    /// Creates `path`, choosing the encoder from its extension.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file or writing the store header.
+    pub fn create(path: &Path) -> Result<CvpTraceWriter, TraceError> {
+        let file = File::create(path)?;
+        if is_store_path(path) {
+            Ok(CvpTraceWriter::Store(CvpzWriter::new(file).map_err(map_store)?))
+        } else {
+            Ok(CvpTraceWriter::Plain(CvpWriter::new(BufWriter::new(file))))
+        }
+    }
+
+    /// Encodes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the file.
+    pub fn write(&mut self, insn: &CvpInstruction) -> Result<(), TraceError> {
+        match self {
+            CvpTraceWriter::Plain(w) => w.write(insn),
+            CvpTraceWriter::Store(w) => w.write(insn).map_err(map_store),
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        match self {
+            CvpTraceWriter::Plain(w) => w.records_written(),
+            CvpTraceWriter::Store(w) => w.records_written(),
+        }
+    }
+
+    /// Flushes (and, for stores, finalizes) the file. Returns the
+    /// store's volume counters when the compressed path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the file.
+    pub fn finish(self) -> Result<Option<StoreStats>, TraceError> {
+        match self {
+            CvpTraceWriter::Plain(mut w) => {
+                w.flush()?;
+                Ok(None)
+            }
+            CvpTraceWriter::Store(w) => {
+                let (_, stats) = w.finish().map_err(map_store)?;
+                Ok(Some(stats))
+            }
+        }
+    }
+}
+
+/// A ChampSim trace file opened for reading, plain or compressed.
+#[derive(Debug)]
+pub enum ChampsimTraceReader {
+    /// Flat 64-byte record stream.
+    Plain(ChampsimReader<BufReader<File>>),
+    /// Block-compressed `.champsimz` store.
+    Store(ChampsimzReader<File>),
+}
+
+impl ChampsimTraceReader {
+    /// Opens `path`, choosing the decoder from its extension.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the file; store header errors (as
+    /// [`ChampsimTraceError::Io`]) if a `.champsimz` file is not a
+    /// valid store.
+    pub fn open(path: &Path) -> Result<ChampsimTraceReader, ChampsimTraceError> {
+        let file = File::open(path)?;
+        if is_store_path(path) {
+            Ok(ChampsimTraceReader::Store(ChampsimzReader::new(file).map_err(champsim_store)?))
+        } else {
+            Ok(ChampsimTraceReader::Plain(ChampsimReader::new(BufReader::new(file))))
+        }
+    }
+
+    /// Decodes the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// The underlying decoder's errors; store corruption surfaces as
+    /// [`ChampsimTraceError::CorruptedBlock`].
+    pub fn read(&mut self) -> Result<Option<ChampsimRecord>, ChampsimTraceError> {
+        match self {
+            ChampsimTraceReader::Plain(r) => r.read(),
+            ChampsimTraceReader::Store(r) => r.read(),
+        }
+    }
+}
+
+impl Iterator for ChampsimTraceReader {
+    type Item = Result<ChampsimRecord, ChampsimTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read().transpose()
+    }
+}
+
+/// A ChampSim trace file opened for writing, plain or compressed.
+#[derive(Debug)]
+pub enum ChampsimTraceWriter {
+    /// Flat 64-byte record stream.
+    Plain(ChampsimWriter<BufWriter<File>>),
+    /// Block-compressed `.champsimz` store.
+    Store(ChampsimzWriter<File>),
+}
+
+impl ChampsimTraceWriter {
+    /// Creates `path`, choosing the encoder from its extension.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file or writing the store header.
+    pub fn create(path: &Path) -> Result<ChampsimTraceWriter, ChampsimTraceError> {
+        let file = File::create(path)?;
+        if is_store_path(path) {
+            Ok(ChampsimTraceWriter::Store(ChampsimzWriter::new(file).map_err(champsim_store)?))
+        } else {
+            Ok(ChampsimTraceWriter::Plain(ChampsimWriter::new(BufWriter::new(file))))
+        }
+    }
+
+    /// Encodes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the file.
+    pub fn write(&mut self, rec: &ChampsimRecord) -> Result<(), ChampsimTraceError> {
+        match self {
+            ChampsimTraceWriter::Plain(w) => w.write(rec),
+            ChampsimTraceWriter::Store(w) => w.write(rec).map_err(champsim_store),
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        match self {
+            ChampsimTraceWriter::Plain(w) => w.records_written(),
+            ChampsimTraceWriter::Store(w) => w.records_written(),
+        }
+    }
+
+    /// Flushes (and, for stores, finalizes) the file. Returns the
+    /// store's volume counters when the compressed path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the file.
+    pub fn finish(self) -> Result<Option<StoreStats>, ChampsimTraceError> {
+        match self {
+            ChampsimTraceWriter::Plain(mut w) => {
+                w.flush()?;
+                Ok(None)
+            }
+            ChampsimTraceWriter::Store(w) => {
+                let (_, stats) = w.finish().map_err(champsim_store)?;
+                Ok(Some(stats))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_paths_are_detected_by_extension() {
+        assert!(is_store_path(Path::new("a/b/trace.cvpz")));
+        assert!(is_store_path(Path::new("trace.CVPZ")));
+        assert!(is_store_path(Path::new("t.champsimz")));
+        assert!(!is_store_path(Path::new("trace.cvp")));
+        assert!(!is_store_path(Path::new("trace.champsimtrace")));
+        assert!(!is_store_path(Path::new("cvpz")));
+    }
+
+    #[test]
+    fn cvp_round_trip_through_files_in_both_modes() {
+        let dir = std::env::temp_dir().join(format!("trace-store-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let insns: Vec<CvpInstruction> = (0..200u64)
+            .map(|i| CvpInstruction::alu(0x1000 + 4 * i).with_destination(1, i))
+            .collect();
+        for name in ["t.cvp", "t.cvpz"] {
+            let path = dir.join(name);
+            let mut w = CvpTraceWriter::create(&path).unwrap();
+            for i in &insns {
+                w.write(i).unwrap();
+            }
+            assert_eq!(w.records_written(), insns.len() as u64);
+            let stats = w.finish().unwrap();
+            assert_eq!(stats.is_some(), name.ends_with("cvpz"));
+            let back: Vec<CvpInstruction> =
+                CvpTraceReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+            assert_eq!(back, insns, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn champsim_round_trip_through_files_in_both_modes() {
+        let dir = std::env::temp_dir().join(format!("trace-store-openc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let recs: Vec<ChampsimRecord> =
+            (0..200u64).map(|i| ChampsimRecord::new(0x1000 + 4 * i)).collect();
+        for name in ["t.champsimtrace", "t.champsimz"] {
+            let path = dir.join(name);
+            let mut w = ChampsimTraceWriter::create(&path).unwrap();
+            for r in &recs {
+                w.write(r).unwrap();
+            }
+            let stats = w.finish().unwrap();
+            assert_eq!(stats.is_some(), name.ends_with("champsimz"));
+            let back: Vec<ChampsimRecord> =
+                ChampsimTraceReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+            assert_eq!(back, recs, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

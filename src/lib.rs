@@ -17,7 +17,9 @@
 //! * [`workloads`] — synthetic CVP-1 trace suites,
 //! * [`experiments`] — the harness regenerating every figure and table,
 //! * [`telemetry`] — the unified metrics registry behind `--metrics`
-//!   (see `METRICS.md` for the full metric reference).
+//!   (see `METRICS.md` for the full metric reference),
+//! * [`store`] — the block-compressed on-disk trace store behind
+//!   `.cvpz`/`.champsimz` files and the cache's spill-to-disk mode.
 //!
 //! # Data flow
 //!
@@ -62,4 +64,5 @@ pub use iprefetch;
 pub use memsys;
 pub use sim;
 pub use telemetry;
+pub use trace_store as store;
 pub use workloads;
