@@ -82,13 +82,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing trace path")?;
-    let reader = ChampsimTraceReader::open(Path::new(&trace_path))?;
+    let reader = ChampsimTraceReader::open(Path::new(&trace_path))
+        .map_err(|e| format!("{trace_path}: {e}"))?;
     let mut records = Vec::new();
     for rec in reader {
-        records.push(rec?);
+        records.push(rec.map_err(|e| format!("{trace_path}: {e}"))?);
         if records.len() >= max_records {
             break;
         }
+    }
+    if records.is_empty() {
+        return Err(format!("{trace_path}: trace contains no records").into());
     }
 
     let mut options = RunOptions::default().with_warmup(warmup);
@@ -102,11 +106,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let report = Simulator::new(core).run_with_options(&records, options);
     println!("{report}");
     if let Some(path) = metrics_path {
-        let mut registry = telemetry::Registry::new();
-        registry.label("tool", "champsim-run");
-        registry.label("core", core_name);
-        registry.label("trace", &trace_path);
-        report.export(&mut registry);
+        let registry = cli::champsim_run_registry(&report, core_name, &trace_path);
         cli::write_metrics(&path, &registry)?;
     }
     Ok(())

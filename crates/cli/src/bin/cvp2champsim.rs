@@ -64,7 +64,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing -t <trace.cvp>")?;
-    let mut reader = CvpTraceReader::open(Path::new(&trace_path))?;
+    let mut reader =
+        CvpTraceReader::open(Path::new(&trace_path)).map_err(|e| format!("{trace_path}: {e}"))?;
 
     // `-o` dispatches on extension (`.champsimz` = compressed store);
     // standard output is always a flat record stream.
@@ -73,7 +74,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Stdout(ChampsimWriter<BufWriter<io::Stdout>>),
     }
     let mut sink = match &out_path {
-        Some(p) => Sink::File(ChampsimTraceWriter::create(Path::new(p))?),
+        Some(p) => {
+            Sink::File(ChampsimTraceWriter::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?)
+        }
         None => Sink::Stdout(ChampsimWriter::new(BufWriter::new(io::stdout()))),
     };
     let mut write = |rec: &ChampsimRecord| -> Result<(), champsim_trace::ChampsimTraceError> {
@@ -84,10 +87,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut converter = Converter::new(improvements);
 
-    while let Some(insn) = reader.read()? {
+    let mut instructions = 0u64;
+    while let Some(insn) = reader.read().map_err(|e| format!("{trace_path}: {e}"))? {
+        instructions += 1;
         for rec in converter.convert(&insn) {
             write(&rec)?;
         }
+    }
+    if instructions == 0 {
+        return Err(format!("{trace_path}: trace contains no instructions").into());
     }
     let store_stats: Option<StoreStats> = match sink {
         Sink::File(w) => w.finish()?,

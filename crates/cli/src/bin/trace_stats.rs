@@ -52,12 +52,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing trace path")?;
-    let mut reader = CvpTraceReader::open(Path::new(&trace_path))?;
+    let mut reader =
+        CvpTraceReader::open(Path::new(&trace_path)).map_err(|e| format!("{trace_path}: {e}"))?;
     let mut stats = CvpTraceStats::new();
     let mut converter = Converter::new(improvements);
-    while let Some(insn) = reader.read()? {
+    let mut instructions = 0u64;
+    while let Some(insn) = reader.read().map_err(|e| format!("{trace_path}: {e}"))? {
+        instructions += 1;
         stats.record(&insn);
         converter.convert(&insn);
+    }
+    if instructions == 0 {
+        return Err(format!("{trace_path}: trace contains no instructions").into());
     }
     println!("instruction mix:\n{stats}\n");
     println!("conversion ({}):\n{}", improvements, converter.stats());

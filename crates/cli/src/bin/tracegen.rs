@@ -99,13 +99,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     .with_length(length);
 
+    if length == 0 {
+        return Err("--length must be positive".into());
+    }
     let out = out.ok_or("missing -o <out.cvp>")?;
-    let mut writer = CvpTraceWriter::create(Path::new(&out))?;
+    let mut writer = CvpTraceWriter::create(Path::new(&out)).map_err(|e| format!("{out}: {e}"))?;
     for insn in spec.generate() {
-        writer.write(&insn)?;
+        writer.write(&insn).map_err(|e| format!("{out}: {e}"))?;
     }
     let records = writer.records_written();
-    let store_stats = writer.finish()?;
+    let store_stats = writer.finish().map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {records} instructions to {out}");
     if let Some(stats) = &store_stats {
         eprintln!("{}", cli::store_summary(stats));

@@ -60,6 +60,21 @@ pub fn store_summary(stats: &StoreStats) -> String {
     )
 }
 
+/// Builds the deterministic `champsim-run --metrics` document for one
+/// simulation: the tool/core/trace labels followed by the report's
+/// `sim.*`/`memsys.*`/`bpred.*` export. The `champsim-run` binary and
+/// `sim-server` both build their documents through this function, which
+/// is what makes a server-fetched result for a trace job byte-identical
+/// to a local `champsim-run --metrics` of the same configuration.
+pub fn champsim_run_registry(report: &sim::SimReport, core_name: &str, trace: &str) -> Registry {
+    let mut registry = Registry::new();
+    registry.label("tool", "champsim-run");
+    registry.label("core", core_name);
+    registry.label("trace", trace);
+    report.export(&mut registry);
+    registry
+}
+
 /// Writes the registry's JSON document to `path` and prints a
 /// confirmation to standard error (the binaries' `--metrics` epilogue).
 pub fn write_metrics(path: &str, registry: &Registry) -> std::io::Result<()> {

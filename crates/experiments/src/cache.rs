@@ -397,6 +397,30 @@ impl ArtifactCache {
         value
     }
 
+    /// Fetches the CVP instruction stream for `spec` with an **open-ended
+    /// budget**: the entry stays cached for future fetches instead of
+    /// being evicted after a declared number of uses. A serving workload
+    /// cannot declare its fetch count up front — jobs arrive over the
+    /// process lifetime — so memory is bounded by the spill byte budget
+    /// (idle entries compress out under pressure) rather than by use
+    /// counts. Do not mix shared and budgeted fetches of one key: the
+    /// first fetch fixes the entry's budget.
+    pub fn trace_shared(&self, spec: &TraceSpec, length: usize) -> Arc<[CvpInstruction]> {
+        self.trace(spec, length, u64::MAX)
+    }
+
+    /// Fetches the converted record buffer for `spec` with an open-ended
+    /// budget; the shared-fetch twin of [`ArtifactCache::converted`]
+    /// (see [`ArtifactCache::trace_shared`] for the eviction contract).
+    pub fn converted_shared(
+        &self,
+        spec: &TraceSpec,
+        length: usize,
+        improvements: ImprovementSet,
+    ) -> ConvertedTrace {
+        self.converted(spec, length, improvements, u64::MAX, u64::MAX)
+    }
+
     /// Adds simulation CPU time to the phase accounting.
     pub fn add_simulate_ns(&self, ns: u64) {
         self.simulate_ns.fetch_add(ns, Ordering::Relaxed);
@@ -874,6 +898,57 @@ mod tests {
         assert_eq!(c.trace_misses, specs.len() as u64, "each spec generated once");
         assert_eq!(cache.live_traces(), 0);
         assert_eq!(spill_files(&dir), 0);
+        drop(cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_fetches_stay_cached_across_requests() {
+        let cache = ArtifactCache::with_spill(None);
+        let s = spec(30);
+        let first = cache.trace_shared(&s, 2_000);
+        for _ in 0..5 {
+            let again = cache.trace_shared(&s, 2_000);
+            assert!(Arc::ptr_eq(&first, &again), "every request shares one buffer");
+        }
+        let c = cache.counters();
+        assert_eq!(c.trace_misses, 1, "generated once for the whole sequence");
+        assert_eq!(c.trace_hits, 5);
+        assert_eq!(cache.live_traces(), 1, "open-ended budget keeps the entry live");
+    }
+
+    #[test]
+    fn shared_conversions_reuse_trace_and_records() {
+        let cache = ArtifactCache::with_spill(None);
+        let s = spec(31);
+        let a = cache.converted_shared(&s, 2_000, ImprovementSet::all());
+        let b = cache.converted_shared(&s, 2_000, ImprovementSet::all());
+        let other = cache.converted_shared(&s, 2_000, ImprovementSet::none());
+        assert!(Arc::ptr_eq(&a.records, &b.records));
+        let c = cache.counters();
+        assert_eq!(c.trace_misses, 1, "both improvement sets convert one generation");
+        assert_eq!(c.convert_misses, 2);
+        assert_eq!(c.convert_hits, 1);
+        assert_eq!(other.stats.input_instructions, 2_000);
+        assert_eq!(cache.live_conversions(), 2);
+    }
+
+    #[test]
+    fn idle_shared_entries_spill_and_reload() {
+        let config = temp_spill("shared", 0);
+        let dir = config.dir.clone();
+        let cache = ArtifactCache::with_spill(Some(config));
+        let (sa, sb) = (spec(32), spec(33));
+        let a: Vec<CvpInstruction> = cache.trace_shared(&sa, 2_000).to_vec();
+        // The next key's budget pass finds the first entry idle and
+        // spills it despite its open-ended budget.
+        cache.trace_shared(&sb, 2_000);
+        assert!(spill_files(&dir) > 0, "shared entries still honor the byte budget");
+        let back = cache.trace_shared(&sa, 2_000);
+        assert_eq!(a, back[..].to_vec(), "disk reload returns identical instructions");
+        let c = cache.counters();
+        assert_eq!(c.trace_misses, 2, "the reload is not a recompute");
+        assert!(c.disk_hits >= 1);
         drop(cache);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,279 @@
+//! Load generator for the job service: throughput, latency tails,
+//! backpressure, and drain timing.
+//!
+//! ```text
+//! server_bench [--scale smoke|test|paper] [--out <path>]
+//!              [--check <baseline.json>] [--tolerance <pct>]
+//! ```
+//!
+//! Phase 1 (throughput): starts an in-process server, then a closed
+//! loop of client connections each submitting, polling, and fetching
+//! workload jobs over the same spec (the artifact cache makes this a
+//! pure simulate-throughput measurement after the first job). Reports
+//! jobs/s and p50/p99 end-to-end latency.
+//!
+//! Phase 2 (overload): a depth-1, single-worker server is flooded with
+//! submissions; the measured `429` rejection rate demonstrates the
+//! bounded queue, and the timed graceful shutdown demonstrates the
+//! drain. Results land in `BENCH_server.json` (`--out` to redirect).
+//!
+//! `--check <baseline>` compares against a committed `BENCH_server.json`
+//! and fails (exit 1) when `jobs_per_sec` regresses more than
+//! `--tolerance` percent (default 30) below the baseline — the CI
+//! perf-smoke gate. Latency tails are reported but not gated; they are
+//! too host-sensitive for CI.
+
+use std::time::{Duration, Instant};
+
+use sim_server::{Connection, Server, ServerConfig};
+
+struct Scale {
+    name: &'static str,
+    /// Workload length per job.
+    length: u64,
+    /// Closed-loop client connections.
+    clients: usize,
+    /// Jobs per client.
+    jobs_per_client: usize,
+    /// Worker threads for the throughput phase.
+    workers: usize,
+    /// Submissions fired at the depth-1 overload server.
+    overload_jobs: usize,
+}
+
+const SCALES: [Scale; 3] = [
+    Scale {
+        name: "smoke",
+        length: 2_000,
+        clients: 2,
+        jobs_per_client: 4,
+        workers: 2,
+        overload_jobs: 8,
+    },
+    Scale {
+        name: "test",
+        length: 5_000,
+        clients: 3,
+        jobs_per_client: 8,
+        workers: 2,
+        overload_jobs: 12,
+    },
+    Scale {
+        name: "paper",
+        length: 20_000,
+        clients: 4,
+        jobs_per_client: 16,
+        workers: 4,
+        overload_jobs: 16,
+    },
+];
+
+fn main() {
+    let mut scale = &SCALES[2];
+    let mut out_path = "BENCH_server.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 30.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = args.next().unwrap_or_else(|| fail("--scale needs a value"));
+                scale = SCALES.iter().find(|s| s.name == name).unwrap_or_else(|| {
+                    fail(&format!("--scale must be smoke|test|paper, got {name:?}"))
+                });
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out needs a path")),
+            "--check" => {
+                baseline_path = Some(args.next().unwrap_or_else(|| fail("--check needs a path")));
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t > 0.0 && *t < 100.0)
+                    .unwrap_or_else(|| fail("--tolerance needs a percentage in (0, 100)"));
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let job_body = format!(
+        "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": 7, \"length\": {}}}, \
+         \"improvements\": \"All_imps\"}}",
+        scale.length
+    );
+
+    // ---- Phase 1: closed-loop throughput and latency ----
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_depth: scale.clients * 2,
+        workers: scale.workers,
+        job_timeout: Duration::from_secs(120),
+    })
+    .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));
+    let addr = server.local_addr().to_string();
+
+    // Warm the artifact cache so the measurement is job-service
+    // overhead + simulation, not one-time generation/conversion.
+    run_one(&addr, &job_body);
+
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..scale.clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = job_body.clone();
+            let jobs = scale.jobs_per_client;
+            std::thread::spawn(move || {
+                let mut conn =
+                    Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+                let mut latencies_ms = Vec::with_capacity(jobs);
+                for _ in 0..jobs {
+                    let start = Instant::now();
+                    conn.run(&body, Duration::from_secs(120))
+                        .unwrap_or_else(|e| fail(&format!("job failed: {e}")));
+                    latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for handle in handles {
+        latencies_ms.extend(handle.join().unwrap_or_else(|_| fail("client thread panicked")));
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    server.join();
+
+    let total_jobs = latencies_ms.len();
+    let jobs_per_sec = total_jobs as f64 / elapsed;
+    latencies_ms.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+    eprintln!(
+        "[server_bench] throughput: {total_jobs} jobs in {elapsed:.2}s = {jobs_per_sec:.2} jobs/s, \
+         p50 {p50:.1} ms, p99 {p99:.1} ms"
+    );
+
+    // ---- Phase 2: overload (bounded queue) and drain ----
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_depth: 1,
+        workers: 1,
+        job_timeout: Duration::from_secs(120),
+    })
+    .unwrap_or_else(|e| fail(&format!("cannot start overload server: {e}")));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let mut rejected = 0usize;
+    for _ in 0..scale.overload_jobs {
+        let response = conn
+            .send("POST", "/jobs", &job_body)
+            .unwrap_or_else(|e| fail(&format!("overload submit: {e}")));
+        match response.status {
+            202 => {}
+            429 => {
+                if response.header("retry-after").is_none() {
+                    fail("429 without Retry-After header");
+                }
+                rejected += 1;
+            }
+            other => fail(&format!("overload submit: unexpected HTTP {other}")),
+        }
+    }
+    let rejection_rate = rejected as f64 / scale.overload_jobs as f64;
+    let drain = Instant::now();
+    server.begin_shutdown(false);
+    server.join();
+    let drain_ms = drain.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[server_bench] overload: {rejected}/{} rejected ({:.0}%), drain {drain_ms:.0} ms",
+        scale.overload_jobs,
+        rejection_rate * 100.0
+    );
+    if rejected == 0 {
+        fail("overload produced no 429s — the queue is not applying backpressure");
+    }
+
+    let json =
+        to_json(scale, total_jobs, jobs_per_sec, p50, p99, rejected, rejection_rate, drain_ms);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[server_bench] wrote {out_path}"),
+        Err(e) => fail(&format!("could not write {out_path}: {e}")),
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("could not read baseline {path}: {e}")));
+        let Some(base) = json_f64_field(&baseline, "\"jobs_per_sec\":") else {
+            fail(&format!("baseline {path} has no jobs_per_sec"));
+        };
+        let floor = base * (1.0 - tolerance_pct / 100.0);
+        if jobs_per_sec < floor {
+            eprintln!(
+                "error: throughput regression beyond {tolerance_pct}% tolerance: \
+                 {jobs_per_sec:.2} jobs/s vs baseline {base:.2} ({:+.1}%)",
+                (jobs_per_sec / base - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[server_bench] throughput within {tolerance_pct}% of baseline");
+    }
+}
+
+fn run_one(addr: &str, body: &str) {
+    let mut conn = Connection::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    conn.run(body, Duration::from_secs(120))
+        .unwrap_or_else(|e| fail(&format!("warm-up job failed: {e}")));
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    scale: &Scale,
+    total_jobs: usize,
+    jobs_per_sec: f64,
+    p50: f64,
+    p99: f64,
+    rejected: usize,
+    rejection_rate: f64,
+    drain_ms: f64,
+) -> String {
+    format!(
+        "{{\"scale\":\"{}\",\"workload_length\":{},\"clients\":{},\"jobs\":{},\
+         \"jobs_per_sec\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+         \"overload_submitted\":{},\"overload_rejected\":{},\"rejection_rate\":{:.3},\
+         \"drain_ms\":{:.3}}}\n",
+        scale.name,
+        scale.length,
+        scale.clients,
+        total_jobs,
+        jobs_per_sec,
+        p50,
+        p99,
+        scale.overload_jobs,
+        rejected,
+        rejection_rate,
+        drain_ms
+    )
+}
+
+/// Reads the number following `key` in `doc`.
+fn json_f64_field(doc: &str, key: &str) -> Option<f64> {
+    let rest = &doc[doc.find(key)? + key.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

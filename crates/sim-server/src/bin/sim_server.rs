@@ -1,0 +1,142 @@
+//! The simulation job server.
+//!
+//! ```text
+//! sim_server [--addr HOST:PORT] [--queue-depth N] [--workers N]
+//!            [--job-timeout SECONDS] [--addr-file <path>]
+//!            [--metrics <path>]
+//! ```
+//!
+//! Binds the address (`127.0.0.1:0` picks an ephemeral port; the bound
+//! address is printed and, with `--addr-file`, written to a file so
+//! scripts can discover it), serves the job API, and runs until SIGINT,
+//! SIGTERM, or `POST /shutdown`. The first signal drains gracefully —
+//! submissions get `503`, queued and running jobs finish; a second
+//! signal escalates to abort, cancelling the backlog and tripping every
+//! in-flight job's cancel token. `--metrics` writes the final `server.*`
+//! telemetry document after the drain.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use sim_server::{Server, ServerConfig};
+
+/// Signals received so far; bumped from the (async-signal-safe) handler.
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // SIGINT = 2, SIGTERM = 15 on every platform this builds for. The
+    // libc `signal` entry point is reached directly to keep the crate
+    // zero-dependency.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sim_server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig { addr: "127.0.0.1:4600".to_owned(), ..ServerConfig::default() };
+    let mut addr_file: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().ok_or("--addr needs host:port")?,
+            "--queue-depth" => {
+                config.queue_depth = args.next().ok_or("--queue-depth needs a count")?.parse()?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth must be positive".into());
+                }
+            }
+            "--workers" => {
+                config.workers = args.next().ok_or("--workers needs a count")?.parse()?;
+                if config.workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--job-timeout" => {
+                let seconds: u64 = args.next().ok_or("--job-timeout needs seconds")?.parse()?;
+                if seconds == 0 {
+                    return Err("--job-timeout must be positive".into());
+                }
+                config.job_timeout = Duration::from_secs(seconds);
+            }
+            "--addr-file" => addr_file = Some(args.next().ok_or("--addr-file needs a path")?),
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: sim_server [--addr HOST:PORT] [--queue-depth N] [--workers N] \
+                     [--job-timeout SECONDS] [--addr-file <path>] [--metrics <path>]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    install_signal_handlers();
+    let server =
+        Server::start(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = server.local_addr();
+    println!(
+        "sim_server: listening on {addr} (queue depth {}, {} workers)",
+        config.queue_depth,
+        config.workers.max(1)
+    );
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let handle = server.shutdown_handle();
+    // Escalation watcher: first signal drains, a second aborts.
+    let escalate = {
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            match SIGNALS.load(Ordering::SeqCst) {
+                0 => {}
+                1 => handle.begin_shutdown(false),
+                _ => {
+                    handle.begin_shutdown(true);
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
+
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sim_server: shutting down, draining in-flight jobs");
+    server.join();
+    drop(escalate); // detached; exits with the process
+
+    // The handle outlives the join, so the flushed document carries the
+    // final post-drain counts.
+    let doc = handle.metrics_json();
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("sim_server: wrote final metrics to {path}");
+    }
+    eprintln!("sim_server: drained and stopped");
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! A small blocking HTTP client for the job API, shared by
+//! `sim_client`, `server_bench`, and the integration tests.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_response, ClientResponse};
+use crate::json::Value;
+
+/// One keep-alive connection to a job server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` (e.g. `127.0.0.1:4600`).
+    pub fn connect(addr: &str) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Connection { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: sim-server\r\n");
+        if !body.is_empty() {
+            head.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    /// Submits a job body; returns the assigned job id.
+    pub fn submit(&mut self, body: &str) -> io::Result<u64> {
+        let response = self.send("POST", "/jobs", body)?;
+        if response.status != 202 {
+            return Err(api_error("submit", &response));
+        }
+        parse_id(&response)
+    }
+
+    /// Polls `GET /jobs/<id>` until the job reaches a terminal state or
+    /// `timeout` elapses; returns the final status string.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> io::Result<String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let response = self.send("GET", &format!("/jobs/{id}"), "")?;
+            if response.status != 200 {
+                return Err(api_error("poll", &response));
+            }
+            let status = Value::parse(&response.text())
+                .ok()
+                .and_then(|v| v.get("status").and_then(Value::as_str).map(str::to_owned))
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed status body: {}", response.text()),
+                    )
+                })?;
+            if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} still {status} after {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Fetches the result document of a finished job.
+    pub fn fetch(&mut self, id: u64) -> io::Result<String> {
+        let response = self.send("GET", &format!("/jobs/{id}/result"), "")?;
+        if response.status != 200 {
+            return Err(api_error("fetch", &response));
+        }
+        Ok(response.text())
+    }
+
+    /// Submit, wait, fetch — the whole round trip.
+    pub fn run(&mut self, body: &str, timeout: Duration) -> io::Result<String> {
+        let id = self.submit(body)?;
+        let status = self.wait(id, timeout)?;
+        if status != "done" {
+            let detail = self.send("GET", &format!("/jobs/{id}/result"), "")?;
+            return Err(io::Error::other(format!("job {id} {status}: {}", detail.text())));
+        }
+        self.fetch(id)
+    }
+}
+
+fn parse_id(response: &ClientResponse) -> io::Result<u64> {
+    Value::parse(&response.text())
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_u64))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response carried no job id"))
+}
+
+fn api_error(action: &str, response: &ClientResponse) -> io::Error {
+    io::Error::other(format!("{action} failed: HTTP {} {}", response.status, response.text()))
+}

@@ -1,0 +1,435 @@
+//! Job specifications: the request schema and its execution.
+//!
+//! A job body is one small JSON object:
+//!
+//! ```json
+//! {
+//!   "trace": "traces/server.champsimz",          // XOR "workload"
+//!   "workload": {"kind": "crypto", "seed": 7, "length": 20000},
+//!   "improvements": "All_imps",                  // cvp/workload jobs
+//!   "core": "iiswc",                             // or "ipc1"
+//!   "warmup": 0,
+//!   "epochs": 1000,                              // optional
+//!   "prefetcher": "next-line"                    // optional
+//! }
+//! ```
+//!
+//! `trace` dispatches on extension exactly like the CLI binaries:
+//! `.champsimtrace`/`.champsimz` run directly, `.cvp`/`.cvpz` convert
+//! first under `improvements`. A `workload` object is a [`TraceSpec`]
+//! (kind, seed, length, plus any of the generator knob fields) resolved
+//! through the shared artifact cache, so concurrent jobs over the same
+//! spec generate and convert it once.
+//!
+//! The result of a ChampSim-trace job is built by
+//! [`cli::champsim_run_registry`] — the same function the
+//! `champsim-run` binary uses — so the fetched document is
+//! byte-identical to a local `champsim-run --metrics` of the same
+//! configuration.
+
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+use champsim_trace::ChampsimRecord;
+use converter::{Converter, ImprovementSet};
+use cvp_trace::CvpInstruction;
+use experiments::cache::ArtifactCache;
+use sim::{CancelToken, CoreConfig, RunOptions, SimReport, Simulator};
+use trace_store::{ChampsimTraceReader, CvpTraceReader};
+use workloads::{TraceSpec, WorkloadKind};
+
+use crate::json::Value;
+
+/// Where a job's records come from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// An on-disk ChampSim trace (`.champsimtrace` / `.champsimz`).
+    ChampsimTrace(String),
+    /// An on-disk CVP-1 trace (`.cvp` / `.cvpz`), converted before
+    /// simulation.
+    CvpTrace(String),
+    /// A synthetic workload generated (and cached) on the server.
+    Workload(TraceSpec),
+}
+
+/// A validated job specification.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Record source.
+    pub source: JobSource,
+    /// Converter improvement set for CVP/workload sources.
+    pub improvements: ImprovementSet,
+    /// Core preset name (`iiswc` or `ipc1`).
+    pub core_name: String,
+    /// Warm-up records excluded from statistics.
+    pub warmup: u64,
+    /// Optional epoch sampling interval.
+    pub epochs: Option<u64>,
+    /// Optional instruction prefetcher name.
+    pub prefetcher: Option<String>,
+}
+
+/// Why a job did not produce a result document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Cancelled cooperatively (deadline or shutdown abort); partial
+    /// statistics were discarded.
+    Cancelled,
+    /// Failed with a diagnostic.
+    Failed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled => f.write_str("cancelled"),
+            JobError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a request body.
+    pub fn parse(body: &str) -> Result<JobSpec, String> {
+        let value = Value::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let source = match (value.get("trace"), value.get("workload")) {
+            (Some(_), Some(_)) => {
+                return Err("specify either \"trace\" or \"workload\", not both".to_owned())
+            }
+            (None, None) => return Err("missing \"trace\" or \"workload\"".to_owned()),
+            (Some(trace), None) => {
+                let path = trace.as_str().ok_or_else(|| "\"trace\" must be a string".to_owned())?;
+                match Path::new(path).extension().and_then(|e| e.to_str()) {
+                    Some(e)
+                        if e.eq_ignore_ascii_case("champsimtrace")
+                            || e.eq_ignore_ascii_case("champsimz") =>
+                    {
+                        JobSource::ChampsimTrace(path.to_owned())
+                    }
+                    Some(e) if e.eq_ignore_ascii_case("cvp") || e.eq_ignore_ascii_case("cvpz") => {
+                        JobSource::CvpTrace(path.to_owned())
+                    }
+                    _ => {
+                        return Err(format!(
+                            "unrecognized trace extension in {path:?} (want .cvp, .cvpz, \
+                             .champsimtrace or .champsimz)"
+                        ))
+                    }
+                }
+            }
+            (None, Some(workload)) => JobSource::Workload(parse_workload(workload)?),
+        };
+        let improvements = match value.get("improvements") {
+            None => ImprovementSet::none(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| "\"improvements\" must be a string".to_owned())?
+                .parse()
+                .map_err(|e| format!("invalid improvements: {e}"))?,
+        };
+        let core_name = match value.get("core") {
+            None => "iiswc".to_owned(),
+            Some(v) => match v.as_str() {
+                Some(name @ ("iiswc" | "ipc1")) => name.to_owned(),
+                _ => return Err("\"core\" must be \"iiswc\" or \"ipc1\"".to_owned()),
+            },
+        };
+        let warmup = match value.get("warmup") {
+            None => 0,
+            Some(v) => {
+                v.as_u64().ok_or_else(|| "\"warmup\" must be a non-negative integer".to_owned())?
+            }
+        };
+        let epochs = match value.get("epochs") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) if n > 0 => Some(n),
+                _ => return Err("\"epochs\" must be a positive integer".to_owned()),
+            },
+        };
+        let prefetcher = match value.get("prefetcher") {
+            None => None,
+            Some(v) => {
+                let name =
+                    v.as_str().ok_or_else(|| "\"prefetcher\" must be a string".to_owned())?;
+                if iprefetch::by_name(name).is_none() {
+                    return Err(format!("unknown prefetcher {name:?}"));
+                }
+                Some(name.to_owned())
+            }
+        };
+        Ok(JobSpec { source, improvements, core_name, warmup, epochs, prefetcher })
+    }
+
+    /// Runs the job, returning the result metrics document.
+    ///
+    /// Cancellation (the token tripping mid-run) discards the partial
+    /// statistics and reports [`JobError::Cancelled`].
+    pub fn execute(&self, cache: &ArtifactCache, token: &CancelToken) -> Result<String, JobError> {
+        if token.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        let core = self.core();
+        let mut options = RunOptions::default().with_warmup(self.warmup).with_cancel(token.clone());
+        if let Some(n) = self.epochs {
+            options = options.with_epochs(n);
+        }
+        if let Some(name) = &self.prefetcher {
+            let pf = iprefetch::by_name(name)
+                .ok_or_else(|| JobError::Failed(format!("unknown prefetcher {name:?}")))?;
+            options = options.with_prefetcher(pf);
+        }
+
+        match &self.source {
+            JobSource::ChampsimTrace(path) => {
+                let records = read_champsim(path)?;
+                let report = run(cache, &core, &records, options, token)?;
+                // The byte-identity anchor: same exporter as champsim-run.
+                Ok(cli::champsim_run_registry(&report, &self.core_name, path).to_json())
+            }
+            JobSource::CvpTrace(path) => {
+                let cvp = read_cvp(path)?;
+                if token.is_cancelled() {
+                    return Err(JobError::Cancelled);
+                }
+                let records = Converter::new(self.improvements).convert_all(cvp.iter());
+                let report = run(cache, &core, &records, options, token)?;
+                let mut registry = self.server_labels(&[("trace", path)]);
+                report.export(&mut registry);
+                Ok(registry.to_json())
+            }
+            JobSource::Workload(spec) => {
+                let converted = cache.converted_shared(spec, spec.length(), self.improvements);
+                let report = run(cache, &core, &converted.records, options, token)?;
+                let mut registry = self.server_labels(&[
+                    ("workload", spec.name()),
+                    ("kind", &spec.kind().to_string()),
+                    ("seed", &spec.seed().to_string()),
+                    ("length", &spec.length().to_string()),
+                ]);
+                report.export(&mut registry);
+                Ok(registry.to_json())
+            }
+        }
+    }
+
+    /// The resolved core configuration.
+    pub fn core(&self) -> CoreConfig {
+        match self.core_name.as_str() {
+            "ipc1" => CoreConfig::ipc1(),
+            _ => CoreConfig::iiswc_main(),
+        }
+    }
+
+    fn server_labels(&self, extra: &[(&str, &str)]) -> telemetry::Registry {
+        let mut registry = telemetry::Registry::new();
+        registry.label("tool", "sim-server");
+        registry.label("core", &self.core_name);
+        registry.label("improvements", &self.improvements.to_string());
+        for (key, value) in extra {
+            registry.label(key, value);
+        }
+        registry
+    }
+}
+
+fn run(
+    cache: &ArtifactCache,
+    core: &CoreConfig,
+    records: &[ChampsimRecord],
+    options: RunOptions,
+    token: &CancelToken,
+) -> Result<SimReport, JobError> {
+    if token.is_cancelled() {
+        return Err(JobError::Cancelled);
+    }
+    let start = Instant::now();
+    let report = Simulator::run_on(core, records, options);
+    cache.add_simulate_ns(start.elapsed().as_nanos() as u64);
+    if token.is_cancelled() {
+        return Err(JobError::Cancelled);
+    }
+    Ok(report)
+}
+
+fn read_champsim(path: &str) -> Result<Vec<ChampsimRecord>, JobError> {
+    let diag = |e: champsim_trace::ChampsimTraceError| JobError::Failed(format!("{path}: {e}"));
+    let reader = ChampsimTraceReader::open(Path::new(path)).map_err(diag)?;
+    let records: Vec<ChampsimRecord> = reader.collect::<Result<_, _>>().map_err(diag)?;
+    if records.is_empty() {
+        return Err(JobError::Failed(format!("{path}: trace contains no records")));
+    }
+    Ok(records)
+}
+
+fn read_cvp(path: &str) -> Result<Vec<CvpInstruction>, JobError> {
+    let diag = |e: cvp_trace::TraceError| JobError::Failed(format!("{path}: {e}"));
+    let reader = CvpTraceReader::open(Path::new(path)).map_err(diag)?;
+    let insns: Vec<CvpInstruction> = reader.collect::<Result<_, _>>().map_err(diag)?;
+    if insns.is_empty() {
+        return Err(JobError::Failed(format!("{path}: trace contains no instructions")));
+    }
+    Ok(insns)
+}
+
+fn parse_workload(value: &Value) -> Result<TraceSpec, String> {
+    let kind = match value.get("kind").and_then(Value::as_str) {
+        Some("pointer-chase") => WorkloadKind::PointerChase,
+        Some("streaming") => WorkloadKind::Streaming,
+        Some("crypto") => WorkloadKind::Crypto,
+        Some("branchy-int") => WorkloadKind::BranchyInt,
+        Some("server") => WorkloadKind::Server,
+        Some("fp-kernel") => WorkloadKind::FpKernel,
+        Some(other) => return Err(format!("unknown workload kind {other:?}")),
+        None => return Err("workload needs a \"kind\" string".to_owned()),
+    };
+    let seed = match value.get("seed") {
+        None => 0,
+        Some(v) => {
+            v.as_u64().ok_or_else(|| "\"seed\" must be a non-negative integer".to_owned())?
+        }
+    };
+    let name = match value.get("name") {
+        None => format!("{kind}-{seed}"),
+        Some(v) => v.as_str().ok_or_else(|| "\"name\" must be a string".to_owned())?.to_owned(),
+    };
+    let mut spec = TraceSpec::new(name, kind, seed);
+    if let Some(v) = value.get("length") {
+        let n = v.as_u64().ok_or_else(|| "\"length\" must be a non-negative integer".to_owned())?;
+        if n == 0 {
+            return Err("\"length\" must be positive".to_owned());
+        }
+        spec = spec.with_length(n as usize);
+    }
+    // Generator knobs, all optional; unknown keys in the workload object
+    // are rejected so typos fail loudly instead of silently defaulting.
+    let fraction = |v: &Value, key: &str| -> Result<f64, String> {
+        v.as_f64()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .ok_or_else(|| format!("{key:?} must be a number in [0, 1]"))
+    };
+    if let Value::Object(members) = value {
+        for (key, v) in members {
+            match key.as_str() {
+                "kind" | "seed" | "name" | "length" => {}
+                "base_update_fraction" => spec.base_update_fraction = fraction(v, key)?,
+                "x30_call_fraction" => spec.x30_call_fraction = fraction(v, key)?,
+                "hard_branch_fraction" => spec.hard_branch_fraction = fraction(v, key)?,
+                "register_branch_fraction" => spec.register_branch_fraction = fraction(v, key)?,
+                "load_pair_fraction" => spec.load_pair_fraction = fraction(v, key)?,
+                "crossing_fraction" => spec.crossing_fraction = fraction(v, key)?,
+                "prefetch_load_fraction" => spec.prefetch_load_fraction = fraction(v, key)?,
+                "serial_chase_fraction" => spec.serial_chase_fraction = fraction(v, key)?,
+                "data_footprint_log2" => {
+                    spec.data_footprint_log2 = v.as_u64().filter(|&l| l <= 40).ok_or_else(|| {
+                        "\"data_footprint_log2\" must be an integer <= 40".to_owned()
+                    })? as u8;
+                }
+                "code_functions" => {
+                    let n = v.as_u64().filter(|&n| n > 0).ok_or_else(|| {
+                        "\"code_functions\" must be a positive integer".to_owned()
+                    })?;
+                    spec.code_functions = n as usize;
+                }
+                other => return Err(format!("unknown workload field {other:?}")),
+            }
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_workload_spec_with_knobs() {
+        let spec = JobSpec::parse(
+            r#"{"workload": {"kind": "branchy-int", "seed": 9, "length": 5000,
+                 "hard_branch_fraction": 0.2, "code_functions": 32},
+                "improvements": "All_imps", "core": "ipc1", "warmup": 100, "epochs": 500}"#,
+        )
+        .unwrap();
+        let JobSource::Workload(w) = &spec.source else { panic!("workload source") };
+        assert_eq!(w.kind(), WorkloadKind::BranchyInt);
+        assert_eq!(w.seed(), 9);
+        assert_eq!(w.length(), 5000);
+        assert_eq!(w.hard_branch_fraction, 0.2);
+        assert_eq!(w.code_functions, 32);
+        assert_eq!(spec.improvements, ImprovementSet::all());
+        assert_eq!(spec.core_name, "ipc1");
+        assert_eq!(spec.warmup, 100);
+        assert_eq!(spec.epochs, Some(500));
+    }
+
+    #[test]
+    fn parses_trace_paths_by_extension() {
+        let champ = JobSpec::parse(r#"{"trace": "t.champsimz"}"#).unwrap();
+        assert!(matches!(champ.source, JobSource::ChampsimTrace(_)));
+        let cvp = JobSpec::parse(r#"{"trace": "t.cvp"}"#).unwrap();
+        assert!(matches!(cvp.source, JobSource::CvpTrace(_)));
+        assert!(JobSpec::parse(r#"{"trace": "t.bin"}"#).unwrap_err().contains("extension"));
+    }
+
+    #[test]
+    fn rejects_invalid_specs_with_diagnostics() {
+        assert!(JobSpec::parse("not json").unwrap_err().contains("invalid JSON"));
+        assert!(JobSpec::parse("{}").unwrap_err().contains("missing"));
+        assert!(JobSpec::parse(r#"{"trace": "a.cvp", "workload": {"kind": "crypto"}}"#)
+            .unwrap_err()
+            .contains("not both"));
+        assert!(JobSpec::parse(r#"{"workload": {"kind": "quantum"}}"#)
+            .unwrap_err()
+            .contains("unknown workload kind"));
+        assert!(JobSpec::parse(r#"{"workload": {"kind": "crypto", "bogus": 1}}"#)
+            .unwrap_err()
+            .contains("unknown workload field"));
+        assert!(JobSpec::parse(r#"{"trace": "a.cvp", "core": "zen5"}"#)
+            .unwrap_err()
+            .contains("core"));
+        assert!(JobSpec::parse(r#"{"trace": "a.cvp", "epochs": 0}"#)
+            .unwrap_err()
+            .contains("epochs"));
+        assert!(JobSpec::parse(r#"{"trace": "a.cvp", "prefetcher": "psychic"}"#)
+            .unwrap_err()
+            .contains("unknown prefetcher"));
+        assert!(JobSpec::parse(r#"{"workload": {"kind": "crypto", "hard_branch_fraction": 1.5}}"#)
+            .unwrap_err()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn missing_trace_file_fails_with_path_in_diagnostic() {
+        let spec = JobSpec::parse(r#"{"trace": "does/not/exist.champsimz"}"#).unwrap();
+        let cache = ArtifactCache::with_spill(None);
+        let err = spec.execute(&cache, &CancelToken::new()).unwrap_err();
+        let JobError::Failed(msg) = err else { panic!("expected failure") };
+        assert!(msg.contains("does/not/exist.champsimz"), "{msg}");
+    }
+
+    #[test]
+    fn workload_job_executes_deterministically_through_the_cache() {
+        let spec = JobSpec::parse(
+            r#"{"workload": {"kind": "crypto", "seed": 3, "length": 4000},
+                "improvements": "All_imps"}"#,
+        )
+        .unwrap();
+        let cache = ArtifactCache::with_spill(None);
+        let a = spec.execute(&cache, &CancelToken::new()).unwrap();
+        let b = spec.execute(&cache, &CancelToken::new()).unwrap();
+        assert_eq!(a, b, "same spec, same document");
+        assert!(a.contains("\"tool\":\"sim-server\""));
+        assert!(a.contains("sim.ipc"));
+        assert_eq!(cache.counters().convert_misses, 1, "second run hit the cache");
+    }
+
+    #[test]
+    fn pre_cancelled_job_reports_cancelled() {
+        let spec = JobSpec::parse(r#"{"workload": {"kind": "crypto", "length": 2000}}"#).unwrap();
+        let cache = ArtifactCache::with_spill(None);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(spec.execute(&cache, &token), Err(JobError::Cancelled));
+    }
+}

@@ -1,0 +1,42 @@
+//! sim-server: a zero-dependency simulation job service.
+//!
+//! Turns the library pipeline (trace → convert → simulate → metrics)
+//! into a network service without adding a single external crate:
+//! hand-rolled HTTP/1.1 framing, a strict little JSON parser, a bounded
+//! queue with `429` backpressure, a fixed worker pool over the shared
+//! artifact cache, cooperative per-job deadlines, and two-grade
+//! shutdown (drain vs abort).
+//!
+//! ```text
+//!   sim_client / server_bench / curl
+//!         │  POST /jobs {"workload": …} | {"trace": "x.cvpz"}
+//!         ▼
+//!   ┌──────────────────────── sim_server ────────────────────────┐
+//!   │ accept loop ─▶ conn threads ─▶ BoundedQueue(depth N) ──▶   │
+//!   │     GET /jobs/<id>, /result,        │ full: 429 +     │    │
+//!   │     /healthz, /metrics              ▼ Retry-After     ▼    │
+//!   │                               job table          worker ×M │
+//!   │                            (status/result)   JobSpec::execute
+//!   │                                              ArtifactCache │
+//!   │                                              CancelToken ◀─┼─ --job-timeout
+//!   └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The correctness anchor: a ChampSim-trace job's result document is
+//! produced by [`cli::champsim_run_registry`] — the exact exporter the
+//! `champsim-run` binary uses — so fetching `/jobs/<id>/result` yields
+//! bytes identical to a local `champsim-run --metrics` of the same
+//! trace and configuration.
+
+pub mod client;
+pub mod http;
+pub mod jobspec;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use client::Connection;
+pub use jobspec::{JobError, JobSource, JobSpec};
+pub use queue::BoundedQueue;
+pub use server::{JobStatus, Server, ServerConfig, ShutdownHandle};

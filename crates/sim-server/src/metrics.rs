@@ -1,0 +1,125 @@
+//! Server-side operational telemetry.
+//!
+//! Counters are plain atomics so connection and worker threads can
+//! bump them without a lock; latency histograms sit behind a mutex
+//! (recording is a handful of nanoseconds, far off the hot path). The
+//! `/metrics` endpoint snapshots everything into a fresh
+//! [`telemetry::Registry`] on demand, emitting the `server.*`
+//! descriptors from the metric catalog.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use telemetry::{catalog, Log2Histogram, Registry};
+
+/// Aggregated lifetime metrics for one server instance.
+#[derive(Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    queue_ms: Mutex<Log2Histogram>,
+    run_ms: Mutex<Log2Histogram>,
+    total_ms: Mutex<Log2Histogram>,
+}
+
+impl ServerMetrics {
+    /// A job was admitted to the queue.
+    pub fn note_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was refused with `429` because the queue was full.
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job finished; `queued`/`ran` are its queue-wait and execution
+    /// times.
+    pub fn note_completed(&self, queued: Duration, ran: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(queued, ran);
+    }
+
+    /// A job failed with a diagnostic.
+    pub fn note_failed(&self, queued: Duration, ran: Duration) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(queued, ran);
+    }
+
+    /// A job was cancelled (deadline or shutdown abort).
+    pub fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs rejected with `429` so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    fn record_latency(&self, queued: Duration, ran: Duration) {
+        lock(&self.queue_ms).record(queued.as_millis() as u64);
+        lock(&self.run_ms).record(ran.as_millis() as u64);
+        lock(&self.total_ms).record((queued + ran).as_millis() as u64);
+    }
+
+    /// Snapshots everything into a registry; `queue_depth` is sampled
+    /// by the caller (the queue lives next to, not inside, the
+    /// metrics).
+    pub fn export(&self, queue_depth: usize) -> Registry {
+        let mut registry = Registry::new();
+        registry.label("tool", "sim-server");
+        registry.counter(&catalog::SERVER_JOBS_ACCEPTED, self.accepted.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_JOBS_REJECTED, self.rejected.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_JOBS_COMPLETED, self.completed.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_JOBS_FAILED, self.failed.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_JOBS_CANCELLED, self.cancelled.load(Ordering::Relaxed));
+        registry.gauge(&catalog::SERVER_QUEUE_DEPTH, queue_depth as f64);
+        registry.histogram(&catalog::SERVER_LATENCY_QUEUE, lock(&self.queue_ms).clone());
+        registry.histogram(&catalog::SERVER_LATENCY_RUN, lock(&self.run_ms).clone());
+        registry.histogram(&catalog::SERVER_LATENCY_TOTAL, lock(&self.total_ms).clone());
+        registry
+    }
+}
+
+fn lock(histogram: &Mutex<Log2Histogram>) -> std::sync::MutexGuard<'_, Log2Histogram> {
+    histogram.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_reflects_noted_events() {
+        let m = ServerMetrics::default();
+        m.note_accepted();
+        m.note_accepted();
+        m.note_rejected();
+        m.note_completed(Duration::from_millis(5), Duration::from_millis(40));
+        m.note_failed(Duration::from_millis(1), Duration::from_millis(2));
+        m.note_cancelled();
+        let registry = m.export(3);
+        assert_eq!(registry.counter_value("server.jobs.accepted"), 2);
+        assert_eq!(registry.counter_value("server.jobs.rejected"), 1);
+        assert_eq!(registry.counter_value("server.jobs.completed"), 1);
+        assert_eq!(registry.counter_value("server.jobs.failed"), 1);
+        assert_eq!(registry.counter_value("server.jobs.cancelled"), 1);
+        let doc = registry.to_json();
+        assert!(doc.contains("server.queue.depth"));
+        assert!(doc.contains("server.latency.total_ms"));
+    }
+}

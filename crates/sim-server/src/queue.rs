@@ -1,0 +1,182 @@
+//! A bounded MPMC job queue with non-blocking submission.
+//!
+//! Submission never blocks: a full queue returns the item to the
+//! caller, which is what turns into the `429 Too Many Requests`
+//! backpressure response. Workers block on [`BoundedQueue::pop`] until
+//! an item arrives or the queue is closed and drained — closing is the
+//! graceful-shutdown edge: producers are refused, consumers finish the
+//! backlog, then every `pop` returns `None` and the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity queue shared between connection threads (producers)
+/// and the worker pool (consumers).
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue `item` without blocking. Returns it back
+    /// when the queue is full or closed — the caller's backpressure
+    /// signal.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, queued items still
+    /// drain, blocked `pop`s wake up.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Closes the queue and removes everything still waiting in it
+    /// (shutdown-abort). The drained items are returned so the caller
+    /// can mark them cancelled.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut state = self.lock();
+        state.closed = true;
+        let drained = state.items.drain(..).collect();
+        drop(state);
+        self.available.notify_all();
+        drained
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_overflow_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third push overflows a depth-2 queue");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_drains_fifo_then_blocks_until_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None, "close wakes a blocked pop");
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.pop(), Some(1), "backlog still drains after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_and_drain_empties_the_backlog() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.close_and_drain(), vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        for i in 0..200u64 {
+            loop {
+                if q.try_push(i).is_ok() {
+                    pushed += 1;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap().len() as u64).sum();
+        assert_eq!(total, pushed);
+    }
+}

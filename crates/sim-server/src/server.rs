@@ -1,0 +1,530 @@
+//! The job service itself: listener, connection handling, worker pool,
+//! job table, and shutdown choreography.
+//!
+//! ```text
+//!                  connection threads                worker pool
+//!   TCP accept ──▶ parse request ──▶ BoundedQueue ──▶ pop job id
+//!   (nonblocking,     │   │ full        (depth N)        │
+//!    poll loop)       │   └──▶ 429 + Retry-After         ▼
+//!                     │                            JobSpec::execute
+//!      GET /jobs/<id>[/result], /healthz, /metrics  (shared cache,
+//!                     │                              cancel token)
+//!                     └──▶ job table lookup ◀────── record outcome
+//! ```
+//!
+//! Shutdown has two grades. *Graceful* (`begin_shutdown(false)`): new
+//! submissions get `503`, the queue closes, workers finish the backlog,
+//! polls and result fetches keep working throughout the drain. *Abort*
+//! (`begin_shutdown(true)`): the backlog is drained to `cancelled` and
+//! every in-flight token is tripped, so running simulations stop at
+//! their next cooperative check and report `cancelled`. In both grades
+//! [`Server::join`] returns only after the workers and the accept loop
+//! have exited.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use experiments::ArtifactCache;
+use sim::CancelToken;
+
+use crate::http::{read_request, Request, Response};
+use crate::jobspec::{JobError, JobSpec};
+use crate::json;
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+
+/// How often blocked reads and the accept loop re-check shutdown flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Bounded queue depth; submissions beyond it get `429`.
+    pub queue_depth: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Per-job deadline, measured from submission (queue wait counts).
+    pub job_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_depth: 64,
+            workers: 2,
+            job_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; the metrics document is available.
+    Done,
+    /// Failed; a diagnostic is available.
+    Failed,
+    /// Cancelled by deadline or shutdown abort.
+    Cancelled,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled)
+    }
+}
+
+struct JobState {
+    status: JobStatus,
+    result: Option<String>,
+    error: Option<String>,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+struct Job {
+    spec: JobSpec,
+    token: CancelToken,
+    submitted: Instant,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    fn lock(&self) -> MutexGuard<'_, JobState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<u64>,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    metrics: ServerMetrics,
+    cache: ArtifactCache,
+    /// Submissions refused (`503`); polls and fetches still served.
+    shutting_down: AtomicBool,
+    /// Connection threads and the accept loop exit at next poll.
+    terminate: AtomicBool,
+}
+
+impl Shared {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs_lock().get(&id).cloned()
+    }
+
+    fn jobs_lock(&self) -> MutexGuard<'_, HashMap<u64, Arc<Job>>> {
+        self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A running job service; see the module docs for the thread layout.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the worker pool and accept loop, and
+    /// returns once the listener is live.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            config,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics: ServerMetrics::default(),
+            cache: ArtifactCache::with_spill(None),
+            shutting_down: AtomicBool::new(false),
+            terminate: AtomicBool::new(false),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("sim-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("sim-accept".to_owned())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server { shared, local_addr, accept: Some(accept), workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts shutdown without blocking: refuse new submissions, close
+    /// the queue; with `abort`, also cancel queued and running jobs.
+    /// Idempotent. Call [`Server::join`] afterwards to wait out the
+    /// drain.
+    pub fn begin_shutdown(&self, abort: bool) {
+        begin_shutdown(&self.shared, abort);
+    }
+
+    /// `true` once shutdown has been requested (signal handler, the
+    /// `/shutdown` endpoint, or [`Server::begin_shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Jobs accepted / rejected / completed so far (for smoke checks).
+    pub fn job_counts(&self) -> (u64, u64, u64) {
+        (
+            self.shared.metrics.accepted(),
+            self.shared.metrics.rejected(),
+            self.shared.metrics.completed(),
+        )
+    }
+
+    /// The operational metrics document (same as `GET /metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.export(self.shared.queue.len()).to_json()
+    }
+
+    /// A cloneable handle that outlives [`Server::join`]; signal
+    /// handlers use it to trigger (and escalate) shutdown, and the
+    /// binary uses it to flush final metrics after the drain.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Waits for the workers to finish the (possibly drained) backlog,
+    /// then stops the accept loop and open connections. Implies
+    /// [`Server::begin_shutdown`]`(false)` if shutdown wasn't already
+    /// requested.
+    pub fn join(mut self) {
+        begin_shutdown(&self.shared, false);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.terminate.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// See [`Server::shutdown_handle`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Same as [`Server::begin_shutdown`]; callable while (or after)
+    /// another thread joins the server.
+    pub fn begin_shutdown(&self, abort: bool) {
+        begin_shutdown(&self.shared, abort);
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// The operational metrics document (same as `GET /metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.export(self.shared.queue.len()).to_json()
+    }
+}
+
+fn begin_shutdown(shared: &Shared, abort: bool) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    if abort {
+        for id in shared.queue.close_and_drain() {
+            if let Some(job) = shared.job(id) {
+                let mut state = job.lock();
+                if !state.status.is_terminal() {
+                    state.status = JobStatus::Cancelled;
+                    state.finished = Some(Instant::now());
+                    shared.metrics.note_cancelled();
+                }
+            }
+        }
+        for job in shared.jobs_lock().values() {
+            job.token.cancel();
+        }
+    } else {
+        shared.queue.close();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.terminate.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("sim-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.terminate.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = format!("{{\"error\":{}}}", json::escape(&e.to_string()));
+                let _ = Response::json(400, body).write(&mut writer, true);
+                return;
+            }
+            Err(_) => return,
+        };
+        let close = request.wants_close() || shared.terminate.load(Ordering::SeqCst);
+        let response = route(&request, shared);
+        if response.write(&mut writer, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => submit(request, shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => {
+            Response::json(200, shared.metrics.export(shared.queue.len()).to_json())
+        }
+        ("POST", "/shutdown") => shutdown_endpoint(request, shared),
+        ("GET", _) if path.starts_with("/jobs/") => job_endpoint(path, shared),
+        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => {
+            error_response(405, "method not allowed")
+        }
+        (_, _) if path.starts_with("/jobs/") => error_response(405, "method not allowed"),
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_response(503, "server is shutting down");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(message) => return error_response(400, &message),
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let submitted = Instant::now();
+    let job = Arc::new(Job {
+        spec,
+        token: CancelToken::with_deadline(submitted + shared.config.job_timeout),
+        submitted,
+        state: Mutex::new(JobState {
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+            started: None,
+            finished: None,
+        }),
+    });
+    shared.jobs_lock().insert(id, job);
+    if shared.queue.try_push(id).is_err() {
+        shared.jobs_lock().remove(&id);
+        shared.metrics.note_rejected();
+        return error_response(429, "queue full").with_header("retry-after", "1");
+    }
+    shared.metrics.note_accepted();
+    Response::json(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let status = if shared.shutting_down.load(Ordering::SeqCst) { "draining" } else { "ok" };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"queue_depth\":{},\"queue_capacity\":{}}}",
+            shared.queue.len(),
+            shared.queue.capacity()
+        ),
+    )
+}
+
+fn shutdown_endpoint(request: &Request, shared: &Arc<Shared>) -> Response {
+    let abort = std::str::from_utf8(&request.body)
+        .ok()
+        .filter(|body| !body.trim().is_empty())
+        .and_then(|body| json::Value::parse(body).ok())
+        .and_then(|v| v.get("abort").and_then(json::Value::as_bool))
+        .unwrap_or(false);
+    begin_shutdown(shared, abort);
+    Response::json(200, format!("{{\"status\":\"shutting down\",\"abort\":{abort}}}"))
+}
+
+fn job_endpoint(path: &str, shared: &Arc<Shared>) -> Response {
+    let rest = &path["/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return error_response(404, "malformed job id");
+    };
+    let Some(job) = shared.job(id) else {
+        return error_response(404, "no such job");
+    };
+    if want_result {
+        job_result(id, &job)
+    } else {
+        Response::json(200, job_status_json(id, &job))
+    }
+}
+
+fn job_result(id: u64, job: &Job) -> Response {
+    let state = job.lock();
+    match state.status {
+        JobStatus::Done => Response::json(200, state.result.clone().unwrap_or_default()),
+        JobStatus::Failed => {
+            let message = state.error.clone().unwrap_or_else(|| "job failed".to_owned());
+            Response::json(
+                409,
+                format!(
+                    "{{\"id\":{id},\"status\":\"failed\",\"error\":{}}}",
+                    json::escape(&message)
+                ),
+            )
+        }
+        JobStatus::Cancelled => Response::json(
+            409,
+            format!("{{\"id\":{id},\"status\":\"cancelled\",\"error\":\"job was cancelled\"}}"),
+        ),
+        JobStatus::Queued | JobStatus::Running => Response::json(
+            409,
+            format!(
+                "{{\"id\":{id},\"status\":\"{}\",\"error\":\"job not finished\"}}",
+                state.status.as_str()
+            ),
+        ),
+    }
+}
+
+fn job_status_json(id: u64, job: &Job) -> String {
+    let state = job.lock();
+    let mut body = format!("{{\"id\":{id},\"status\":\"{}\"", state.status.as_str());
+    if let Some(started) = state.started {
+        let queued_ms = started.duration_since(job.submitted).as_millis();
+        body.push_str(&format!(",\"queue_ms\":{queued_ms}"));
+        if let Some(finished) = state.finished {
+            let run_ms = finished.duration_since(started).as_millis();
+            body.push_str(&format!(",\"run_ms\":{run_ms}"));
+        }
+    }
+    if let Some(error) = &state.error {
+        body.push_str(&format!(",\"error\":{}", json::escape(error)));
+    }
+    body.push('}');
+    body
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", json::escape(message)))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.queue.pop() {
+        let Some(job) = shared.job(id) else { continue };
+        run_job(&job, shared);
+    }
+}
+
+fn run_job(job: &Arc<Job>, shared: &Arc<Shared>) {
+    let started = Instant::now();
+    {
+        let mut state = job.lock();
+        if state.status.is_terminal() {
+            return;
+        }
+        if job.token.is_cancelled() {
+            state.status = JobStatus::Cancelled;
+            state.finished = Some(started);
+            shared.metrics.note_cancelled();
+            return;
+        }
+        state.status = JobStatus::Running;
+        state.started = Some(started);
+    }
+    let queued = started.duration_since(job.submitted);
+    let outcome = job.spec.execute(&shared.cache, &job.token);
+    let finished = Instant::now();
+    let ran = finished.duration_since(started);
+    let mut state = job.lock();
+    state.finished = Some(finished);
+    match outcome {
+        Ok(document) => {
+            state.status = JobStatus::Done;
+            state.result = Some(document);
+            shared.metrics.note_completed(queued, ran);
+        }
+        Err(JobError::Cancelled) => {
+            state.status = JobStatus::Cancelled;
+            shared.metrics.note_cancelled();
+        }
+        Err(JobError::Failed(message)) => {
+            state.status = JobStatus::Failed;
+            state.error = Some(message);
+            shared.metrics.note_failed(queued, ran);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end tests against a live in-process server: byte-identity of
+//! fetched results with the local CLI pipeline, 429 backpressure,
+//! graceful and aborting shutdown, deadlines, and corrupt-store jobs.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use champsim_trace::{ChampsimRecord, ChampsimWriter};
+use converter::{Converter, ImprovementSet};
+use sim::{CoreConfig, RunOptions, Simulator};
+use sim_server::{Connection, Server, ServerConfig};
+use trace_store::{ChampsimTraceReader, ChampsimzWriter};
+use workloads::{TraceSpec, WorkloadKind};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sim-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_records(length: usize) -> Vec<ChampsimRecord> {
+    let spec = TraceSpec::new("server-test", WorkloadKind::Crypto, 0x5e12).with_length(length);
+    Converter::new(ImprovementSet::all()).convert_all(spec.generate().iter())
+}
+
+fn write_flat(path: &Path, records: &[ChampsimRecord]) {
+    let mut writer = ChampsimWriter::new(BufWriter::new(File::create(path).unwrap()));
+    for rec in records {
+        writer.write(rec).unwrap();
+    }
+    writer.flush().unwrap();
+}
+
+fn write_store(path: &Path, records: &[ChampsimRecord]) {
+    let mut writer =
+        ChampsimzWriter::with_block_records(BufWriter::new(File::create(path).unwrap()), 256)
+            .unwrap();
+    for rec in records {
+        writer.write(rec).unwrap();
+    }
+    let (mut inner, _stats) = writer.finish().unwrap();
+    inner.flush().unwrap();
+}
+
+fn start_server(queue_depth: usize, workers: usize, job_timeout: Duration) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_depth,
+        workers,
+        job_timeout,
+    })
+    .unwrap()
+}
+
+/// The correctness anchor: a trace job fetched over HTTP is
+/// byte-identical to what `champsim-run --metrics` computes locally for
+/// the same trace and options, for both flat and block-compressed
+/// files.
+#[test]
+fn trace_job_result_matches_local_champsim_run_bytes() {
+    let dir = scratch_dir("identity");
+    let records = sample_records(3_000);
+    let flat = dir.join("t.champsimtrace");
+    let store = dir.join("t.champsimz");
+    write_flat(&flat, &records);
+    write_store(&store, &records);
+
+    let server = start_server(4, 2, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    for path in [&flat, &store] {
+        let path_text = path.to_str().unwrap();
+        // Exactly what the champsim-run binary does with
+        // `--warmup 100 --epochs 500 --metrics`.
+        let local_records: Vec<ChampsimRecord> =
+            ChampsimTraceReader::open(path).unwrap().collect::<Result<_, _>>().unwrap();
+        let options = RunOptions::default().with_warmup(100).with_epochs(500);
+        let report = Simulator::run_on(&CoreConfig::iiswc_main(), &local_records, options);
+        let local_doc = cli::champsim_run_registry(&report, "iiswc", path_text).to_json();
+
+        let body = format!("{{\"trace\": \"{path_text}\", \"warmup\": 100, \"epochs\": 500}}");
+        let served_doc = conn.run(&body, Duration::from_secs(60)).unwrap();
+        assert_eq!(served_doc, local_doc, "server and local documents differ for {path_text}");
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A full queue answers `429` with a `Retry-After` hint and the server
+/// stays healthy; the queue depth reported by `/healthz` never exceeds
+/// the configured capacity.
+#[test]
+fn overflow_gets_429_with_retry_after() {
+    let server = start_server(1, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let body = r#"{"workload": {"kind": "crypto", "seed": 1, "length": 30000}}"#;
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..10 {
+        let response = conn.send("POST", "/jobs", body).unwrap();
+        match response.status {
+            202 => accepted += 1,
+            429 => {
+                assert_eq!(response.header("retry-after"), Some("1"));
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(accepted >= 1, "at least one job admitted");
+    assert!(rejected >= 1, "a depth-1 queue under burst must reject");
+    let health = conn.send("GET", "/healthz", "").unwrap().text();
+    assert!(health.contains("\"queue_capacity\":1"), "{health}");
+    let (counted_accepted, counted_rejected, _) = server.job_counts();
+    assert_eq!(counted_accepted, accepted);
+    assert_eq!(counted_rejected, rejected);
+    server.join();
+}
+
+/// Graceful shutdown: new submissions get `503`, but everything already
+/// accepted drains to completion and stays pollable during the drain.
+#[test]
+fn graceful_shutdown_drains_accepted_jobs() {
+    let server = start_server(8, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let body = r#"{"workload": {"kind": "streaming", "seed": 2, "length": 8000}}"#;
+    let ids: Vec<u64> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
+
+    server.begin_shutdown(false);
+    let refused = conn.send("POST", "/jobs", body).unwrap();
+    assert_eq!(refused.status, 503, "draining server refuses new work");
+    assert!(conn.send("GET", "/healthz", "").unwrap().text().contains("draining"));
+
+    for id in &ids {
+        let status = conn.wait(*id, Duration::from_secs(60)).unwrap();
+        assert_eq!(status, "done", "job {id} must finish during the drain");
+        let doc = conn.fetch(*id).unwrap();
+        assert!(doc.contains("sim.ipc"), "drained job result is a metrics document");
+    }
+    let (_, _, completed) = server.job_counts();
+    assert_eq!(completed, 3);
+    server.join();
+}
+
+/// Abort shutdown: the queued backlog is cancelled without running.
+#[test]
+fn abort_shutdown_cancels_queued_jobs() {
+    let server = start_server(8, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    // One slow-ish job occupies the single worker; the rest queue up.
+    let body = r#"{"workload": {"kind": "crypto", "seed": 3, "length": 60000}}"#;
+    let ids: Vec<u64> = (0..4).map(|_| conn.submit(body).unwrap()).collect();
+
+    server.begin_shutdown(true);
+    let mut cancelled = 0;
+    for id in &ids {
+        let status = conn.wait(*id, Duration::from_secs(60)).unwrap();
+        if status == "cancelled" {
+            cancelled += 1;
+            let result = conn.send("GET", &format!("/jobs/{id}/result"), "").unwrap();
+            assert_eq!(result.status, 409);
+            assert!(result.text().contains("cancelled"));
+        }
+    }
+    assert!(cancelled >= 2, "abort must cancel the queued backlog, got {cancelled}");
+    server.join();
+}
+
+/// A job whose deadline expires before (or while) it runs reports
+/// `cancelled`, not `done`.
+#[test]
+fn job_deadline_cancels_overlong_jobs() {
+    let server = start_server(4, 1, Duration::from_millis(1));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let id =
+        conn.submit(r#"{"workload": {"kind": "crypto", "seed": 4, "length": 50000}}"#).unwrap();
+    let status = conn.wait(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(status, "cancelled");
+    server.join();
+}
+
+/// A `.champsimz` cut mid-block fails the job with the path and block
+/// in the diagnostic — the storage corruption surfaces through the
+/// server instead of panicking a worker.
+#[test]
+fn truncated_store_job_fails_with_diagnostic() {
+    let dir = scratch_dir("truncated");
+    let store = dir.join("cut.champsimz");
+    write_store(&store, &sample_records(2_000));
+    let bytes = std::fs::read(&store).unwrap();
+    // Cut inside a compressed block payload, well past the header.
+    std::fs::write(&store, &bytes[..bytes.len() / 2]).unwrap();
+
+    let server = start_server(4, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let body = format!("{{\"trace\": \"{}\"}}", store.to_str().unwrap());
+    let id = conn.submit(&body).unwrap();
+    assert_eq!(conn.wait(id, Duration::from_secs(30)).unwrap(), "failed");
+    let result = conn.send("GET", &format!("/jobs/{id}/result"), "").unwrap();
+    assert_eq!(result.status, 409);
+    let text = result.text();
+    assert!(text.contains("cut.champsimz"), "diagnostic names the path: {text}");
+    assert!(text.contains("block"), "diagnostic names the block: {text}");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Protocol-level error paths: malformed bodies, bad ids, unknown
+/// endpoints, wrong methods.
+#[test]
+fn api_error_paths_are_diagnosed_not_dropped() {
+    let server = start_server(4, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+
+    let bad_json = conn.send("POST", "/jobs", "{not json").unwrap();
+    assert_eq!(bad_json.status, 400);
+    assert!(bad_json.text().contains("at byte"), "{}", bad_json.text());
+
+    let bad_spec = conn.send("POST", "/jobs", r#"{"workload": {"kind": "quantum"}}"#).unwrap();
+    assert_eq!(bad_spec.status, 400);
+    assert!(bad_spec.text().contains("unknown workload kind"));
+
+    assert_eq!(conn.send("GET", "/jobs/999", "").unwrap().status, 404);
+    assert_eq!(conn.send("GET", "/jobs/bogus", "").unwrap().status, 404);
+    assert_eq!(conn.send("GET", "/nope", "").unwrap().status, 404);
+    assert_eq!(conn.send("DELETE", "/jobs", "").unwrap().status, 405);
+
+    let metrics = conn.send("GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("server.jobs.accepted"));
+    server.join();
+}
+
+/// `POST /shutdown` drains like a signal would: subsequent submissions
+/// are refused and `join` returns.
+#[test]
+fn shutdown_endpoint_triggers_drain() {
+    let server = start_server(4, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let response = conn.send("POST", "/shutdown", "").unwrap();
+    assert_eq!(response.status, 200);
+    assert!(server.shutdown_requested());
+    let refused = conn.send("POST", "/jobs", r#"{"workload": {"kind": "crypto"}}"#).unwrap();
+    assert_eq!(refused.status, 503);
+    server.join();
+}

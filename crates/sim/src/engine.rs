@@ -8,6 +8,7 @@ use champsim_trace::{BranchType, ChampsimRecord};
 use iprefetch::{FetchEvent, InstructionPrefetcher};
 use memsys::{Hierarchy, CACHELINE_BYTES};
 
+use crate::cancel::CancelToken;
 use crate::config::{CoreConfig, IndirectKind, PredictorKind};
 use crate::inflight::InflightTable;
 use crate::pipeline::{Scheduler, WidthLimiter};
@@ -84,6 +85,13 @@ pub struct RunOptions {
     /// into the report's epoch series (see
     /// [`SimReport::components`](crate::SimReport)).
     pub epoch_instructions: Option<u64>,
+    /// When set, the engine polls this token at epoch boundaries (every
+    /// [`epoch_instructions`](RunOptions::epoch_instructions) records,
+    /// or every [`crate::cancel::CHECK_INTERVAL`] records otherwise) and
+    /// stops early once it is cancelled. The returned report then covers
+    /// only the records consumed so far; callers must check
+    /// [`CancelToken::is_cancelled`] and discard the partial statistics.
+    pub cancel: Option<CancelToken>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -92,6 +100,7 @@ impl std::fmt::Debug for RunOptions {
             .field("warmup_instructions", &self.warmup_instructions)
             .field("prefetcher", &self.prefetcher.as_ref().map(|p| p.name()))
             .field("epoch_instructions", &self.epoch_instructions)
+            .field("cancel", &self.cancel)
             .finish()
     }
 }
@@ -120,6 +129,13 @@ impl RunOptions {
     pub fn with_epochs(mut self, n: u64) -> RunOptions {
         assert!(n > 0, "epoch length must be positive");
         self.epoch_instructions = Some(n);
+        self
+    }
+
+    /// Poll `token` during the run and stop early once it cancels.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> RunOptions {
+        self.cancel = Some(token);
         self
     }
 }
@@ -201,6 +217,7 @@ struct Engine<'c> {
     prefetcher: Option<iprefetch::Instrumented>,
     warmup: u64,
     epoch_instructions: Option<u64>,
+    cancel: Option<CancelToken>,
 
     reg_ready: [u64; 256],
     rob: VecDeque<u64>,
@@ -248,6 +265,7 @@ impl<'c> Engine<'c> {
             prefetcher: options.prefetcher.map(iprefetch::Instrumented::new),
             warmup: options.warmup_instructions,
             epoch_instructions: options.epoch_instructions,
+            cancel: options.cancel,
             reg_ready: [0; 256],
             rob: VecDeque::with_capacity(cfg.rob_size),
             load_queue: VecDeque::with_capacity(cfg.load_queue_size),
@@ -295,6 +313,12 @@ impl<'c> Engine<'c> {
         });
         let mut epoch_prev = EpochCursor::default();
 
+        // Cancellation is polled at the same granularity as epoch
+        // snapshots when epoch sampling is on, so "cancel at an epoch
+        // boundary" holds literally; otherwise a fixed stride keeps the
+        // atomic load off the per-record path.
+        let cancel_interval = self.epoch_instructions.unwrap_or(crate::cancel::CHECK_INTERVAL);
+
         let mut pending = records.next();
         let mut i = 0usize;
         while let Some(rec) = pending {
@@ -307,6 +331,13 @@ impl<'c> Engine<'c> {
                     let now = self.epoch_cursor();
                     series.push_row(&now.delta_from(&epoch_prev));
                     epoch_prev = now;
+                }
+            }
+
+            if let Some(token) = &self.cancel {
+                if (i as u64 + 1).is_multiple_of(cancel_interval) && token.is_cancelled() {
+                    i += 1;
+                    break;
                 }
             }
 

@@ -50,12 +50,14 @@
 //! assert!(report.ipc() > 1.0);
 //! ```
 
+mod cancel;
 mod config;
 mod engine;
 mod inflight;
 mod pipeline;
 mod stats;
 
+pub use cancel::CancelToken;
 pub use config::{CoreConfig, IndirectKind, PredictorKind};
 pub use engine::{RunOptions, Simulator};
 pub use stats::{BranchStats, SimReport};

@@ -22,6 +22,8 @@ pub enum Unit {
     Mips,
     /// Bytes on disk or in memory.
     Bytes,
+    /// Wall-clock milliseconds (host timing, not simulated time).
+    Milliseconds,
 }
 
 impl Unit {
@@ -37,6 +39,7 @@ impl Unit {
             Unit::Seconds => "seconds",
             Unit::Mips => "mips",
             Unit::Bytes => "bytes",
+            Unit::Milliseconds => "milliseconds",
         }
     }
 }

@@ -1,0 +1,118 @@
+//! Mid-block truncation through the extension-dispatch readers.
+//!
+//! A `.cvpz` or `.champsimz` file cut inside a compressed block payload
+//! must surface a checked `CorruptedBlock` error (naming the block)
+//! from `CvpTraceReader::open` / `ChampsimTraceReader::open` iteration
+//! — never a panic, and never a silently short stream.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use champsim_trace::{ChampsimRecord, ChampsimTraceError};
+use converter::{Converter, ImprovementSet};
+use cvp_trace::{CvpInstruction, TraceError};
+use trace_store::{
+    ChampsimTraceReader, ChampsimzReader, ChampsimzWriter, CvpTraceReader, CvpzReader, CvpzWriter,
+};
+use workloads::{TraceSpec, WorkloadKind};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-trunc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_instructions(length: usize) -> Vec<CvpInstruction> {
+    TraceSpec::new("trunc", WorkloadKind::Server, 0x77).with_length(length).generate()
+}
+
+#[test]
+fn cvpz_cut_mid_block_surfaces_corrupted_block() {
+    let dir = scratch_dir("cvpz");
+    let path = dir.join("cut.cvpz");
+    let insns = sample_instructions(2_000);
+    let mut writer = CvpzWriter::with_block_records(Vec::new(), 256).unwrap();
+    for insn in &insns {
+        writer.write(insn).unwrap();
+    }
+    let (bytes, _stats) = writer.finish().unwrap();
+
+    // Find the second block's offset and cut inside its compressed
+    // payload (past the 22-byte block header).
+    let index = CvpzReader::new(Cursor::new(&bytes)).unwrap().read_index().unwrap();
+    assert!(index.entries.len() >= 3, "need a multi-block store for a mid-block cut");
+    let cut = index.entries[1].offset as usize + 30;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    let mut decoded = 0usize;
+    let mut error = None;
+    for item in CvpTraceReader::open(&path).unwrap() {
+        match item {
+            Ok(_) => decoded += 1,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    match error {
+        Some(TraceError::CorruptedBlock { block: 1 }) => {}
+        other => panic!("want CorruptedBlock {{ block: 1 }}, got {other:?}"),
+    }
+    assert_eq!(decoded, 256, "the intact first block still decodes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn champsimz_cut_mid_block_surfaces_corrupted_block() {
+    let dir = scratch_dir("champsimz");
+    let path = dir.join("cut.champsimz");
+    let records: Vec<ChampsimRecord> =
+        Converter::new(ImprovementSet::all()).convert_all(sample_instructions(2_000).iter());
+    let mut writer = ChampsimzWriter::with_block_records(Vec::new(), 256).unwrap();
+    for rec in &records {
+        writer.write(rec).unwrap();
+    }
+    let (bytes, _stats) = writer.finish().unwrap();
+
+    let index = ChampsimzReader::new(Cursor::new(&bytes)).unwrap().read_index().unwrap();
+    assert!(index.entries.len() >= 3, "need a multi-block store for a mid-block cut");
+    let cut = index.entries[2].offset as usize + 30;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    let mut decoded = 0usize;
+    let mut error = None;
+    for item in ChampsimTraceReader::open(&path).unwrap() {
+        match item {
+            Ok(_) => decoded += 1,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    match error {
+        Some(ChampsimTraceError::CorruptedBlock { block: 2 }) => {}
+        other => panic!("want CorruptedBlock {{ block: 2 }}, got {other:?}"),
+    }
+    assert_eq!(decoded, 512, "the intact first two blocks still decode");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A file cut so early that even the store header is gone fails at
+/// `open`, not at first read.
+#[test]
+fn header_truncation_fails_at_open() {
+    let dir = scratch_dir("header");
+    let path = dir.join("cut.cvpz");
+    let insns = sample_instructions(300);
+    let mut writer = CvpzWriter::new(Vec::new()).unwrap();
+    for insn in &insns {
+        writer.write(insn).unwrap();
+    }
+    let (bytes, _stats) = writer.finish().unwrap();
+    std::fs::write(&path, &bytes[..6]).unwrap();
+    assert!(CvpTraceReader::open(&path).is_err(), "6-byte header stub must fail to open");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,7 +19,10 @@
 //! * [`telemetry`] — the unified metrics registry behind `--metrics`
 //!   (see `METRICS.md` for the full metric reference),
 //! * [`store`] — the block-compressed on-disk trace store behind
-//!   `.cvpz`/`.champsimz` files and the cache's spill-to-disk mode.
+//!   `.cvpz`/`.champsimz` files and the cache's spill-to-disk mode,
+//! * [`server`] — the zero-dependency HTTP job service (`sim_server` /
+//!   `sim_client` / `server_bench`) that runs the whole pipeline behind
+//!   a bounded queue with backpressure and graceful shutdown.
 //!
 //! # Data flow
 //!
@@ -29,9 +32,12 @@
 //!                                                    │  iprefetch)
 //!                                                    ▼
 //!   experiments (figures/tables) ◄───────────── SimReport
-//!            │
-//!            ▼
-//!   telemetry registry ──► metrics JSON + METRICS.md
+//!            │                                       │
+//!            ▼                                       ▼
+//!   telemetry registry ──► metrics JSON + METRICS.md │
+//!            ▲                                       │
+//!            └── server (HTTP job service) ◄─────────┘
+//!                POST /jobs ► bounded queue ► workers ► /jobs/<id>/result
 //! ```
 //!
 //! # Quickstart
@@ -63,6 +69,7 @@ pub use experiments;
 pub use iprefetch;
 pub use memsys;
 pub use sim;
+pub use sim_server as server;
 pub use telemetry;
 pub use trace_store as store;
 pub use workloads;
