@@ -262,6 +262,43 @@ impl SharedRunner<'_> {
             conversion: converted.stats,
         }
     }
+
+    /// Fused variant of [`SharedRunner::simulate`]: one decoded pass
+    /// over the conversion drives a lane per prefetcher in lockstep
+    /// ([`Simulator::run_fused`]), returning one outcome per lane in
+    /// input order. Each lane's report is identical to a solo
+    /// [`SharedRunner::simulate`] of the same options, but the record
+    /// stream is walked once instead of `prefetchers.len()` times.
+    pub fn simulate_fused(
+        &self,
+        spec: &TraceSpec,
+        improvements: ImprovementSet,
+        warmup: u64,
+        prefetchers: &[Option<&str>],
+        plan: UsePlan,
+    ) -> Vec<TraceOutcome> {
+        let converted = self.cache.converted(
+            spec,
+            self.scale.trace_length,
+            improvements,
+            plan.trace_uses,
+            plan.conversion_uses,
+        );
+        let start = Instant::now();
+        let lanes =
+            prefetchers.iter().map(|prefetcher| (self.core, run_options(warmup, *prefetcher)));
+        let reports = Simulator::run_fused(lanes, converted.records.iter().copied());
+        self.cache.add_simulate_ns(start.elapsed().as_nanos() as u64);
+        reports
+            .into_iter()
+            .map(|report| TraceOutcome {
+                trace: spec.name().to_owned(),
+                improvements,
+                report,
+                conversion: converted.stats,
+            })
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -475,6 +512,38 @@ mod tests {
         );
         assert_eq!(shared.report.ipc().to_bits(), serial.report.ipc().to_bits());
         assert_eq!(shared.conversion, serial.conversion);
+    }
+
+    #[test]
+    fn fused_runner_matches_solo_lanes_across_families() {
+        // Every workload family, through the same cache, must produce
+        // bit-identical reports whether lanes run fused or solo.
+        for (kind, seed) in [
+            (WorkloadKind::Crypto, 3u64),
+            (WorkloadKind::Streaming, 7),
+            (WorkloadKind::PointerChase, 11),
+            (WorkloadKind::BranchyInt, 13),
+        ] {
+            let spec = TraceSpec::new("t", kind, seed).with_length(4_000);
+            let core = CoreConfig::test_small();
+            let scale = ExperimentScale { trace_length: 4_000, warmup: 0 };
+            let cache = ArtifactCache::new();
+            let runner = SharedRunner { cache: &cache, core: &core, scale };
+            let lanes = [None, Some("next-line")];
+            let plan = UsePlan { trace_uses: 1, conversion_uses: u64::MAX };
+            let fused = runner.simulate_fused(&spec, ImprovementSet::all(), 500, &lanes, plan);
+            assert_eq!(fused.len(), lanes.len());
+            for (outcome, prefetcher) in fused.iter().zip(lanes) {
+                let solo = runner.simulate(&spec, ImprovementSet::all(), 500, prefetcher, plan);
+                assert_eq!(
+                    outcome.report.ipc().to_bits(),
+                    solo.report.ipc().to_bits(),
+                    "{kind:?} lane {prefetcher:?} diverges from the solo run"
+                );
+                assert_eq!(outcome.report.instructions, solo.report.instructions);
+                assert_eq!(outcome.conversion, solo.conversion);
+            }
+        }
     }
 
     #[test]

@@ -227,39 +227,46 @@ pub fn table3_on(scale: ExperimentScale, core: &CoreConfig) -> Table3 {
 ///
 /// Every (trace, improvement-set, prefetcher) cell — 19 per trace: the
 /// no-prefetch baseline plus eight contest prefetchers under both trace
-/// versions, and the tuned FNL+MMA on the fixed traces — goes into one
-/// flattened work-stealing queue. The trace generates once and each of
-/// its two conversions once, shared by all simulations.
+/// versions, and the tuned FNL+MMA on the fixed traces — still runs,
+/// but fused: each (trace, conversion) pair becomes **one** scheduled
+/// group whose prefetcher lanes share a single streaming pass over the
+/// conversion ([`SharedRunner::simulate_fused`]). The trace generates
+/// once, each conversion is built and walked once, and every lane's
+/// report stays bit-identical to a solo run.
 pub fn table3_with_report(scale: ExperimentScale, core: &CoreConfig) -> (Table3, SchedulerReport) {
     let specs = ipc1_suite();
     let competition_imps = ImprovementSet::none();
     let fixed_imps = fixed_traces_improvements();
 
-    // Per-trace cell list, in conversion-major order. The fixed
-    // conversion serves one more simulation (the tuned FNL+MMA run).
-    let mut cells: Vec<(ImprovementSet, &str, u64)> = Vec::new();
-    let competition_uses = 1 + iprefetch::CONTEST_NAMES.len() as u64;
-    let fixed_uses = competition_uses + 1;
-    for (imps, uses) in [(competition_imps, competition_uses), (fixed_imps, fixed_uses)] {
-        cells.push((imps, "none", uses));
-        for name in iprefetch::CONTEST_NAMES {
-            cells.push((imps, name, uses));
-        }
-    }
-    cells.push((fixed_imps, "fnl+mma-tuned", fixed_uses));
-    let ncells = cells.len();
+    // Lane lists per conversion, in the original conversion-major cell
+    // order. The fixed conversion carries one extra lane (the tuned
+    // FNL+MMA run).
+    let mut competition_lanes: Vec<Option<&str>> = vec![Some("none")];
+    competition_lanes.extend(iprefetch::CONTEST_NAMES.iter().copied().map(Some));
+    let mut fixed_lanes = competition_lanes.clone();
+    fixed_lanes.push(Some("fnl+mma-tuned"));
+    let groups: [(ImprovementSet, &[Option<&str>]); 2] =
+        [(competition_imps, &competition_lanes), (fixed_imps, &fixed_lanes)];
+    let ncells = competition_lanes.len() + fixed_lanes.len();
 
     let cache = ArtifactCache::new();
     let runner = SharedRunner { cache: &cache, core, scale };
     let jobs = specs.len() * ncells;
     let start = Instant::now();
-    let ipcs: Vec<f64> = parallel_cells(jobs, |i| {
-        let spec = &specs[i / ncells];
-        let (imps, prefetcher, conversion_uses) = &cells[i % ncells];
-        let plan = UsePlan { trace_uses: 2, conversion_uses: *conversion_uses };
-        runner.simulate(spec, *imps, scale.warmup, Some(prefetcher), plan).report.ipc()
+    let group_ipcs: Vec<Vec<f64>> = parallel_cells(specs.len() * groups.len(), |i| {
+        let spec = &specs[i / groups.len()];
+        let (imps, lanes) = groups[i % groups.len()];
+        let plan = UsePlan { trace_uses: groups.len() as u64, conversion_uses: 1 };
+        runner
+            .simulate_fused(spec, imps, scale.warmup, lanes, plan)
+            .into_iter()
+            .map(|outcome| outcome.report.ipc())
+            .collect()
     });
     let wall = start.elapsed();
+    // Flatten back into `trace-major × conversion-major cell` order so
+    // the ranking code reads columns unchanged.
+    let ipcs: Vec<f64> = group_ipcs.concat();
 
     // Column `c` of cell grid = per-trace IPC vector for one cell kind.
     let column =

@@ -1,5 +1,5 @@
 //! Load generator for the job service: throughput, latency tails,
-//! backpressure, and drain timing.
+//! backpressure, fused fan-out batching, and duplicate coalescing.
 //!
 //! ```text
 //! server_bench [--scale smoke|test|paper] [--out <path>]
@@ -8,24 +8,44 @@
 //!
 //! Phase 1 (throughput): starts an in-process server, then a closed
 //! loop of client connections each submitting, polling, and fetching
-//! workload jobs over the same spec (the artifact cache makes this a
-//! pure simulate-throughput measurement after the first job). Reports
+//! workload jobs over a per-client spec (the artifact cache makes this
+//! a pure simulate-throughput measurement after the warm-up; the
+//! result cache is disabled so every job actually simulates). Reports
 //! jobs/s and p50/p99 end-to-end latency.
 //!
 //! Phase 2 (overload): a depth-1, single-worker server is flooded with
-//! submissions; the measured `429` rejection rate demonstrates the
-//! bounded queue, and the timed graceful shutdown demonstrates the
-//! drain. Results land in `BENCH_server.json` (`--out` to redirect).
+//! distinct submissions; the measured `429` rejection rate demonstrates
+//! the bounded queue, and the timed graceful shutdown demonstrates the
+//! drain.
 //!
+//! Phase 3 (fan-out): N configs of one `.champsimz` trace, submitted
+//! one-at-a-time to an unbatched server and co-submitted to a batching
+//! server whose worker fuses them into one streaming pass. The
+//! per-config documents must match byte-for-byte between the two
+//! servers, and the batched submission must be at least 2× faster.
+//!
+//! Phase 4 (duplicate storm): identical specs submitted while the
+//! first is still running coalesce onto one execution, and a
+//! resubmission after completion is answered from the result cache —
+//! both verified through `/metrics` counters and document equality.
+//!
+//! Results land in `BENCH_server.json` (`--out` to redirect).
 //! `--check <baseline>` compares against a committed `BENCH_server.json`
-//! and fails (exit 1) when `jobs_per_sec` regresses more than
-//! `--tolerance` percent (default 30) below the baseline — the CI
-//! perf-smoke gate. Latency tails are reported but not gated; they are
-//! too host-sensitive for CI.
+//! and fails (exit 1) when `jobs_per_sec` or `fanout_jobs_per_sec`
+//! regresses more than `--tolerance` percent (default 30) below the
+//! baseline — the CI perf-smoke gate. Latency tails are reported but
+//! not gated; they are too host-sensitive for CI.
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
+use champsim_trace::ChampsimRecord;
+use converter::{Converter, ImprovementSet};
 use sim_server::{Connection, Server, ServerConfig};
+use trace_store::ChampsimzWriter;
+use workloads::{TraceSpec, WorkloadKind};
 
 struct Scale {
     name: &'static str,
@@ -39,6 +59,10 @@ struct Scale {
     workers: usize,
     /// Submissions fired at the depth-1 overload server.
     overload_jobs: usize,
+    /// Configs fused over one trace in the fan-out phase.
+    fanout_configs: usize,
+    /// Identical submissions in the duplicate-storm phase.
+    dup_jobs: usize,
 }
 
 const SCALES: [Scale; 3] = [
@@ -49,6 +73,8 @@ const SCALES: [Scale; 3] = [
         jobs_per_client: 4,
         workers: 2,
         overload_jobs: 8,
+        fanout_configs: 8,
+        dup_jobs: 4,
     },
     Scale {
         name: "test",
@@ -57,6 +83,8 @@ const SCALES: [Scale; 3] = [
         jobs_per_client: 8,
         workers: 2,
         overload_jobs: 12,
+        fanout_configs: 8,
+        dup_jobs: 6,
     },
     Scale {
         name: "paper",
@@ -65,8 +93,27 @@ const SCALES: [Scale; 3] = [
         jobs_per_client: 16,
         workers: 4,
         overload_jobs: 16,
+        fanout_configs: 8,
+        dup_jobs: 8,
     },
 ];
+
+struct Results {
+    total_jobs: usize,
+    jobs_per_sec: f64,
+    p50: f64,
+    p99: f64,
+    rejected: usize,
+    rejection_rate: f64,
+    drain_ms: f64,
+    fanout_sequential_jobs_per_sec: f64,
+    fanout_jobs_per_sec: f64,
+    fanout_speedup: f64,
+    fanout_stream_passes: u64,
+    dup_jobs_per_sec: f64,
+    dup_coalesced: u64,
+    dup_cache_hits: u64,
+}
 
 fn main() {
     let mut scale = &SCALES[2];
@@ -98,31 +145,87 @@ fn main() {
         }
     }
 
-    let job_body = format!(
-        "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": 7, \"length\": {}}}, \
-         \"improvements\": \"All_imps\"}}",
-        scale.length
-    );
+    let (total_jobs, jobs_per_sec, p50, p99) = throughput_phase(scale);
+    let (rejected, rejection_rate, drain_ms) = overload_phase(scale);
+    let (fanout_sequential_jobs_per_sec, fanout_jobs_per_sec, fanout_stream_passes) =
+        fanout_phase(scale);
+    let fanout_speedup = fanout_jobs_per_sec / fanout_sequential_jobs_per_sec;
+    if fanout_speedup < 2.0 {
+        fail(&format!(
+            "fan-out batching speedup {fanout_speedup:.2}x is below the required 2x \
+             ({fanout_jobs_per_sec:.2} vs {fanout_sequential_jobs_per_sec:.2} jobs/s)"
+        ));
+    }
+    let (dup_jobs_per_sec, dup_coalesced, dup_cache_hits) = duplicate_phase(scale);
 
-    // ---- Phase 1: closed-loop throughput and latency ----
+    let results = Results {
+        total_jobs,
+        jobs_per_sec,
+        p50,
+        p99,
+        rejected,
+        rejection_rate,
+        drain_ms,
+        fanout_sequential_jobs_per_sec,
+        fanout_jobs_per_sec,
+        fanout_speedup,
+        fanout_stream_passes,
+        dup_jobs_per_sec,
+        dup_coalesced,
+        dup_cache_hits,
+    };
+    let json = to_json(scale, &results);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("[server_bench] wrote {out_path}"),
+        Err(e) => fail(&format!("could not write {out_path}: {e}")),
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("could not read baseline {path}: {e}")));
+        check_floor(&baseline, "jobs_per_sec", jobs_per_sec, tolerance_pct, path);
+        check_floor(&baseline, "fanout_jobs_per_sec", fanout_jobs_per_sec, tolerance_pct, path);
+        eprintln!("[server_bench] throughput within {tolerance_pct}% of baseline");
+    }
+}
+
+/// Per-client workload body; distinct seeds keep the closed loops from
+/// coalescing onto each other's executions.
+fn client_body(scale: &Scale, client: usize) -> String {
+    format!(
+        "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": {}, \"length\": {}}}, \
+         \"improvements\": \"All_imps\"}}",
+        100 + client,
+        scale.length
+    )
+}
+
+// ---- Phase 1: closed-loop throughput and latency ----
+fn throughput_phase(scale: &Scale) -> (usize, f64, f64, f64) {
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         queue_depth: scale.clients * 2,
         workers: scale.workers,
         job_timeout: Duration::from_secs(120),
+        // Each job must actually simulate — memoized or fused runs
+        // would measure the caches, not the service.
+        max_batch: 1,
+        result_cache_entries: 0,
     })
     .unwrap_or_else(|e| fail(&format!("cannot start server: {e}")));
     let addr = server.local_addr().to_string();
 
     // Warm the artifact cache so the measurement is job-service
     // overhead + simulation, not one-time generation/conversion.
-    run_one(&addr, &job_body);
+    for client in 0..scale.clients {
+        run_one(&addr, &client_body(scale, client));
+    }
 
     let wall = Instant::now();
     let handles: Vec<_> = (0..scale.clients)
-        .map(|_| {
+        .map(|client| {
             let addr = addr.clone();
-            let body = job_body.clone();
+            let body = client_body(scale, client);
             let jobs = scale.jobs_per_client;
             std::thread::spawn(move || {
                 let mut conn =
@@ -154,21 +257,33 @@ fn main() {
         "[server_bench] throughput: {total_jobs} jobs in {elapsed:.2}s = {jobs_per_sec:.2} jobs/s, \
          p50 {p50:.1} ms, p99 {p99:.1} ms"
     );
+    (total_jobs, jobs_per_sec, p50, p99)
+}
 
-    // ---- Phase 2: overload (bounded queue) and drain ----
+// ---- Phase 2: overload (bounded queue) and drain ----
+fn overload_phase(scale: &Scale) -> (usize, f64, f64) {
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         queue_depth: 1,
         workers: 1,
         job_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
     })
     .unwrap_or_else(|e| fail(&format!("cannot start overload server: {e}")));
     let addr = server.local_addr().to_string();
     let mut conn = Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
     let mut rejected = 0usize;
-    for _ in 0..scale.overload_jobs {
+    for i in 0..scale.overload_jobs {
+        // Distinct seeds: identical bodies would coalesce onto the
+        // running job instead of exercising the bounded queue.
+        let body = format!(
+            "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": {}, \"length\": {}}}, \
+             \"improvements\": \"All_imps\"}}",
+            200 + i,
+            scale.length
+        );
         let response = conn
-            .send("POST", "/jobs", &job_body)
+            .send("POST", "/jobs", &body)
             .unwrap_or_else(|e| fail(&format!("overload submit: {e}")));
         match response.status {
             202 => {}
@@ -194,31 +309,190 @@ fn main() {
     if rejected == 0 {
         fail("overload produced no 429s — the queue is not applying backpressure");
     }
+    (rejected, rejection_rate, drain_ms)
+}
 
-    let json =
-        to_json(scale, total_jobs, jobs_per_sec, p50, p99, rejected, rejection_rate, drain_ms);
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => eprintln!("[server_bench] wrote {out_path}"),
-        Err(e) => fail(&format!("could not write {out_path}: {e}")),
-    }
+// ---- Phase 3: fused fan-out over one trace ----
+fn fanout_phase(scale: &Scale) -> (f64, f64, u64) {
+    let dir = std::env::temp_dir().join(format!("server-bench-fanout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("scratch dir: {e}")));
+    let trace = dir.join("fanout.champsimz");
+    write_trace(&trace, scale.length as usize);
+    let trace_text = trace.to_str().unwrap_or_else(|| fail("scratch path is not UTF-8"));
 
-    if let Some(path) = &baseline_path {
-        let baseline = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| fail(&format!("could not read baseline {path}: {e}")));
-        let Some(base) = json_f64_field(&baseline, "\"jobs_per_sec\":") else {
-            fail(&format!("baseline {path} has no jobs_per_sec"));
-        };
-        let floor = base * (1.0 - tolerance_pct / 100.0);
-        if jobs_per_sec < floor {
-            eprintln!(
-                "error: throughput regression beyond {tolerance_pct}% tolerance: \
-                 {jobs_per_sec:.2} jobs/s vs baseline {base:.2} ({:+.1}%)",
-                (jobs_per_sec / base - 1.0) * 100.0
-            );
-            std::process::exit(1);
+    // Config 0 runs the baseline front-end; the rest attach contest
+    // prefetchers — the same sweep shape as the paper's Table 3.
+    let mut prefetchers: Vec<Option<&str>> = vec![None];
+    prefetchers
+        .extend(iprefetch::CONTEST_NAMES.iter().copied().map(Some).take(scale.fanout_configs - 1));
+    let bodies: Vec<String> = prefetchers
+        .iter()
+        .map(|prefetcher| {
+            let mut body = format!("{{\"trace\": \"{trace_text}\", \"warmup\": 200");
+            if let Some(name) = prefetcher {
+                body.push_str(&format!(", \"prefetcher\": \"{name}\""));
+            }
+            body.push('}');
+            body
+        })
+        .collect();
+
+    let start_server = |max_batch: usize| {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_depth: bodies.len() + 1,
+            workers: 1,
+            job_timeout: Duration::from_secs(120),
+            max_batch,
+            result_cache_entries: 0,
+        })
+        .unwrap_or_else(|e| fail(&format!("cannot start fan-out server: {e}")))
+    };
+
+    // Unbatched: one config at a time, each its own streaming pass.
+    let server = start_server(1);
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let wall = Instant::now();
+    let sequential_docs: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            conn.run(body, Duration::from_secs(120))
+                .unwrap_or_else(|e| fail(&format!("sequential fan-out job: {e}")))
+        })
+        .collect();
+    let sequential_elapsed = wall.elapsed().as_secs_f64();
+    server.join();
+
+    // Batched: a decoy job occupies the single worker while every
+    // config queues up, so the planner claims them in one fused pass.
+    let server = start_server(bodies.len());
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let decoy = format!(
+        "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": 777, \"length\": {}}}}}",
+        scale.length
+    );
+    conn.submit(&decoy).unwrap_or_else(|e| fail(&format!("decoy submit: {e}")));
+    let wall = Instant::now();
+    let ids: Vec<u64> = bodies
+        .iter()
+        .map(|body| conn.submit(body).unwrap_or_else(|e| fail(&format!("fan-out submit: {e}"))))
+        .collect();
+    let batched_docs: Vec<String> = ids
+        .iter()
+        .map(|&id| {
+            let status = conn
+                .wait(id, Duration::from_secs(120))
+                .unwrap_or_else(|e| fail(&format!("fan-out wait: {e}")));
+            if status != "done" {
+                fail(&format!("fan-out job {id} finished {status}"));
+            }
+            conn.fetch(id).unwrap_or_else(|e| fail(&format!("fan-out fetch: {e}")))
+        })
+        .collect();
+    let batched_elapsed = wall.elapsed().as_secs_f64();
+    let metrics =
+        conn.send("GET", "/metrics", "").unwrap_or_else(|e| fail(&format!("metrics: {e}"))).text();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (i, (sequential, batched)) in sequential_docs.iter().zip(&batched_docs).enumerate() {
+        if sequential != batched {
+            fail(&format!("fan-out config {i}: batched document differs from sequential run"));
         }
-        eprintln!("[server_bench] throughput within {tolerance_pct}% of baseline");
     }
+    // Total passes minus the decoy's own pass.
+    let stream_passes = metric_u64(&metrics, "server.batch.passes").saturating_sub(1);
+    let sequential_jps = sequential_docs.len() as f64 / sequential_elapsed;
+    let batched_jps = batched_docs.len() as f64 / batched_elapsed;
+    eprintln!(
+        "[server_bench] fan-out: {} configs, sequential {sequential_jps:.2} jobs/s, \
+         batched {batched_jps:.2} jobs/s ({:.2}x, {stream_passes} stream passes)",
+        bodies.len(),
+        batched_jps / sequential_jps
+    );
+    (sequential_jps, batched_jps, stream_passes)
+}
+
+// ---- Phase 4: duplicate coalescing and the result cache ----
+fn duplicate_phase(scale: &Scale) -> (f64, u64, u64) {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_depth: 4,
+        workers: 1,
+        job_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("cannot start duplicate-storm server: {e}")));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    // Long enough that the first execution is still running while the
+    // duplicates arrive and attach to it.
+    let body = format!(
+        "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": 900, \"length\": {}}}, \
+         \"improvements\": \"All_imps\"}}",
+        scale.length * 25
+    );
+
+    let wall = Instant::now();
+    let ids: Vec<u64> = (0..scale.dup_jobs)
+        .map(|_| conn.submit(&body).unwrap_or_else(|e| fail(&format!("duplicate submit: {e}"))))
+        .collect();
+    let mut docs = Vec::with_capacity(ids.len() + 1);
+    for &id in &ids {
+        let status = conn
+            .wait(id, Duration::from_secs(120))
+            .unwrap_or_else(|e| fail(&format!("duplicate wait: {e}")));
+        if status != "done" {
+            fail(&format!("duplicate job {id} finished {status}"));
+        }
+        docs.push(conn.fetch(id).unwrap_or_else(|e| fail(&format!("duplicate fetch: {e}"))));
+    }
+    // Resubmission after completion: answered from the result cache.
+    docs.push(
+        conn.run(&body, Duration::from_secs(120))
+            .unwrap_or_else(|e| fail(&format!("cached rerun: {e}"))),
+    );
+    let elapsed = wall.elapsed().as_secs_f64();
+    if docs.windows(2).any(|pair| pair[0] != pair[1]) {
+        fail("coalesced/cached documents differ from the primary execution");
+    }
+    let metrics =
+        conn.send("GET", "/metrics", "").unwrap_or_else(|e| fail(&format!("metrics: {e}"))).text();
+    server.join();
+
+    let coalesced = metric_u64(&metrics, "server.jobs.coalesced");
+    let cache_hits = metric_u64(&metrics, "server.result_cache.hits");
+    let jobs_per_sec = docs.len() as f64 / elapsed;
+    eprintln!(
+        "[server_bench] duplicates: {} identical jobs + 1 rerun in {elapsed:.2}s \
+         ({jobs_per_sec:.2} jobs/s), {coalesced} coalesced, {cache_hits} cache hits",
+        scale.dup_jobs
+    );
+    if coalesced == 0 {
+        fail("no submission coalesced onto the in-flight execution");
+    }
+    if cache_hits == 0 {
+        fail("the resubmission was not answered from the result cache");
+    }
+    (jobs_per_sec, coalesced, cache_hits)
+}
+
+fn write_trace(path: &Path, length: usize) {
+    let spec = TraceSpec::new("bench-fanout", WorkloadKind::Crypto, 0x77).with_length(length);
+    let records: Vec<ChampsimRecord> =
+        Converter::new(ImprovementSet::all()).convert_all(spec.generate().iter());
+    let mut writer =
+        ChampsimzWriter::with_block_records(BufWriter::new(File::create(path).unwrap()), 256)
+            .unwrap_or_else(|e| fail(&format!("trace writer: {e:?}")));
+    for rec in &records {
+        writer.write(rec).unwrap_or_else(|e| fail(&format!("trace write: {e:?}")));
+    }
+    let (mut inner, _stats) =
+        writer.finish().unwrap_or_else(|e| fail(&format!("trace finish: {e:?}")));
+    inner.flush().unwrap_or_else(|e| fail(&format!("trace flush: {e}")));
 }
 
 fn run_one(addr: &str, body: &str) {
@@ -236,34 +510,54 @@ fn percentile(sorted: &[f64], pct: f64) -> f64 {
     sorted[rank.min(sorted.len()) - 1]
 }
 
-#[allow(clippy::too_many_arguments)]
-fn to_json(
-    scale: &Scale,
-    total_jobs: usize,
-    jobs_per_sec: f64,
-    p50: f64,
-    p99: f64,
-    rejected: usize,
-    rejection_rate: f64,
-    drain_ms: f64,
-) -> String {
+fn to_json(scale: &Scale, r: &Results) -> String {
     format!(
         "{{\"scale\":\"{}\",\"workload_length\":{},\"clients\":{},\"jobs\":{},\
          \"jobs_per_sec\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
          \"overload_submitted\":{},\"overload_rejected\":{},\"rejection_rate\":{:.3},\
-         \"drain_ms\":{:.3}}}\n",
+         \"drain_ms\":{:.3},\
+         \"fanout_configs\":{},\"fanout_sequential_jobs_per_sec\":{:.3},\
+         \"fanout_jobs_per_sec\":{:.3},\"fanout_speedup\":{:.3},\"fanout_stream_passes\":{},\
+         \"dup_jobs\":{},\"dup_jobs_per_sec\":{:.3},\"dup_coalesced\":{},\"dup_cache_hits\":{}}}\n",
         scale.name,
         scale.length,
         scale.clients,
-        total_jobs,
-        jobs_per_sec,
-        p50,
-        p99,
+        r.total_jobs,
+        r.jobs_per_sec,
+        r.p50,
+        r.p99,
         scale.overload_jobs,
-        rejected,
-        rejection_rate,
-        drain_ms
+        r.rejected,
+        r.rejection_rate,
+        r.drain_ms,
+        scale.fanout_configs,
+        r.fanout_sequential_jobs_per_sec,
+        r.fanout_jobs_per_sec,
+        r.fanout_speedup,
+        r.fanout_stream_passes,
+        scale.dup_jobs,
+        r.dup_jobs_per_sec,
+        r.dup_coalesced,
+        r.dup_cache_hits
     )
+}
+
+/// Fails when `current` for `key` regresses more than `tolerance_pct`
+/// below the baseline document's value.
+fn check_floor(baseline: &str, key: &str, current: f64, tolerance_pct: f64, path: &str) {
+    let field = format!("\"{key}\":");
+    let Some(base) = json_f64_field(baseline, &field) else {
+        fail(&format!("baseline {path} has no {key}"));
+    };
+    let floor = base * (1.0 - tolerance_pct / 100.0);
+    if current < floor {
+        eprintln!(
+            "error: {key} regression beyond {tolerance_pct}% tolerance: \
+             {current:.2} vs baseline {base:.2} ({:+.1}%)",
+            (current / base - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Reads the number following `key` in `doc`.
@@ -271,6 +565,18 @@ fn json_f64_field(doc: &str, key: &str) -> Option<f64> {
     let rest = &doc[doc.find(key)? + key.len()..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// Reads a counter value out of a `/metrics` registry document.
+fn metric_u64(doc: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    let Some(at) = doc.find(&needle) else {
+        fail(&format!("/metrics document has no {name}"));
+    };
+    let rest = &doc[at + needle.len()..];
+    json_f64_field(rest, "\"value\":").map(|v| v as u64).unwrap_or_else(|| {
+        fail(&format!("/metrics entry for {name} has no value"));
+    })
 }
 
 fn fail(msg: &str) -> ! {

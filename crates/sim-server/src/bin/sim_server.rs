@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! sim_server [--addr HOST:PORT] [--queue-depth N] [--workers N]
-//!            [--job-timeout SECONDS] [--addr-file <path>]
-//!            [--metrics <path>]
+//!            [--job-timeout SECONDS] [--max-batch N] [--result-cache N]
+//!            [--addr-file <path>] [--metrics <path>]
 //! ```
 //!
 //! Binds the address (`127.0.0.1:0` picks an ephemeral port; the bound
@@ -79,12 +79,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 config.job_timeout = Duration::from_secs(seconds);
             }
+            "--max-batch" => {
+                config.max_batch = args.next().ok_or("--max-batch needs a count")?.parse()?;
+                if config.max_batch == 0 {
+                    return Err("--max-batch must be positive (1 disables batching)".into());
+                }
+            }
+            "--result-cache" => {
+                config.result_cache_entries = args
+                    .next()
+                    .ok_or("--result-cache needs an entry count (0 disables)")?
+                    .parse()?;
+            }
             "--addr-file" => addr_file = Some(args.next().ok_or("--addr-file needs a path")?),
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
                 eprintln!(
                     "usage: sim_server [--addr HOST:PORT] [--queue-depth N] [--workers N] \
-                     [--job-timeout SECONDS] [--addr-file <path>] [--metrics <path>]"
+                     [--job-timeout SECONDS] [--max-batch N] [--result-cache N] \
+                     [--addr-file <path>] [--metrics <path>]"
                 );
                 return Ok(());
             }
@@ -97,9 +110,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         Server::start(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let addr = server.local_addr();
     println!(
-        "sim_server: listening on {addr} (queue depth {}, {} workers)",
+        "sim_server: listening on {addr} (queue depth {}, {} workers, max batch {}, \
+         result cache {})",
         config.queue_depth,
-        config.workers.max(1)
+        config.workers.max(1),
+        config.max_batch,
+        config.result_cache_entries
     );
     if let Some(path) = &addr_file {
         std::fs::write(path, format!("{addr}\n"))

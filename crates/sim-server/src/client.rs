@@ -88,16 +88,50 @@ impl Connection {
         Ok(response.text())
     }
 
-    /// Submit, wait, fetch — the whole round trip.
+    /// Submit, wait, fetch — the whole round trip. A `429` submission
+    /// is retried with capped exponential backoff (honouring the
+    /// server's `Retry-After` hint) until `timeout` elapses; every
+    /// other submission error is immediate. [`Connection::submit`]
+    /// stays strict so overload tests and benches can count rejections.
     pub fn run(&mut self, body: &str, timeout: Duration) -> io::Result<String> {
-        let id = self.submit(body)?;
-        let status = self.wait(id, timeout)?;
+        let deadline = Instant::now() + timeout;
+        let mut attempt = 0u32;
+        let id = loop {
+            let response = self.send("POST", "/jobs", body)?;
+            match response.status {
+                202 => break parse_id(&response)?,
+                429 => {
+                    let hint = response
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                    let delay = retry_delay(attempt, hint);
+                    if Instant::now() + delay >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("submit still refused (429) after {timeout:?}"),
+                        ));
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                _ => return Err(api_error("submit", &response)),
+            }
+        };
+        let status = self.wait(id, deadline.saturating_duration_since(Instant::now()))?;
         if status != "done" {
             let detail = self.send("GET", &format!("/jobs/{id}/result"), "")?;
             return Err(io::Error::other(format!("job {id} {status}: {}", detail.text())));
         }
         self.fetch(id)
     }
+}
+
+/// Backoff before retrying a `429`: exponential from 50 ms, raised to
+/// the server's `Retry-After` hint when that is longer, capped at 2 s.
+fn retry_delay(attempt: u32, hint: Option<Duration>) -> Duration {
+    let backoff = Duration::from_millis(50) * (1u32 << attempt.min(6));
+    backoff.max(hint.unwrap_or(Duration::ZERO)).min(Duration::from_secs(2))
 }
 
 fn parse_id(response: &ClientResponse) -> io::Result<u64> {
@@ -109,4 +143,26 @@ fn parse_id(response: &ClientResponse) -> io::Result<u64> {
 
 fn api_error(action: &str, response: &ClientResponse) -> io::Error {
     io::Error::other(format!("{action} failed: HTTP {} {}", response.status, response.text()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_grows_exponentially_and_caps() {
+        assert_eq!(retry_delay(0, None), Duration::from_millis(50));
+        assert_eq!(retry_delay(1, None), Duration::from_millis(100));
+        assert_eq!(retry_delay(3, None), Duration::from_millis(400));
+        assert_eq!(retry_delay(6, None), Duration::from_secs(2), "3.2 s capped to 2 s");
+        assert_eq!(retry_delay(60, None), Duration::from_secs(2), "huge attempts do not overflow");
+    }
+
+    #[test]
+    fn retry_delay_honours_a_longer_server_hint() {
+        let hint = Some(Duration::from_secs(1));
+        assert_eq!(retry_delay(0, hint), Duration::from_secs(1), "hint floors the delay");
+        assert_eq!(retry_delay(5, hint), Duration::from_millis(1_600), "backoff beyond the hint");
+        assert_eq!(retry_delay(0, Some(Duration::from_secs(30))), Duration::from_secs(2), "capped");
+    }
 }

@@ -167,41 +167,112 @@ impl JobSpec {
     /// Cancellation (the token tripping mid-run) discards the partial
     /// statistics and reports [`JobError::Cancelled`].
     pub fn execute(&self, cache: &ArtifactCache, token: &CancelToken) -> Result<String, JobError> {
-        if token.is_cancelled() {
-            return Err(JobError::Cancelled);
-        }
-        let core = self.core();
-        let mut options = RunOptions::default().with_warmup(self.warmup).with_cancel(token.clone());
-        if let Some(n) = self.epochs {
-            options = options.with_epochs(n);
-        }
-        if let Some(name) = &self.prefetcher {
-            let pf = iprefetch::by_name(name)
-                .ok_or_else(|| JobError::Failed(format!("unknown prefetcher {name:?}")))?;
-            options = options.with_prefetcher(pf);
+        Self::execute_batch(&[(self, token)], cache).pop().expect("batch of one yields one outcome")
+    }
+
+    /// Runs a batch of jobs sharing one [`source key`](JobSpec::source_key)
+    /// as a single fused streaming pass: the records are loaded (or
+    /// converted) once and pushed through one [`sim::SimSink`] per job
+    /// in lockstep, producing one independent outcome per job.
+    ///
+    /// This is the only execution path — a batch of one is how
+    /// [`execute`](JobSpec::execute) runs — so fused results are
+    /// structurally byte-identical to unbatched ones. Per-job options
+    /// (core, warm-up, epochs, prefetcher) and cancel tokens stay fully
+    /// independent: a lane whose token trips reports
+    /// [`JobError::Cancelled`] while its batchmates run to completion.
+    pub fn execute_batch(
+        batch: &[(&JobSpec, &CancelToken)],
+        cache: &ArtifactCache,
+    ) -> Vec<Result<String, JobError>> {
+        let Some((first, _)) = batch.first() else { return Vec::new() };
+        debug_assert!(
+            batch.iter().all(|(spec, _)| spec.source_key() == first.source_key()),
+            "batched jobs must share a source key"
+        );
+
+        // Live lanes: jobs not already cancelled at dispatch.
+        let mut outcomes: Vec<Result<String, JobError>> =
+            batch.iter().map(|_| Err(JobError::Cancelled)).collect();
+        let live: Vec<usize> = (0..batch.len()).filter(|&i| !batch[i].1.is_cancelled()).collect();
+        if live.is_empty() {
+            return outcomes;
         }
 
+        // One source load for the whole batch; a load failure fails
+        // every live job with the same diagnostic.
+        let loaded = match &first.source {
+            JobSource::ChampsimTrace(path) => read_champsim(path).map(LoadedRecords::Owned),
+            JobSource::CvpTrace(path) => read_cvp(path).map(|cvp| {
+                LoadedRecords::Owned(Converter::new(first.improvements).convert_all(cvp.iter()))
+            }),
+            JobSource::Workload(spec) => Ok(LoadedRecords::Shared(cache.converted_shared(
+                spec,
+                spec.length(),
+                first.improvements,
+            ))),
+        };
+        let records = match loaded {
+            Ok(records) => records,
+            Err(e) => {
+                for &i in &live {
+                    outcomes[i] = Err(e.clone());
+                }
+                return outcomes;
+            }
+        };
+
+        // The lane configs must outlive the sinks, hence the owned Vec.
+        let cores: Vec<CoreConfig> = live.iter().map(|&i| batch[i].0.core()).collect();
+        let lanes: Vec<(&CoreConfig, RunOptions)> = live
+            .iter()
+            .zip(&cores)
+            .map(|(&i, core)| {
+                let (spec, token) = batch[i];
+                let mut options =
+                    RunOptions::default().with_warmup(spec.warmup).with_cancel((*token).clone());
+                if let Some(n) = spec.epochs {
+                    options = options.with_epochs(n);
+                }
+                if let Some(name) = &spec.prefetcher {
+                    // Parsing validated the name; an unknown one here is
+                    // a registry change mid-flight, surfaced per job.
+                    if let Some(pf) = iprefetch::by_name(name) {
+                        options = options.with_prefetcher(pf);
+                    }
+                }
+                (core, options)
+            })
+            .collect();
+
+        let start = Instant::now();
+        let reports = Simulator::run_fused(lanes, records.as_slice().iter().copied());
+        cache.add_simulate_ns(start.elapsed().as_nanos() as u64);
+
+        for (&i, report) in live.iter().zip(reports) {
+            let (spec, token) = batch[i];
+            outcomes[i] = if token.is_cancelled() {
+                Err(JobError::Cancelled)
+            } else {
+                Ok(spec.render_document(&report))
+            };
+        }
+        outcomes
+    }
+
+    /// Renders a finished report into the job's result document.
+    fn render_document(&self, report: &SimReport) -> String {
         match &self.source {
             JobSource::ChampsimTrace(path) => {
-                let records = read_champsim(path)?;
-                let report = run(cache, &core, &records, options, token)?;
                 // The byte-identity anchor: same exporter as champsim-run.
-                Ok(cli::champsim_run_registry(&report, &self.core_name, path).to_json())
+                cli::champsim_run_registry(report, &self.core_name, path).to_json()
             }
             JobSource::CvpTrace(path) => {
-                let cvp = read_cvp(path)?;
-                if token.is_cancelled() {
-                    return Err(JobError::Cancelled);
-                }
-                let records = Converter::new(self.improvements).convert_all(cvp.iter());
-                let report = run(cache, &core, &records, options, token)?;
                 let mut registry = self.server_labels(&[("trace", path)]);
                 report.export(&mut registry);
-                Ok(registry.to_json())
+                registry.to_json()
             }
             JobSource::Workload(spec) => {
-                let converted = cache.converted_shared(spec, spec.length(), self.improvements);
-                let report = run(cache, &core, &converted.records, options, token)?;
                 let mut registry = self.server_labels(&[
                     ("workload", spec.name()),
                     ("kind", &spec.kind().to_string()),
@@ -209,9 +280,46 @@ impl JobSpec {
                     ("length", &spec.length().to_string()),
                 ]);
                 report.export(&mut registry);
-                Ok(registry.to_json())
+                registry.to_json()
             }
         }
+    }
+
+    /// The canonical identity of this job's *record stream*: source
+    /// plus the conversion improvements, nothing else. Jobs sharing a
+    /// source key can be fused into one streaming pass (core, warm-up,
+    /// epochs and prefetcher are per-lane run options).
+    pub fn source_key(&self) -> String {
+        let mut key = String::new();
+        write_source_key(&mut key, &self.source, self.improvements);
+        key
+    }
+
+    /// The canonical identity of the *complete* job: source key plus
+    /// every knob that shapes the result document. Two request bodies
+    /// that parse to the same spec — regardless of field order,
+    /// whitespace, or spelled-out defaults — get the same key, which is
+    /// what makes the server's result cache and in-flight coalescing
+    /// sound.
+    pub fn canonical_key(&self) -> String {
+        let mut key = String::new();
+        write_source_key(&mut key, &self.source, self.improvements);
+        key.push_str(&format!(
+            "|core={}|warmup={}|epochs={:?}|prefetcher={:?}",
+            self.core_name, self.warmup, self.epochs, self.prefetcher
+        ));
+        key
+    }
+
+    /// FNV-1a hash of [`canonical_key`](JobSpec::canonical_key) — a
+    /// compact fingerprint for logs and metrics labels.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hash = 0xcbf29ce484222325u64;
+        for byte in self.canonical_key().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
     }
 
     /// The resolved core configuration.
@@ -234,23 +342,60 @@ impl JobSpec {
     }
 }
 
-fn run(
-    cache: &ArtifactCache,
-    core: &CoreConfig,
-    records: &[ChampsimRecord],
-    options: RunOptions,
-    token: &CancelToken,
-) -> Result<SimReport, JobError> {
-    if token.is_cancelled() {
-        return Err(JobError::Cancelled);
+/// A batch's record stream: owned when read from disk, shared when
+/// fetched from the artifact cache.
+enum LoadedRecords {
+    Owned(Vec<ChampsimRecord>),
+    Shared(experiments::cache::ConvertedTrace),
+}
+
+impl LoadedRecords {
+    fn as_slice(&self) -> &[ChampsimRecord] {
+        match self {
+            LoadedRecords::Owned(records) => records,
+            LoadedRecords::Shared(converted) => &converted.records,
+        }
     }
-    let start = Instant::now();
-    let report = Simulator::run_on(core, records, options);
-    cache.add_simulate_ns(start.elapsed().as_nanos() as u64);
-    if token.is_cancelled() {
-        return Err(JobError::Cancelled);
+}
+
+/// Writes the canonical stream identity: the source (with every
+/// generator knob — `f64` fractions by bit pattern, so any two JSON
+/// spellings that parse to the same number agree) plus, for sources
+/// that convert, the improvement set. On-disk ChampSim traces skip the
+/// improvements: they are simulated as-is, so specs differing only
+/// there still share a stream (and a result).
+fn write_source_key(out: &mut String, source: &JobSource, improvements: ImprovementSet) {
+    use std::fmt::Write;
+    match source {
+        JobSource::ChampsimTrace(path) => {
+            let _ = write!(out, "champsim:{path}");
+        }
+        JobSource::CvpTrace(path) => {
+            let _ = write!(out, "cvp:{path}|improvements={improvements}");
+        }
+        JobSource::Workload(spec) => {
+            let _ = write!(
+                out,
+                "workload:{}:seed={}:len={}:name={}:bu={:016x}:x30={:016x}:hb={:016x}:\
+                 rb={:016x}:lp={:016x}:cx={:016x}:pl={:016x}:sc={:016x}:df={}:cf={}\
+                 |improvements={improvements}",
+                spec.kind(),
+                spec.seed(),
+                spec.length(),
+                spec.name(),
+                spec.base_update_fraction.to_bits(),
+                spec.x30_call_fraction.to_bits(),
+                spec.hard_branch_fraction.to_bits(),
+                spec.register_branch_fraction.to_bits(),
+                spec.load_pair_fraction.to_bits(),
+                spec.crossing_fraction.to_bits(),
+                spec.prefetch_load_fraction.to_bits(),
+                spec.serial_chase_fraction.to_bits(),
+                spec.data_footprint_log2,
+                spec.code_functions,
+            );
+        }
     }
-    Ok(report)
 }
 
 fn read_champsim(path: &str) -> Result<Vec<ChampsimRecord>, JobError> {
@@ -422,6 +567,124 @@ mod tests {
         assert!(a.contains("\"tool\":\"sim-server\""));
         assert!(a.contains("sim.ipc"));
         assert_eq!(cache.counters().convert_misses, 1, "second run hit the cache");
+    }
+
+    /// Field order, whitespace, and spelled-out defaults don't change
+    /// the canonical key; any knob that shapes the result does.
+    #[test]
+    fn canonical_key_ignores_spelling_but_not_knobs() {
+        let a = JobSpec::parse(
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000},
+                "improvements": "All_imps", "core": "iiswc", "warmup": 100}"#,
+        )
+        .unwrap();
+        let b = JobSpec::parse(
+            "{\"warmup\":100,\"improvements\":\"All_imps\",\n  \"workload\":{\"length\":4000,\
+             \"seed\":7,\"kind\":\"crypto\"},\"core\":\"iiswc\"}",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key(), "equivalent spellings must agree");
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+
+        // Defaults spelled out explicitly still match the implicit form.
+        let implicit = JobSpec::parse(r#"{"workload": {"kind": "crypto", "seed": 7}}"#).unwrap();
+        let explicit = JobSpec::parse(
+            r#"{"workload": {"kind": "crypto", "seed": 7, "name": "crypto-7"},
+                "core": "iiswc", "warmup": 0}"#,
+        )
+        .unwrap();
+        assert_eq!(implicit.canonical_key(), explicit.canonical_key());
+
+        // Every result-shaping knob must move the key.
+        let base = r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000}}"#;
+        let variants = [
+            r#"{"workload": {"kind": "crypto", "seed": 8, "length": 4000}}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4001}}"#,
+            r#"{"workload": {"kind": "streaming", "seed": 7, "length": 4000}}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000,
+                "hard_branch_fraction": 0.25}}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000},
+                "improvements": "All_imps"}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000}, "core": "ipc1"}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000}, "warmup": 1}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000}, "epochs": 100}"#,
+            r#"{"workload": {"kind": "crypto", "seed": 7, "length": 4000},
+                "prefetcher": "next-line"}"#,
+        ];
+        let base_key = JobSpec::parse(base).unwrap().canonical_key();
+        for variant in variants {
+            let key = JobSpec::parse(variant).unwrap().canonical_key();
+            assert_ne!(base_key, key, "variant must differ: {variant}");
+        }
+    }
+
+    /// The source key tracks the record stream only: per-lane run
+    /// options don't split a batch, conversion-shaping fields do.
+    #[test]
+    fn source_key_groups_by_stream_not_run_options() {
+        let parse = |body: &str| JobSpec::parse(body).unwrap();
+        let a = parse(r#"{"workload": {"kind": "crypto", "seed": 7}, "warmup": 100}"#);
+        let b = parse(
+            r#"{"workload": {"kind": "crypto", "seed": 7}, "core": "ipc1",
+                "epochs": 50, "prefetcher": "next-line"}"#,
+        );
+        assert_eq!(a.source_key(), b.source_key(), "run options must not split the stream");
+        assert_ne!(a.canonical_key(), b.canonical_key());
+
+        let c =
+            parse(r#"{"workload": {"kind": "crypto", "seed": 7}, "improvements": "base-update"}"#);
+        assert_ne!(a.source_key(), c.source_key(), "improvements shape the converted stream");
+
+        // On-disk ChampSim traces simulate as-is: improvements are
+        // irrelevant to both stream and result.
+        let d = parse(r#"{"trace": "t.champsimz"}"#);
+        let e = parse(r#"{"trace": "t.champsimz", "improvements": "All_imps"}"#);
+        assert_eq!(d.source_key(), e.source_key());
+        assert_eq!(d.canonical_key(), e.canonical_key());
+    }
+
+    /// The fused batch path yields byte-identical documents to separate
+    /// single-job executions, across heterogeneous per-lane options.
+    #[test]
+    fn batched_execution_matches_single_jobs_bytewise() {
+        let bodies = [
+            r#"{"workload": {"kind": "branchy-int", "seed": 5, "length": 4000},
+                "improvements": "All_imps"}"#,
+            r#"{"workload": {"kind": "branchy-int", "seed": 5, "length": 4000},
+                "improvements": "All_imps", "warmup": 500, "core": "ipc1"}"#,
+            r#"{"workload": {"kind": "branchy-int", "seed": 5, "length": 4000},
+                "improvements": "All_imps", "epochs": 1000, "prefetcher": "next-line"}"#,
+        ];
+        let specs: Vec<JobSpec> = bodies.iter().map(|b| JobSpec::parse(b).unwrap()).collect();
+        let tokens: Vec<CancelToken> = specs.iter().map(|_| CancelToken::new()).collect();
+        let batch: Vec<(&JobSpec, &CancelToken)> = specs.iter().zip(&tokens).collect();
+
+        let cache = ArtifactCache::with_spill(None);
+        let fused = JobSpec::execute_batch(&batch, &cache);
+        for (i, spec) in specs.iter().enumerate() {
+            let solo = spec.execute(&ArtifactCache::with_spill(None), &CancelToken::new());
+            assert_eq!(fused[i].as_ref().unwrap(), solo.as_ref().unwrap(), "lane {i}");
+        }
+        assert_eq!(
+            cache.counters().convert_misses,
+            1,
+            "the whole batch shares one conversion fetch"
+        );
+    }
+
+    /// One cancelled lane doesn't poison its batchmates.
+    #[test]
+    fn batch_isolates_a_cancelled_lane() {
+        let spec = JobSpec::parse(r#"{"workload": {"kind": "crypto", "seed": 6, "length": 3000}}"#)
+            .unwrap();
+        let live = CancelToken::new();
+        let dead = CancelToken::new();
+        dead.cancel();
+        let cache = ArtifactCache::with_spill(None);
+        let outcomes = JobSpec::execute_batch(&[(&spec, &dead), (&spec, &live)], &cache);
+        assert_eq!(outcomes[0], Err(JobError::Cancelled));
+        let solo = spec.execute(&ArtifactCache::with_spill(None), &CancelToken::new()).unwrap();
+        assert_eq!(outcomes[1].as_ref().unwrap(), &solo);
     }
 
     #[test]

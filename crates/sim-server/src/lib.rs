@@ -11,22 +11,31 @@
 //!   sim_client / server_bench / curl
 //!         │  POST /jobs {"workload": …} | {"trace": "x.cvpz"}
 //!         ▼
-//!   ┌──────────────────────── sim_server ────────────────────────┐
-//!   │ accept loop ─▶ conn threads ─▶ BoundedQueue(depth N) ──▶   │
-//!   │     GET /jobs/<id>, /result,        │ full: 429 +     │    │
-//!   │     /healthz, /metrics              ▼ Retry-After     ▼    │
-//!   │                               job table          worker ×M │
-//!   │                            (status/result)   JobSpec::execute
-//!   │                                              ArtifactCache │
-//!   │                                              CancelToken ◀─┼─ --job-timeout
-//!   └────────────────────────────────────────────────────────────┘
+//!   ┌────────────────────────── sim_server ──────────────────────────┐
+//!   │ accept loop ─▶ conn threads ──▶ BoundedQueue(depth N) ──▶      │
+//!   │     GET /jobs/<id>, /result,   │     │ full: 429 +        │    │
+//!   │     /healthz, /metrics         │     ▼ Retry-After        ▼    │
+//!   │                                │  job table          worker ×M │
+//!   │   ResultCache ◀── canonical ───┤ (status/result)  batch planner:
+//!   │   hit: born Done  key          │                  drain same   │
+//!   │   in-flight map ◀── duplicate ─┘                  source key   │
+//!   │   attach as follower                                   │       │
+//!   │                                         JobSpec::execute_batch │
+//!   │                                        (one fused pass ×N cfg) │
+//!   │                                         ArtifactCache          │
+//!   │                                         CancelToken ◀──────────┼─ --job-timeout
+//!   └────────────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! The correctness anchor: a ChampSim-trace job's result document is
 //! produced by [`cli::champsim_run_registry`] — the exact exporter the
 //! `champsim-run` binary uses — so fetching `/jobs/<id>/result` yields
 //! bytes identical to a local `champsim-run --metrics` of the same
-//! trace and configuration.
+//! trace and configuration. Batching preserves this: a fused pass
+//! drives the same per-record engine loop ([`sim::SimSink`]) that a
+//! solo run uses, and the result cache memoizes finished documents
+//! verbatim, so batched and cached results are byte-identical to
+//! unbatched ones.
 
 pub mod client;
 pub mod http;
@@ -34,9 +43,11 @@ pub mod jobspec;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod result_cache;
 pub mod server;
 
 pub use client::Connection;
 pub use jobspec::{JobError, JobSource, JobSpec};
 pub use queue::BoundedQueue;
+pub use result_cache::{ResultCache, ResultCacheStats};
 pub use server::{JobStatus, Server, ServerConfig, ShutdownHandle};

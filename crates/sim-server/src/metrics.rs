@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use telemetry::{catalog, Log2Histogram, Registry};
 
+use crate::result_cache::ResultCacheStats;
+
 /// Aggregated lifetime metrics for one server instance.
 #[derive(Default)]
 pub struct ServerMetrics {
@@ -21,15 +23,34 @@ pub struct ServerMetrics {
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
+    coalesced: AtomicU64,
+    batch_passes: AtomicU64,
+    batch_fused_jobs: AtomicU64,
     queue_ms: Mutex<Log2Histogram>,
     run_ms: Mutex<Log2Histogram>,
     total_ms: Mutex<Log2Histogram>,
+    batch_size: Mutex<Log2Histogram>,
 }
 
 impl ServerMetrics {
     /// A job was admitted to the queue.
     pub fn note_accepted(&self) {
         self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An accepted submission duplicated an in-flight job and attached
+    /// to its execution instead of queueing.
+    pub fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker dispatched one fused streaming pass over `size` jobs.
+    pub fn note_batch(&self, size: usize) {
+        self.batch_passes.fetch_add(1, Ordering::Relaxed);
+        if size >= 2 {
+            self.batch_fused_jobs.fetch_add(size as u64, Ordering::Relaxed);
+        }
+        lock(&self.batch_size).record(size as u64);
     }
 
     /// A job was refused with `429` because the queue was full.
@@ -76,10 +97,10 @@ impl ServerMetrics {
         lock(&self.total_ms).record((queued + ran).as_millis() as u64);
     }
 
-    /// Snapshots everything into a registry; `queue_depth` is sampled
-    /// by the caller (the queue lives next to, not inside, the
-    /// metrics).
-    pub fn export(&self, queue_depth: usize) -> Registry {
+    /// Snapshots everything into a registry; `queue_depth` and
+    /// `cache_stats` are sampled by the caller (the queue and result
+    /// cache live next to, not inside, the metrics).
+    pub fn export(&self, queue_depth: usize, cache_stats: ResultCacheStats) -> Registry {
         let mut registry = Registry::new();
         registry.label("tool", "sim-server");
         registry.counter(&catalog::SERVER_JOBS_ACCEPTED, self.accepted.load(Ordering::Relaxed));
@@ -87,10 +108,20 @@ impl ServerMetrics {
         registry.counter(&catalog::SERVER_JOBS_COMPLETED, self.completed.load(Ordering::Relaxed));
         registry.counter(&catalog::SERVER_JOBS_FAILED, self.failed.load(Ordering::Relaxed));
         registry.counter(&catalog::SERVER_JOBS_CANCELLED, self.cancelled.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_JOBS_COALESCED, self.coalesced.load(Ordering::Relaxed));
+        registry.counter(&catalog::SERVER_BATCH_PASSES, self.batch_passes.load(Ordering::Relaxed));
+        registry.counter(
+            &catalog::SERVER_BATCH_FUSED_JOBS,
+            self.batch_fused_jobs.load(Ordering::Relaxed),
+        );
+        registry.counter(&catalog::SERVER_RESULT_CACHE_HITS, cache_stats.hits);
+        registry.counter(&catalog::SERVER_RESULT_CACHE_MISSES, cache_stats.misses);
+        registry.counter(&catalog::SERVER_RESULT_CACHE_EVICTIONS, cache_stats.evictions);
         registry.gauge(&catalog::SERVER_QUEUE_DEPTH, queue_depth as f64);
         registry.histogram(&catalog::SERVER_LATENCY_QUEUE, lock(&self.queue_ms).clone());
         registry.histogram(&catalog::SERVER_LATENCY_RUN, lock(&self.run_ms).clone());
         registry.histogram(&catalog::SERVER_LATENCY_TOTAL, lock(&self.total_ms).clone());
+        registry.histogram(&catalog::SERVER_BATCH_SIZE, lock(&self.batch_size).clone());
         registry
     }
 }
@@ -112,14 +143,25 @@ mod tests {
         m.note_completed(Duration::from_millis(5), Duration::from_millis(40));
         m.note_failed(Duration::from_millis(1), Duration::from_millis(2));
         m.note_cancelled();
-        let registry = m.export(3);
+        m.note_coalesced();
+        m.note_batch(1);
+        m.note_batch(3);
+        let cache_stats = ResultCacheStats { hits: 4, misses: 6, evictions: 2 };
+        let registry = m.export(3, cache_stats);
         assert_eq!(registry.counter_value("server.jobs.accepted"), 2);
         assert_eq!(registry.counter_value("server.jobs.rejected"), 1);
         assert_eq!(registry.counter_value("server.jobs.completed"), 1);
         assert_eq!(registry.counter_value("server.jobs.failed"), 1);
         assert_eq!(registry.counter_value("server.jobs.cancelled"), 1);
+        assert_eq!(registry.counter_value("server.jobs.coalesced"), 1);
+        assert_eq!(registry.counter_value("server.batch.passes"), 2);
+        assert_eq!(registry.counter_value("server.batch.fused_jobs"), 3, "solo passes not fused");
+        assert_eq!(registry.counter_value("server.result_cache.hits"), 4);
+        assert_eq!(registry.counter_value("server.result_cache.misses"), 6);
+        assert_eq!(registry.counter_value("server.result_cache.evictions"), 2);
         let doc = registry.to_json();
         assert!(doc.contains("server.queue.depth"));
         assert!(doc.contains("server.latency.total_ms"));
+        assert!(doc.contains("server.batch.size"));
     }
 }

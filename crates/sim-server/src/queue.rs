@@ -77,6 +77,28 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Removes and returns up to `limit` queued items matching `pred`,
+    /// preserving FIFO order among them — the batch planner's scan: a
+    /// worker that popped a job calls this to claim co-queued jobs with
+    /// the same source key for one fused pass. Non-matching items keep
+    /// their positions; nothing blocks.
+    pub fn drain_matching<F>(&self, mut pred: F, limit: usize) -> Vec<T>
+    where
+        F: FnMut(&T) -> bool,
+    {
+        let mut state = self.lock();
+        let mut claimed = Vec::new();
+        let mut index = 0;
+        while index < state.items.len() && claimed.len() < limit {
+            if pred(&state.items[index]) {
+                claimed.push(state.items.remove(index).expect("index in bounds"));
+            } else {
+                index += 1;
+            }
+        }
+        claimed
+    }
+
     /// Closes the queue: future pushes are refused, queued items still
     /// drain, blocked `pop`s wake up.
     pub fn close(&self) {
@@ -139,6 +161,27 @@ mod tests {
         assert_eq!(q.try_push(2), Err(2));
         assert_eq!(q.pop(), Some(1), "backlog still drains after close");
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_matching_claims_in_order_and_respects_limit() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.drain_matching(|v| v % 2 == 0, 2), vec![2, 4], "limit stops the scan");
+        assert_eq!(q.drain_matching(|v| v % 2 == 0, 8), vec![6]);
+        // Non-matching items keep their FIFO order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert!(q.is_empty());
+        // A drain frees capacity for new pushes.
+        for v in 0..8 {
+            q.try_push(v).unwrap();
+        }
+        assert_eq!(q.drain_matching(|_| true, 8).len(), 8);
+        assert!(q.try_push(9).is_ok());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! A bounded LRU over finished result documents, keyed by the
+//! [`canonical job-spec key`](crate::JobSpec::canonical_key).
+//!
+//! ```text
+//!   POST /jobs ──▶ canonical_key ──▶ ResultCache.get ──▶ hit: job is
+//!                        │                │                Done at
+//!                        │               miss              submission
+//!                        ▼                ▼
+//!                  in-flight map    queue → worker → insert(key, doc)
+//! ```
+//!
+//! A hit returns the exact document the original execution produced —
+//! documents are immutable once built, so the cached bytes are
+//! byte-identical to a fresh simulation of the same spec. Only `Done`
+//! outcomes are cached; failures and cancellations always re-execute.
+//! Capacity is counted in entries (result documents are a few KB);
+//! `capacity == 0` disables the cache entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic counters exported as `server.result_cache.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups that returned a cached document.
+    pub hits: u64,
+    /// Lookups that found nothing (including while disabled).
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+}
+
+struct LruState {
+    /// key → (document, recency stamp).
+    entries: HashMap<String, (String, u64)>,
+    /// Monotonic use counter backing the recency stamps.
+    clock: u64,
+}
+
+/// Bounded, thread-safe LRU result memo. See the module docs.
+pub struct ResultCache {
+    capacity: usize,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` documents (`0` disables it).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            state: Mutex::new(LruState { entries: HashMap::new(), clock: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        match state.entries.get_mut(key) {
+            Some((document, stamp)) => {
+                *stamp = clock;
+                let document = document.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(document)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `document` under `key`, evicting the least recently used
+    /// entry if the cache is over capacity.
+    pub fn insert(&self, key: String, document: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        state.entries.insert(key, (document, clock));
+        while state.entries.len() > self.capacity {
+            let Some(oldest) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            state.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Documents currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot for `/metrics`.
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_stored_document() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a".into(), "doc-a".into());
+        assert_eq!(cache.get("a").as_deref(), Some("doc-a"));
+        assert_eq!(cache.stats(), ResultCacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        assert!(cache.get("a").is_some(), "refresh a so b is the LRU");
+        cache.insert("c".into(), "3".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none(), "b was evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let cache = ResultCache::new(2);
+        cache.insert("a".into(), "old".into());
+        cache.insert("a".into(), "new".into());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a").as_deref(), Some("new"));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = ResultCache::new(0);
+        cache.insert("a".into(), "doc".into());
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

@@ -2,15 +2,30 @@
 //! job table, and shutdown choreography.
 //!
 //! ```text
-//!                  connection threads                worker pool
-//!   TCP accept ──▶ parse request ──▶ BoundedQueue ──▶ pop job id
-//!   (nonblocking,     │   │ full        (depth N)        │
-//!    poll loop)       │   └──▶ 429 + Retry-After         ▼
-//!                     │                            JobSpec::execute
-//!      GET /jobs/<id>[/result], /healthz, /metrics  (shared cache,
-//!                     │                              cancel token)
-//!                     └──▶ job table lookup ◀────── record outcome
+//!                  connection threads                     worker pool
+//!   TCP accept ──▶ parse request ──▶ BoundedQueue ──────▶ pop (id, source key)
+//!   (nonblocking,     │   │ full       (depth N)          │ drain_matching:
+//!    poll loop)       │   └──▶ 429 + Retry-After          │ claim co-queued jobs
+//!                     │                                   ▼ with same source key
+//!                     ├──▶ ResultCache hit ─▶ Done   JobSpec::execute_batch
+//!                     │    (canonical key)          (one fused streaming pass,
+//!                     ├──▶ in-flight dup ─▶ attach   N reports; shared cache,
+//!                     │    as follower              per-job cancel tokens)
+//!      GET /jobs/<id>[/result], /healthz, /metrics        │
+//!                     │                                   ▼
+//!                     └──▶ job table lookup ◀──── record outcomes, fill
+//!                                                 cache, settle followers
 //! ```
+//!
+//! The submission fast paths come first: a result-cache hit (keyed by
+//! the [`canonical job-spec key`](JobSpec::canonical_key)) creates the
+//! job already `Done` with the memoized document, and a submission that
+//! duplicates a job still in flight attaches to that execution as a
+//! *follower* — accepted, never queued, settled when the primary
+//! finishes. Everything else queues as `(id, source key)`; a worker
+//! that pops a job scans the queue for co-queued jobs with the same
+//! source key (up to `max_batch`) and drives them through one fused
+//! streaming pass over the shared decoded record stream.
 //!
 //! Shutdown has two grades. *Graceful* (`begin_shutdown(false)`): new
 //! submissions get `503`, the queue closes, workers finish the backlog,
@@ -37,6 +52,7 @@ use crate::jobspec::{JobError, JobSpec};
 use crate::json;
 use crate::metrics::ServerMetrics;
 use crate::queue::BoundedQueue;
+use crate::result_cache::ResultCache;
 
 /// How often blocked reads and the accept loop re-check shutdown flags.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -52,6 +68,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-job deadline, measured from submission (queue wait counts).
     pub job_timeout: Duration,
+    /// Most jobs one worker fuses into a single streaming pass
+    /// (`1` disables batching).
+    pub max_batch: usize,
+    /// Result-cache capacity in documents (`0` disables memoization).
+    pub result_cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +82,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             workers: 2,
             job_timeout: Duration::from_secs(300),
+            max_batch: 8,
+            result_cache_entries: 256,
         }
     }
 }
@@ -108,6 +131,10 @@ struct Job {
     spec: JobSpec,
     token: CancelToken,
     submitted: Instant,
+    /// Full-spec memoization key; see [`JobSpec::canonical_key`].
+    canonical_key: String,
+    /// Stream-grouping key; see [`JobSpec::source_key`].
+    source_key: String,
     state: Mutex<JobState>,
 }
 
@@ -117,13 +144,24 @@ impl Job {
     }
 }
 
+/// Jobs coalesced onto one execution of a canonical spec: the primary
+/// is queued (or running); followers were accepted but never queued —
+/// they are settled with the primary's outcome when it finishes.
+struct Inflight {
+    primary: u64,
+    followers: Vec<u64>,
+}
+
 struct Shared {
     config: ServerConfig,
-    queue: BoundedQueue<u64>,
+    queue: BoundedQueue<(u64, String)>,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    /// canonical key → the execution duplicates attach to.
+    inflight: Mutex<HashMap<String, Inflight>>,
     next_id: AtomicU64,
     metrics: ServerMetrics,
     cache: ArtifactCache,
+    result_cache: ResultCache,
     /// Submissions refused (`503`); polls and fetches still served.
     shutting_down: AtomicBool,
     /// Connection threads and the accept loop exit at next poll.
@@ -137,6 +175,14 @@ impl Shared {
 
     fn jobs_lock(&self) -> MutexGuard<'_, HashMap<u64, Arc<Job>>> {
         self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn inflight_lock(&self) -> MutexGuard<'_, HashMap<String, Inflight>> {
+        self.inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn metrics_json(&self) -> String {
+        self.metrics.export(self.queue.len(), self.result_cache.stats()).to_json()
     }
 }
 
@@ -158,8 +204,10 @@ impl Server {
         let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
+            result_cache: ResultCache::new(config.result_cache_entries),
             config,
             jobs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             metrics: ServerMetrics::default(),
             cache: ArtifactCache::with_spill(None),
@@ -215,7 +263,7 @@ impl Server {
 
     /// The operational metrics document (same as `GET /metrics`).
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.export(self.shared.queue.len()).to_json()
+        self.shared.metrics_json()
     }
 
     /// A cloneable handle that outlives [`Server::join`]; signal
@@ -261,14 +309,22 @@ impl ShutdownHandle {
 
     /// The operational metrics document (same as `GET /metrics`).
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.export(self.shared.queue.len()).to_json()
+        self.shared.metrics_json()
     }
 }
 
 fn begin_shutdown(shared: &Shared, abort: bool) {
     shared.shutting_down.store(true, Ordering::SeqCst);
     if abort {
-        for id in shared.queue.close_and_drain() {
+        let mut doomed: Vec<u64> =
+            shared.queue.close_and_drain().into_iter().map(|(id, _)| id).collect();
+        // Followers never sit in the queue; drain the in-flight map so
+        // they are not stranded waiting for a primary that will report
+        // cancellation (or was itself just drained).
+        for (_, entry) in shared.inflight_lock().drain() {
+            doomed.extend(entry.followers);
+        }
+        for id in doomed {
             if let Some(job) = shared.job(id) {
                 let mut state = job.lock();
                 if !state.status.is_terminal() {
@@ -341,9 +397,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit(request, shared),
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => {
-            Response::json(200, shared.metrics.export(shared.queue.len()).to_json())
-        }
+        ("GET", "/metrics") => Response::json(200, shared.metrics_json()),
         ("POST", "/shutdown") => shutdown_endpoint(request, shared),
         ("GET", _) if path.starts_with("/jobs/") => job_endpoint(path, shared),
         (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => {
@@ -366,12 +420,41 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
         Ok(spec) => spec,
         Err(message) => return error_response(400, &message),
     };
+    let canonical_key = spec.canonical_key();
+    let source_key = spec.source_key();
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let submitted = Instant::now();
+
+    // Fast path 1: the exact spec already finished — answer from the
+    // result cache with a job born `Done`. The memoized document is the
+    // byte-identical output of the original execution.
+    if let Some(document) = shared.result_cache.get(&canonical_key) {
+        let job = Arc::new(Job {
+            spec,
+            token: CancelToken::new(),
+            submitted,
+            canonical_key,
+            source_key,
+            state: Mutex::new(JobState {
+                status: JobStatus::Done,
+                result: Some(document),
+                error: None,
+                started: Some(submitted),
+                finished: Some(submitted),
+            }),
+        });
+        shared.jobs_lock().insert(id, job);
+        shared.metrics.note_accepted();
+        shared.metrics.note_completed(Duration::ZERO, Duration::ZERO);
+        return Response::json(202, format!("{{\"id\":{id},\"status\":\"done\"}}"));
+    }
+
     let job = Arc::new(Job {
         spec,
         token: CancelToken::with_deadline(submitted + shared.config.job_timeout),
         submitted,
+        canonical_key: canonical_key.clone(),
+        source_key: source_key.clone(),
         state: Mutex::new(JobState {
             status: JobStatus::Queued,
             result: None,
@@ -380,14 +463,52 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
             finished: None,
         }),
     });
+    // The job must be visible in the table before it can appear in the
+    // in-flight map: a worker settling followers looks ids up there.
     shared.jobs_lock().insert(id, job);
-    if shared.queue.try_push(id).is_err() {
+
+    // Fast path 2: the same spec is already queued or running — attach
+    // to that execution as a follower instead of queueing a duplicate.
+    {
+        let mut inflight = shared.inflight_lock();
+        match inflight.get_mut(&canonical_key) {
+            Some(entry) => {
+                entry.followers.push(id);
+                drop(inflight);
+                shared.metrics.note_accepted();
+                shared.metrics.note_coalesced();
+                return Response::json(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"));
+            }
+            None => {
+                inflight
+                    .insert(canonical_key.clone(), Inflight { primary: id, followers: Vec::new() });
+            }
+        }
+    }
+
+    if shared.queue.try_push((id, source_key)).is_err() {
         shared.jobs_lock().remove(&id);
+        // Duplicates may have attached in the window before the push
+        // failed; give one of them a chance to take the execution.
+        let followers = remove_inflight_entry(shared, &canonical_key, id);
+        promote_followers(shared, followers);
         shared.metrics.note_rejected();
         return error_response(429, "queue full").with_header("retry-after", "1");
     }
     shared.metrics.note_accepted();
     Response::json(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+}
+
+/// Removes the in-flight entry for `key` if `id` is still its primary,
+/// returning any followers that had attached to it.
+fn remove_inflight_entry(shared: &Shared, key: &str, id: u64) -> Vec<u64> {
+    let mut inflight = shared.inflight_lock();
+    match inflight.get(key) {
+        Some(entry) if entry.primary == id => {
+            inflight.remove(key).map(|entry| entry.followers).unwrap_or_default()
+        }
+        _ => Vec::new(),
+    }
 }
 
 fn healthz(shared: &Arc<Shared>) -> Response {
@@ -483,48 +604,173 @@ fn error_response(status: u16, message: &str) -> Response {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(id) = shared.queue.pop() {
-        let Some(job) = shared.job(id) else { continue };
-        run_job(&job, shared);
+    while let Some((id, source_key)) = shared.queue.pop() {
+        // Batch planner: claim co-queued jobs that decode the same
+        // record stream, so one pass feeds every config.
+        let mut ids = vec![id];
+        if shared.config.max_batch > 1 {
+            let claimed = shared
+                .queue
+                .drain_matching(|(_, key)| key == &source_key, shared.config.max_batch - 1);
+            ids.extend(claimed.into_iter().map(|(id, _)| id));
+        }
+        run_batch(&ids, shared);
     }
 }
 
-fn run_job(job: &Arc<Job>, shared: &Arc<Shared>) {
+fn run_batch(ids: &[u64], shared: &Arc<Shared>) {
     let started = Instant::now();
-    {
-        let mut state = job.lock();
-        if state.status.is_terminal() {
-            return;
+    // Admit each claimed job into the pass: skip terminal ones, settle
+    // already-cancelled ones (their followers included), run the rest.
+    let mut live: Vec<(u64, Arc<Job>)> = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let Some(job) = shared.job(id) else { continue };
+        {
+            let mut state = job.lock();
+            if state.status.is_terminal() {
+                continue;
+            }
+            if job.token.is_cancelled() {
+                state.status = JobStatus::Cancelled;
+                state.finished = Some(started);
+                shared.metrics.note_cancelled();
+            } else {
+                state.status = JobStatus::Running;
+                state.started = Some(started);
+                live.push((id, Arc::clone(&job)));
+                continue;
+            }
         }
-        if job.token.is_cancelled() {
-            state.status = JobStatus::Cancelled;
-            state.finished = Some(started);
-            shared.metrics.note_cancelled();
-            return;
-        }
-        state.status = JobStatus::Running;
-        state.started = Some(started);
+        let followers = remove_inflight_entry(shared, &job.canonical_key, id);
+        promote_followers(shared, followers);
     }
-    let queued = started.duration_since(job.submitted);
-    let outcome = job.spec.execute(&shared.cache, &job.token);
+    if live.is_empty() {
+        return;
+    }
+    shared.metrics.note_batch(live.len());
+    let batch: Vec<(&JobSpec, &CancelToken)> =
+        live.iter().map(|(_, job)| (&job.spec, &job.token)).collect();
+    let outcomes = JobSpec::execute_batch(&batch, &shared.cache);
     let finished = Instant::now();
     let ran = finished.duration_since(started);
+    for ((id, job), outcome) in live.iter().zip(outcomes) {
+        let queued = started.duration_since(job.submitted);
+        {
+            let mut state = job.lock();
+            state.finished = Some(finished);
+            match &outcome {
+                Ok(document) => {
+                    state.status = JobStatus::Done;
+                    state.result = Some(document.clone());
+                    shared.metrics.note_completed(queued, ran);
+                }
+                Err(JobError::Cancelled) => {
+                    state.status = JobStatus::Cancelled;
+                    shared.metrics.note_cancelled();
+                }
+                Err(JobError::Failed(message)) => {
+                    state.status = JobStatus::Failed;
+                    state.error = Some(message.clone());
+                    shared.metrics.note_failed(queued, ran);
+                }
+            }
+        }
+        let followers = remove_inflight_entry(shared, &job.canonical_key, *id);
+        match outcome {
+            Ok(document) => {
+                shared.result_cache.insert(job.canonical_key.clone(), document.clone());
+                settle_followers(shared, followers, finished, &document);
+            }
+            Err(JobError::Failed(message)) => {
+                fail_followers(shared, followers, finished, &message);
+            }
+            Err(JobError::Cancelled) => {
+                // Only this job's deadline tripped; duplicates keep
+                // their own deadlines — hand the execution to one.
+                promote_followers(shared, followers);
+            }
+        }
+    }
+}
+
+/// Delivers the primary's finished document to its followers.
+fn settle_followers(shared: &Shared, followers: Vec<u64>, finished: Instant, document: &str) {
+    for id in followers {
+        let Some(job) = shared.job(id) else { continue };
+        let mut state = job.lock();
+        if state.status.is_terminal() {
+            continue;
+        }
+        state.status = JobStatus::Done;
+        state.result = Some(document.to_owned());
+        state.started = Some(finished);
+        state.finished = Some(finished);
+        shared.metrics.note_completed(finished.duration_since(job.submitted), Duration::ZERO);
+    }
+}
+
+/// Delivers the primary's failure to its followers (the same spec
+/// would fail the same way).
+fn fail_followers(shared: &Shared, followers: Vec<u64>, finished: Instant, message: &str) {
+    for id in followers {
+        let Some(job) = shared.job(id) else { continue };
+        let mut state = job.lock();
+        if state.status.is_terminal() {
+            continue;
+        }
+        state.status = JobStatus::Failed;
+        state.error = Some(message.to_owned());
+        state.started = Some(finished);
+        state.finished = Some(finished);
+        shared.metrics.note_failed(finished.duration_since(job.submitted), Duration::ZERO);
+    }
+}
+
+/// A primary went away without a result (its own deadline or a refused
+/// enqueue): hand the execution to the first follower that is still
+/// live by re-enqueueing it as a new primary carrying the rest. If the
+/// queue refuses (closed or full), nobody is stranded — everyone left
+/// is cancelled.
+fn promote_followers(shared: &Shared, followers: Vec<u64>) {
+    let mut rest = followers.into_iter();
+    while let Some(id) = rest.next() {
+        let Some(job) = shared.job(id) else { continue };
+        if job.token.is_cancelled() {
+            cancel_job(shared, &job);
+            continue;
+        }
+        let remaining: Vec<u64> = rest.collect();
+        {
+            let mut inflight = shared.inflight_lock();
+            if let Some(entry) = inflight.get_mut(&job.canonical_key) {
+                // A newer submission already became primary for this
+                // spec; attach everyone to it instead.
+                entry.followers.push(id);
+                entry.followers.extend(remaining);
+                return;
+            }
+            inflight
+                .insert(job.canonical_key.clone(), Inflight { primary: id, followers: remaining });
+        }
+        if shared.queue.try_push((id, job.source_key.clone())).is_ok() {
+            return;
+        }
+        let stranded = remove_inflight_entry(shared, &job.canonical_key, id);
+        cancel_job(shared, &job);
+        for id in stranded {
+            if let Some(job) = shared.job(id) {
+                cancel_job(shared, &job);
+            }
+        }
+        return;
+    }
+}
+
+fn cancel_job(shared: &Shared, job: &Job) {
     let mut state = job.lock();
-    state.finished = Some(finished);
-    match outcome {
-        Ok(document) => {
-            state.status = JobStatus::Done;
-            state.result = Some(document);
-            shared.metrics.note_completed(queued, ran);
-        }
-        Err(JobError::Cancelled) => {
-            state.status = JobStatus::Cancelled;
-            shared.metrics.note_cancelled();
-        }
-        Err(JobError::Failed(message)) => {
-            state.status = JobStatus::Failed;
-            state.error = Some(message);
-            shared.metrics.note_failed(queued, ran);
-        }
+    if !state.status.is_terminal() {
+        state.status = JobStatus::Cancelled;
+        state.finished = Some(Instant::now());
+        shared.metrics.note_cancelled();
     }
 }

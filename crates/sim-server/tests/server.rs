@@ -51,8 +51,20 @@ fn start_server(queue_depth: usize, workers: usize, job_timeout: Duration) -> Se
         queue_depth,
         workers,
         job_timeout,
+        ..ServerConfig::default()
     })
     .unwrap()
+}
+
+/// Reads a counter value out of a `/metrics` registry document.
+fn metric_u64(doc: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    let at = doc.find(&needle).unwrap_or_else(|| panic!("no {name} in {doc}"));
+    let rest = &doc[at + needle.len()..];
+    let at = rest.find("\"value\":").unwrap_or_else(|| panic!("no value for {name}")) + 8;
+    let rest = &rest[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().unwrap_or_else(|_| panic!("bad value for {name}")) as u64
 }
 
 /// The correctness anchor: a trace job fetched over HTTP is
@@ -97,11 +109,15 @@ fn overflow_gets_429_with_retry_after() {
     let server = start_server(1, 1, Duration::from_secs(60));
     let addr = server.local_addr().to_string();
     let mut conn = Connection::connect(&addr).unwrap();
-    let body = r#"{"workload": {"kind": "crypto", "seed": 1, "length": 30000}}"#;
     let mut accepted = 0;
     let mut rejected = 0;
-    for _ in 0..10 {
-        let response = conn.send("POST", "/jobs", body).unwrap();
+    // Distinct seeds: identical specs would coalesce onto the running
+    // job instead of overflowing the queue.
+    for seed in 0..10 {
+        let body = format!(
+            "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": {seed}, \"length\": 30000}}}}"
+        );
+        let response = conn.send("POST", "/jobs", &body).unwrap();
         match response.status {
             202 => accepted += 1,
             429 => {
@@ -237,6 +253,135 @@ fn api_error_paths_are_diagnosed_not_dropped() {
     let metrics = conn.send("GET", "/metrics", "").unwrap();
     assert_eq!(metrics.status, 200);
     assert!(metrics.text().contains("server.jobs.accepted"));
+    server.join();
+}
+
+/// A worker that finds several configs of the same trace co-queued
+/// fuses them into one streaming pass — and each fused result is
+/// byte-identical to a solo local `champsim-run --metrics` with the
+/// same options.
+#[test]
+fn fused_batch_results_match_local_runs_bytewise() {
+    let dir = scratch_dir("fused");
+    let records = sample_records(3_000);
+    let store = dir.join("fused.champsimz");
+    write_store(&store, &records);
+    let path_text = store.to_str().unwrap();
+
+    let server = start_server(8, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    // A decoy with a different source occupies the single worker while
+    // the trace configs queue up, so the planner claims them together.
+    let decoy = r#"{"workload": {"kind": "crypto", "seed": 41, "length": 60000}}"#;
+    conn.submit(decoy).unwrap();
+
+    // Heterogeneous run options over one record stream.
+    let bodies = [
+        format!("{{\"trace\": \"{path_text}\", \"warmup\": 100, \"epochs\": 500}}"),
+        format!("{{\"trace\": \"{path_text}\", \"warmup\": 100, \"prefetcher\": \"next-line\"}}"),
+        format!("{{\"trace\": \"{path_text}\"}}"),
+    ];
+    let ids: Vec<u64> = bodies.iter().map(|body| conn.submit(body).unwrap()).collect();
+    let local_records: Vec<ChampsimRecord> =
+        ChampsimTraceReader::open(&store).unwrap().collect::<Result<_, _>>().unwrap();
+    let local_options = [
+        RunOptions::default().with_warmup(100).with_epochs(500),
+        RunOptions::default()
+            .with_warmup(100)
+            .with_prefetcher(iprefetch::by_name("next-line").unwrap()),
+        RunOptions::default(),
+    ];
+    for (id, options) in ids.iter().zip(local_options) {
+        assert_eq!(conn.wait(*id, Duration::from_secs(60)).unwrap(), "done");
+        let report = Simulator::run_on(&CoreConfig::iiswc_main(), &local_records, options);
+        let local_doc = cli::champsim_run_registry(&report, "iiswc", path_text).to_json();
+        assert_eq!(conn.fetch(*id).unwrap(), local_doc, "fused result differs for job {id}");
+    }
+    let metrics = conn.send("GET", "/metrics", "").unwrap().text();
+    assert!(
+        metric_u64(&metrics, "server.batch.fused_jobs") >= bodies.len() as u64,
+        "the trace configs must have run in one fused pass: {metrics}"
+    );
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Identical specs submitted while the first is still in flight attach
+/// to its execution: one simulation, identical documents for everyone.
+#[test]
+fn duplicate_submissions_coalesce_onto_one_execution() {
+    let server = start_server(8, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    // Long enough that the duplicates arrive mid-execution.
+    let body = r#"{"workload": {"kind": "crypto", "seed": 5, "length": 60000}}"#;
+    let ids: Vec<u64> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
+    let docs: Vec<String> = ids
+        .iter()
+        .map(|&id| {
+            assert_eq!(conn.wait(id, Duration::from_secs(60)).unwrap(), "done");
+            conn.fetch(id).unwrap()
+        })
+        .collect();
+    assert_eq!(docs[0], docs[1]);
+    assert_eq!(docs[0], docs[2]);
+    let metrics = conn.send("GET", "/metrics", "").unwrap().text();
+    assert!(
+        metric_u64(&metrics, "server.jobs.coalesced") >= 2,
+        "both duplicates must coalesce: {metrics}"
+    );
+    assert_eq!(metric_u64(&metrics, "server.jobs.completed"), 3, "everyone still completes");
+    server.join();
+}
+
+/// Resubmitting a finished spec is answered from the result cache —
+/// the job is born `done` and carries the original document verbatim.
+#[test]
+fn resubmitted_spec_is_answered_from_the_result_cache() {
+    let server = start_server(8, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let body = r#"{"workload": {"kind": "streaming", "seed": 6, "length": 8000}}"#;
+    let first = conn.run(body, Duration::from_secs(60)).unwrap();
+
+    let id = conn.submit(body).unwrap();
+    assert_eq!(
+        conn.wait(id, Duration::from_secs(60)).unwrap(),
+        "done",
+        "a cached job needs no polling round-trips"
+    );
+    assert_eq!(conn.fetch(id).unwrap(), first, "cached document differs from the original");
+    let metrics = conn.send("GET", "/metrics", "").unwrap().text();
+    assert!(metric_u64(&metrics, "server.result_cache.hits") >= 1, "{metrics}");
+    server.join();
+}
+
+/// `Connection::run` rides out `429` backpressure with Retry-After /
+/// exponential backoff instead of failing the round trip.
+#[test]
+fn client_run_backs_off_through_an_overloaded_server() {
+    let server = start_server(1, 1, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    // A slow job occupies the worker and a second fills the queue, so
+    // the next submission is refused until the worker catches up.
+    conn.submit(r#"{"workload": {"kind": "crypto", "seed": 7, "length": 50000}}"#).unwrap();
+    conn.submit(r#"{"workload": {"kind": "crypto", "seed": 8, "length": 3000}}"#).unwrap();
+    let refused = conn
+        .send("POST", "/jobs", r#"{"workload": {"kind": "crypto", "seed": 9, "length": 3000}}"#)
+        .unwrap();
+    assert_eq!(refused.status, 429, "the queue must be full before run() is exercised");
+
+    let doc = conn
+        .run(
+            r#"{"workload": {"kind": "crypto", "seed": 9, "length": 3000}}"#,
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    assert!(doc.contains("sim.ipc"), "retried job returns a metrics document");
+    let (_, rejected, _) = server.job_counts();
+    assert!(rejected >= 1, "the server must actually have pushed back");
     server.join();
 }
 

@@ -87,7 +87,7 @@ pub struct RunOptions {
     pub epoch_instructions: Option<u64>,
     /// When set, the engine polls this token at epoch boundaries (every
     /// [`epoch_instructions`](RunOptions::epoch_instructions) records,
-    /// or every [`crate::cancel::CHECK_INTERVAL`] records otherwise) and
+    /// or every 8192 records otherwise) and
     /// stops early once it is cancelled. The returned report then covers
     /// only the records consumed so far; callers must check
     /// [`CancelToken::is_cancelled`] and discard the partial statistics.
@@ -173,7 +173,7 @@ impl Simulator {
         records: &[ChampsimRecord],
         options: RunOptions,
     ) -> SimReport {
-        Engine::new(&self.config, options).run(records.iter().copied())
+        drive(SimSink::new(&self.config, options), records.iter().copied())
     }
 
     /// Simulates a record stream with explicit options, consuming it
@@ -190,7 +190,7 @@ impl Simulator {
     where
         I: IntoIterator<Item = ChampsimRecord>,
     {
-        Engine::new(&self.config, options).run(records.into_iter())
+        drive(SimSink::new(&self.config, options), records.into_iter())
     }
 
     /// Simulates `records` on a borrowed configuration, without
@@ -202,8 +202,63 @@ impl Simulator {
         records: &[ChampsimRecord],
         options: RunOptions,
     ) -> SimReport {
-        Engine::new(config, options).run(records.iter().copied())
+        drive(SimSink::new(config, options), records.iter().copied())
     }
+
+    /// Simulates one record stream through many independent cores in
+    /// lockstep: the stream is decoded once and every record is pushed
+    /// into each lane's [`SimSink`], so N configurations share a single
+    /// streaming pass instead of N decodes.
+    ///
+    /// Each returned report is byte-identical to what
+    /// [`run_iter`](Simulator::run_iter) produces for the same lane on
+    /// the same record sequence — the sinks advance record-by-record in
+    /// exactly the per-run order, including warm-up resets, epoch
+    /// snapshots and per-lane cancellation (a cancelled lane stops
+    /// consuming; the pass keeps feeding the lanes still live and ends
+    /// early once every lane has stopped).
+    pub fn run_fused<'c, L, I>(lanes: L, records: I) -> Vec<SimReport>
+    where
+        L: IntoIterator<Item = (&'c CoreConfig, RunOptions)>,
+        I: IntoIterator<Item = ChampsimRecord>,
+    {
+        let mut sinks: Vec<SimSink<'c>> =
+            lanes.into_iter().map(|(config, options)| SimSink::new(config, options)).collect();
+        let mut active = sinks.len();
+        let mut records = records.into_iter();
+        let mut pending = records.next();
+        while let Some(rec) = pending {
+            if active == 0 {
+                break;
+            }
+            let next = records.next();
+            let next_ip = next.as_ref().map(|r| r.ip());
+            for sink in &mut sinks {
+                if !sink.is_stopped() && !sink.push(&rec, next_ip) {
+                    active -= 1;
+                }
+            }
+            pending = next;
+        }
+        sinks.into_iter().map(SimSink::finish).collect()
+    }
+}
+
+/// Feeds `records` through one sink with the shared one-record
+/// lookahead; all single-lane entry points funnel through here.
+fn drive<I>(mut sink: SimSink<'_>, mut records: I) -> SimReport
+where
+    I: Iterator<Item = ChampsimRecord>,
+{
+    let mut pending = records.next();
+    while let Some(rec) = pending {
+        let next = records.next();
+        if !sink.push(&rec, next.as_ref().map(|r| r.ip())) {
+            break;
+        }
+        pending = next;
+    }
+    sink.finish()
 }
 
 /// Per-run machine state.
@@ -284,105 +339,6 @@ impl<'c> Engine<'c> {
             instruction_prefetches: 0,
             prefetch_ready: InflightTable::new(),
             pf_buf: Vec::new(),
-        }
-    }
-
-    /// The scalar and streaming entry points share this loop: the slice
-    /// path passes `records.iter().copied()`, so both consume the same
-    /// one-record lookahead and produce identical reports.
-    fn run<I>(mut self, mut records: I) -> SimReport
-    where
-        I: Iterator<Item = ChampsimRecord>,
-    {
-        let mut warm_cycles = 0u64;
-        let mut warm_branches = BranchStats::default();
-        let mut warm_prefetches = 0u64;
-        let mut measured_start_index = 0usize;
-
-        let mut epochs = self.epoch_instructions.map(|n| {
-            telemetry::EpochSeries::new(
-                n,
-                &[
-                    "cycles",
-                    "branch_mispredicts",
-                    "l1i_demand_misses",
-                    "l1d_demand_misses",
-                    "llc_demand_misses",
-                ],
-            )
-        });
-        let mut epoch_prev = EpochCursor::default();
-
-        // Cancellation is polled at the same granularity as epoch
-        // snapshots when epoch sampling is on, so "cancel at an epoch
-        // boundary" holds literally; otherwise a fixed stride keeps the
-        // atomic load off the per-record path.
-        let cancel_interval = self.epoch_instructions.unwrap_or(crate::cancel::CHECK_INTERVAL);
-
-        let mut pending = records.next();
-        let mut i = 0usize;
-        while let Some(rec) = pending {
-            let next = records.next();
-            let next_ip = next.as_ref().map(|r| r.ip());
-            self.step(&rec, next_ip);
-
-            if let (Some(series), Some(n)) = (epochs.as_mut(), self.epoch_instructions) {
-                if (i as u64 + 1).is_multiple_of(n) {
-                    let now = self.epoch_cursor();
-                    series.push_row(&now.delta_from(&epoch_prev));
-                    epoch_prev = now;
-                }
-            }
-
-            if let Some(token) = &self.cancel {
-                if (i as u64 + 1).is_multiple_of(cancel_interval) && token.is_cancelled() {
-                    i += 1;
-                    break;
-                }
-            }
-
-            if (i as u64 + 1) == self.warmup {
-                warm_cycles = self.last_retire;
-                warm_branches = self.branches;
-                warm_prefetches = self.instruction_prefetches;
-                measured_start_index = i + 1;
-                self.memory.reset_stats();
-                self.pipeline = PipelineStats::default();
-                // Cache counters restart at zero; keep epoch deltas
-                // consistent across the reset.
-                epoch_prev.zero_caches();
-            }
-
-            pending = next;
-            i += 1;
-        }
-
-        let mut components = telemetry::Registry::new();
-        self.direction.export_telemetry(&mut components);
-        if let Some(ittage) = &self.indirect {
-            ittage.export_telemetry(&mut components);
-        }
-        self.btb.export_telemetry(&mut components);
-        self.ras.export_telemetry(&mut components);
-        if let Some(pf) = &self.prefetcher {
-            pf.export_telemetry(&mut components);
-        }
-        if let Some(series) = epochs {
-            components.set_epochs(series);
-        }
-
-        let measured = (i - measured_start_index) as u64;
-        SimReport {
-            instructions: measured,
-            cycles: self.last_retire.saturating_sub(warm_cycles).max(1),
-            branches: self.branches.delta_from(&warm_branches),
-            l1i: *self.memory.l1i().stats(),
-            l1d: *self.memory.l1d().stats(),
-            l2: *self.memory.l2().stats(),
-            llc: *self.memory.llc().stats(),
-            instruction_prefetches: self.instruction_prefetches - warm_prefetches,
-            pipeline: self.pipeline,
-            components,
         }
     }
 
@@ -613,8 +569,154 @@ impl<'c> Engine<'c> {
     }
 }
 
+/// A push-based single-core simulation: the record loop turned inside
+/// out so one decoded stream can drive many cores in lockstep (see
+/// [`Simulator::run_fused`]).
+///
+/// Feed records with [`push`](SimSink::push) — each call advances the
+/// core by exactly one record, in the same order as the pull-based
+/// entry points ([`Simulator::run_iter`] and friends, which are built
+/// on this type) — then [`finish`](SimSink::finish) for the report.
+/// The caller supplies the one-record lookahead (`next_ip`) that the
+/// pull paths derive from `records[i + 1]`, so a sink fed the same
+/// sequence produces a byte-identical [`SimReport`].
+pub struct SimSink<'c> {
+    engine: Engine<'c>,
+    warm_cycles: u64,
+    warm_branches: BranchStats,
+    warm_prefetches: u64,
+    measured_start_index: usize,
+    epochs: Option<telemetry::EpochSeries>,
+    epoch_prev: EpochCursor,
+    /// Cancellation is polled at the same granularity as epoch
+    /// snapshots when epoch sampling is on, so "cancel at an epoch
+    /// boundary" holds literally; otherwise a fixed stride keeps the
+    /// atomic load off the per-record path.
+    cancel_interval: u64,
+    /// Records consumed so far.
+    consumed: usize,
+    stopped: bool,
+}
+
+impl<'c> SimSink<'c> {
+    /// A cold core ready to consume records under `options`.
+    pub fn new(config: &'c CoreConfig, options: RunOptions) -> SimSink<'c> {
+        let engine = Engine::new(config, options);
+        let epochs = engine.epoch_instructions.map(|n| {
+            telemetry::EpochSeries::new(
+                n,
+                &[
+                    "cycles",
+                    "branch_mispredicts",
+                    "l1i_demand_misses",
+                    "l1d_demand_misses",
+                    "llc_demand_misses",
+                ],
+            )
+        });
+        let cancel_interval = engine.epoch_instructions.unwrap_or(crate::cancel::CHECK_INTERVAL);
+        SimSink {
+            engine,
+            warm_cycles: 0,
+            warm_branches: BranchStats::default(),
+            warm_prefetches: 0,
+            measured_start_index: 0,
+            epochs,
+            epoch_prev: EpochCursor::default(),
+            cancel_interval,
+            consumed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Consumes one record; `next_ip` is the following record's IP (the
+    /// taken-branch target source), `None` at end of stream.
+    ///
+    /// Returns `false` once the sink has stopped — its cancel token
+    /// tripped at a poll boundary — after which further pushes are
+    /// ignored. The partial statistics must then be discarded, exactly
+    /// as with [`RunOptions::with_cancel`] on the pull paths.
+    pub fn push(&mut self, rec: &ChampsimRecord, next_ip: Option<u64>) -> bool {
+        if self.stopped {
+            return false;
+        }
+        self.engine.step(rec, next_ip);
+        let i = self.consumed;
+
+        if let (Some(series), Some(n)) = (self.epochs.as_mut(), self.engine.epoch_instructions) {
+            if (i as u64 + 1).is_multiple_of(n) {
+                let now = self.engine.epoch_cursor();
+                series.push_row(&now.delta_from(&self.epoch_prev));
+                self.epoch_prev = now;
+            }
+        }
+
+        if let Some(token) = &self.engine.cancel {
+            if (i as u64 + 1).is_multiple_of(self.cancel_interval) && token.is_cancelled() {
+                self.consumed = i + 1;
+                self.stopped = true;
+                return false;
+            }
+        }
+
+        if (i as u64 + 1) == self.engine.warmup {
+            self.warm_cycles = self.engine.last_retire;
+            self.warm_branches = self.engine.branches;
+            self.warm_prefetches = self.engine.instruction_prefetches;
+            self.measured_start_index = i + 1;
+            self.engine.memory.reset_stats();
+            self.engine.pipeline = PipelineStats::default();
+            // Cache counters restart at zero; keep epoch deltas
+            // consistent across the reset.
+            self.epoch_prev.zero_caches();
+        }
+
+        self.consumed = i + 1;
+        true
+    }
+
+    /// `true` once cancellation stopped the sink; further pushes are
+    /// no-ops.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Closes the run and builds the report over the records consumed
+    /// so far.
+    pub fn finish(self) -> SimReport {
+        let engine = self.engine;
+        let mut components = telemetry::Registry::new();
+        engine.direction.export_telemetry(&mut components);
+        if let Some(ittage) = &engine.indirect {
+            ittage.export_telemetry(&mut components);
+        }
+        engine.btb.export_telemetry(&mut components);
+        engine.ras.export_telemetry(&mut components);
+        if let Some(pf) = &engine.prefetcher {
+            pf.export_telemetry(&mut components);
+        }
+        if let Some(series) = self.epochs {
+            components.set_epochs(series);
+        }
+
+        let measured = (self.consumed - self.measured_start_index) as u64;
+        SimReport {
+            instructions: measured,
+            cycles: engine.last_retire.saturating_sub(self.warm_cycles).max(1),
+            branches: engine.branches.delta_from(&self.warm_branches),
+            l1i: *engine.memory.l1i().stats(),
+            l1d: *engine.memory.l1d().stats(),
+            l2: *engine.memory.l2().stats(),
+            llc: *engine.memory.llc().stats(),
+            instruction_prefetches: engine.instruction_prefetches - self.warm_prefetches,
+            pipeline: engine.pipeline,
+            components,
+        }
+    }
+}
+
 /// Snapshot of the counters sampled at epoch boundaries. Column order
-/// matches the series header built in [`Engine::run`].
+/// matches the series header built in [`SimSink::new`].
 #[derive(Debug, Clone, Copy, Default)]
 struct EpochCursor {
     cycles: u64,
@@ -1011,6 +1113,141 @@ mod tests {
         let mut sim = small_sim();
         let warm = sim.run_with_options(&records, RunOptions::default().with_warmup(5_000));
         assert_eq!(warm.pipeline.rob_occupancy.count(), 5_000);
+    }
+
+    /// Renders a report to its exported metrics document — the byte
+    /// representation the fused-pass identity tests compare.
+    fn doc(report: &SimReport) -> String {
+        let mut registry = telemetry::Registry::new();
+        report.export(&mut registry);
+        registry.to_json()
+    }
+
+    /// A deterministic record soup mixing loads, stores, dependent
+    /// chains and data-dependent branches — every mechanism the engine
+    /// models, so a fused/sequential divergence anywhere shows up.
+    fn mixed_records(seed: u64, n: u64) -> Vec<ChampsimRecord> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut records = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let ip = 0x1000 + (i % 512) * 4;
+            match next() % 5 {
+                0 => {
+                    let mut r = ChampsimRecord::new(ip);
+                    r.add_source_memory(0x20_0000 + next() % (1 << 24));
+                    r.add_destination_register(regs::arch((next() % 8 + 1) as u8));
+                    records.push(r);
+                }
+                1 => {
+                    let mut r = ChampsimRecord::new(ip);
+                    r.add_destination_memory(0x30_0000 + next() % (1 << 22));
+                    records.push(r);
+                }
+                2 => records.push(pattern::conditional(ip, next() % 2 == 0)),
+                _ => {
+                    let mut r = ChampsimRecord::new(ip);
+                    r.add_source_register(regs::arch((next() % 8 + 1) as u8));
+                    r.add_destination_register(regs::arch((next() % 8 + 1) as u8));
+                    records.push(r);
+                }
+            }
+        }
+        records
+    }
+
+    /// The fused-pass identity: N heterogeneous lanes over one stream
+    /// produce reports byte-identical to N separate `run_iter` runs.
+    #[test]
+    fn fused_lanes_match_independent_runs() {
+        let records = mixed_records(1, 20_000);
+        let small = CoreConfig::test_small();
+        let ipc1 = CoreConfig::ipc1();
+        let lane_options = || -> Vec<(&CoreConfig, RunOptions)> {
+            vec![
+                (&small, RunOptions::default()),
+                (&small, RunOptions::default().with_warmup(5_000)),
+                (&small, RunOptions::default().with_epochs(1_000)),
+                (&ipc1, RunOptions::default()),
+                (
+                    &ipc1,
+                    RunOptions::default()
+                        .with_warmup(2_000)
+                        .with_prefetcher(iprefetch::by_name("next-line").expect("known name")),
+                ),
+            ]
+        };
+        let fused = Simulator::run_fused(lane_options(), records.iter().copied());
+        for (i, (config, options)) in lane_options().into_iter().enumerate() {
+            let solo = Simulator::run_on(config, &records, options);
+            assert_eq!(doc(&fused[i]), doc(&solo), "lane {i} diverged from its solo run");
+        }
+    }
+
+    /// Seeded property loop over random record soups and lane counts.
+    #[test]
+    fn fused_identity_holds_across_seeds() {
+        let small = CoreConfig::test_small();
+        for seed in 2..8u64 {
+            let records = mixed_records(seed, 6_000);
+            let nlanes = (seed % 3 + 2) as usize;
+            let lanes =
+                (0..nlanes).map(|l| (&small, RunOptions::default().with_warmup(l as u64 * 500)));
+            let fused = Simulator::run_fused(lanes, records.iter().copied());
+            for (l, report) in fused.iter().enumerate() {
+                let solo = Simulator::run_on(
+                    &small,
+                    &records,
+                    RunOptions::default().with_warmup(l as u64 * 500),
+                );
+                assert_eq!(doc(report), doc(&solo), "seed {seed} lane {l}");
+            }
+        }
+    }
+
+    /// A lane whose token is already cancelled stops at its first poll
+    /// boundary without stalling the other lanes.
+    #[test]
+    fn fused_pass_survives_per_lane_cancellation() {
+        let records = mixed_records(9, 12_000);
+        let small = CoreConfig::test_small();
+        let token = CancelToken::new();
+        token.cancel();
+        let lanes = vec![
+            (&small, RunOptions::default().with_epochs(1_000).with_cancel(token.clone())),
+            (&small, RunOptions::default()),
+        ];
+        let fused = Simulator::run_fused(lanes, records.iter().copied());
+        // The cancelled lane consumed only up to its first poll.
+        assert_eq!(fused[0].instructions, 1_000);
+        // The live lane is untouched by its neighbour's cancellation.
+        let solo = Simulator::run_on(&small, &records, RunOptions::default());
+        assert_eq!(doc(&fused[1]), doc(&solo));
+    }
+
+    /// When every lane cancels, the pass stops consuming the stream.
+    #[test]
+    fn fused_pass_ends_early_once_all_lanes_stop() {
+        let small = CoreConfig::test_small();
+        let token = CancelToken::new();
+        token.cancel();
+        let consumed = std::cell::Cell::new(0u64);
+        let records = (0..100_000u64).map(|i| {
+            consumed.set(i + 1);
+            ChampsimRecord::new(0x1000 + (i % 64) * 4)
+        });
+        let lanes =
+            vec![(&small, RunOptions::default().with_epochs(500).with_cancel(token.clone()))];
+        let fused = Simulator::run_fused(lanes, records);
+        assert_eq!(fused[0].instructions, 500);
+        assert!(
+            consumed.get() < 1_000,
+            "stream must stop shortly after the last lane: {} records pulled",
+            consumed.get()
+        );
     }
 
     #[test]

@@ -59,5 +59,5 @@ mod stats;
 
 pub use cancel::CancelToken;
 pub use config::{CoreConfig, IndirectKind, PredictorKind};
-pub use engine::{RunOptions, Simulator};
+pub use engine::{RunOptions, SimSink, Simulator};
 pub use stats::{BranchStats, SimReport};
