@@ -2,7 +2,7 @@
 //! backpressure, fused fan-out batching, and duplicate coalescing.
 //!
 //! ```text
-//! server_bench [--scale smoke|test|paper] [--out <path>]
+//! server_bench [--scale smoke|test|paper] [--shards N] [--out <path>]
 //!              [--check <baseline.json>] [--tolerance <pct>]
 //! ```
 //!
@@ -29,12 +29,23 @@
 //! resubmission after completion is answered from the result cache —
 //! both verified through `/metrics` counters and document equality.
 //!
+//! Phase 5 (sharding, `--shards N`, default 2): spawns N in-process
+//! `sim_server` backends behind a `sim_router` and drives one
+//! closed-loop client per shard, each pinned (by consistent-hash ring
+//! prediction) to a distinct shard's record stream. Job runtime is
+//! sized well under the client's poll quantum, so per-client cycle
+//! time is poll-latency-bound and fleet throughput scales with shard
+//! count — *weak scaling*, measurable even on a single-core host where
+//! a CPU-saturated strong-scaling run could never separate the
+//! configurations. Hard-fails below 1.7x at 2 shards.
+//!
 //! Results land in `BENCH_server.json` (`--out` to redirect).
 //! `--check <baseline>` compares against a committed `BENCH_server.json`
-//! and fails (exit 1) when `jobs_per_sec` or `fanout_jobs_per_sec`
-//! regresses more than `--tolerance` percent (default 30) below the
-//! baseline — the CI perf-smoke gate. Latency tails are reported but
-//! not gated; they are too host-sensitive for CI.
+//! and fails (exit 1) when `jobs_per_sec`, `fanout_jobs_per_sec`, or
+//! `router_jobs_per_sec` regresses more than `--tolerance` percent
+//! (default 30) below the baseline — the CI perf-smoke gate. Latency
+//! tails are reported but not gated; they are too host-sensitive for
+//! CI.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -43,7 +54,8 @@ use std::time::{Duration, Instant};
 
 use champsim_trace::ChampsimRecord;
 use converter::{Converter, ImprovementSet};
-use sim_server::{Connection, Server, ServerConfig};
+use sim_server::ring::DEFAULT_VNODES;
+use sim_server::{Connection, HashRing, JobSpec, Router, RouterConfig, Server, ServerConfig};
 use trace_store::ChampsimzWriter;
 use workloads::{TraceSpec, WorkloadKind};
 
@@ -63,6 +75,12 @@ struct Scale {
     fanout_configs: usize,
     /// Identical submissions in the duplicate-storm phase.
     dup_jobs: usize,
+    /// Workload length per job in the sharding phase — deliberately
+    /// short so job runtime stays well under the client poll quantum
+    /// and the phase measures weak scaling, not CPU saturation.
+    router_length: u64,
+    /// Jobs per closed-loop client in the sharding phase.
+    router_jobs_per_client: usize,
 }
 
 const SCALES: [Scale; 3] = [
@@ -75,6 +93,8 @@ const SCALES: [Scale; 3] = [
         overload_jobs: 8,
         fanout_configs: 8,
         dup_jobs: 4,
+        router_length: 8_000,
+        router_jobs_per_client: 25,
     },
     Scale {
         name: "test",
@@ -85,6 +105,8 @@ const SCALES: [Scale; 3] = [
         overload_jobs: 12,
         fanout_configs: 8,
         dup_jobs: 6,
+        router_length: 12_000,
+        router_jobs_per_client: 30,
     },
     Scale {
         name: "paper",
@@ -95,6 +117,8 @@ const SCALES: [Scale; 3] = [
         overload_jobs: 16,
         fanout_configs: 8,
         dup_jobs: 8,
+        router_length: 16_000,
+        router_jobs_per_client: 40,
     },
 ];
 
@@ -113,6 +137,10 @@ struct Results {
     dup_jobs_per_sec: f64,
     dup_coalesced: u64,
     dup_cache_hits: u64,
+    router_shards: usize,
+    router_solo_jobs_per_sec: f64,
+    router_jobs_per_sec: f64,
+    router_speedup: f64,
 }
 
 fn main() {
@@ -120,6 +148,7 @@ fn main() {
     let mut out_path = "BENCH_server.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut tolerance_pct = 30.0f64;
+    let mut shards = 2usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +158,13 @@ fn main() {
                 scale = SCALES.iter().find(|s| s.name == name).unwrap_or_else(|| {
                     fail(&format!("--scale must be smoke|test|paper, got {name:?}"))
                 });
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n: &usize| (1..=16).contains(n))
+                    .unwrap_or_else(|| fail("--shards needs a count in 1..=16"));
             }
             "--out" => out_path = args.next().unwrap_or_else(|| fail("--out needs a path")),
             "--check" => {
@@ -157,6 +193,8 @@ fn main() {
         ));
     }
     let (dup_jobs_per_sec, dup_coalesced, dup_cache_hits) = duplicate_phase(scale);
+    let (router_solo_jobs_per_sec, router_jobs_per_sec, router_speedup) =
+        router_phase(scale, shards);
 
     let results = Results {
         total_jobs,
@@ -173,6 +211,10 @@ fn main() {
         dup_jobs_per_sec,
         dup_coalesced,
         dup_cache_hits,
+        router_shards: shards,
+        router_solo_jobs_per_sec,
+        router_jobs_per_sec,
+        router_speedup,
     };
     let json = to_json(scale, &results);
     match std::fs::write(&out_path, &json) {
@@ -185,6 +227,7 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("could not read baseline {path}: {e}")));
         check_floor(&baseline, "jobs_per_sec", jobs_per_sec, tolerance_pct, path);
         check_floor(&baseline, "fanout_jobs_per_sec", fanout_jobs_per_sec, tolerance_pct, path);
+        check_floor(&baseline, "router_jobs_per_sec", router_jobs_per_sec, tolerance_pct, path);
         eprintln!("[server_bench] throughput within {tolerance_pct}% of baseline");
     }
 }
@@ -376,13 +419,13 @@ fn fanout_phase(scale: &Scale) -> (f64, f64, u64) {
     );
     conn.submit(&decoy).unwrap_or_else(|e| fail(&format!("decoy submit: {e}")));
     let wall = Instant::now();
-    let ids: Vec<u64> = bodies
+    let ids: Vec<String> = bodies
         .iter()
         .map(|body| conn.submit(body).unwrap_or_else(|e| fail(&format!("fan-out submit: {e}"))))
         .collect();
     let batched_docs: Vec<String> = ids
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let status = conn
                 .wait(id, Duration::from_secs(120))
                 .unwrap_or_else(|e| fail(&format!("fan-out wait: {e}")));
@@ -437,11 +480,11 @@ fn duplicate_phase(scale: &Scale) -> (f64, u64, u64) {
     );
 
     let wall = Instant::now();
-    let ids: Vec<u64> = (0..scale.dup_jobs)
+    let ids: Vec<String> = (0..scale.dup_jobs)
         .map(|_| conn.submit(&body).unwrap_or_else(|e| fail(&format!("duplicate submit: {e}"))))
         .collect();
     let mut docs = Vec::with_capacity(ids.len() + 1);
-    for &id in &ids {
+    for id in &ids {
         let status = conn
             .wait(id, Duration::from_secs(120))
             .unwrap_or_else(|e| fail(&format!("duplicate wait: {e}")));
@@ -478,6 +521,122 @@ fn duplicate_phase(scale: &Scale) -> (f64, u64, u64) {
         fail("the resubmission was not answered from the result cache");
     }
     (jobs_per_sec, coalesced, cache_hits)
+}
+
+// ---- Phase 5: sharding behind the router (weak scaling) ----
+//
+// One closed-loop client per shard, each driving a record stream the
+// consistent-hash ring homes on a *distinct* shard, with job runtime
+// well under the client's 20 ms poll quantum. Per-client cycle time is
+// then poll-latency-bound — the same on one shard or many — so fleet
+// throughput grows with shard count as long as the fleet keeps jobs
+// off each other's queues. That is exactly the router's job, and it
+// holds on a single-core host too (N concurrent short jobs still
+// finish inside one poll quantum), where a CPU-saturated comparison
+// could never show scaling.
+fn router_phase(scale: &Scale, shards: usize) -> (f64, f64, f64) {
+    let solo = router_run(scale, 1);
+    let sharded = if shards == 1 { solo } else { router_run(scale, shards) };
+    let speedup = sharded / solo;
+    eprintln!(
+        "[server_bench] sharding: 1 shard {solo:.2} jobs/s, {shards} shards {sharded:.2} jobs/s \
+         ({speedup:.2}x)"
+    );
+    if shards >= 2 && speedup < 1.7 {
+        fail(&format!(
+            "router sharding speedup {speedup:.2}x at {shards} shards is below the required 1.7x \
+             ({sharded:.2} vs {solo:.2} jobs/s)"
+        ));
+    }
+    (solo, sharded, speedup)
+}
+
+/// Starts `shards` backends behind a router and runs one closed-loop
+/// client per shard; returns fleet jobs/s.
+fn router_run(scale: &Scale, shards: usize) -> f64 {
+    let backends: Vec<Server> = (0..shards)
+        .map(|_| {
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                queue_depth: 8,
+                workers: 1,
+                job_timeout: Duration::from_secs(120),
+                // Every job must actually simulate on its shard.
+                max_batch: 1,
+                result_cache_entries: 0,
+            })
+            .unwrap_or_else(|e| fail(&format!("cannot start shard backend: {e}")))
+        })
+        .collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.local_addr().to_string()).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        backends: addrs.clone(),
+        ..RouterConfig::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("cannot start router: {e}")));
+    let router_addr = router.local_addr().to_string();
+
+    // Pin one record stream to each shard by predicting the router's
+    // ring: scan seeds until every shard owns exactly one body.
+    let ring = HashRing::new(&addrs, DEFAULT_VNODES);
+    let mut bodies: Vec<Option<String>> = vec![None; shards];
+    let mut missing = shards;
+    for seed in 3000.. {
+        let body = format!(
+            "{{\"workload\": {{\"kind\": \"crypto\", \"seed\": {seed}, \"length\": {}}}, \
+             \"improvements\": \"All_imps\"}}",
+            scale.router_length
+        );
+        let spec =
+            JobSpec::parse(&body).unwrap_or_else(|e| fail(&format!("sharding phase spec: {e}")));
+        let home =
+            ring.route(&spec.source_key()).unwrap_or_else(|| fail("ring routed a spec nowhere"));
+        if bodies[home].is_none() {
+            bodies[home] = Some(body);
+            missing -= 1;
+            if missing == 0 {
+                break;
+            }
+        }
+    }
+    let bodies: Vec<String> = bodies.into_iter().map(Option::unwrap).collect();
+
+    // Warm each shard's artifact cache through the router so the
+    // measured loop is submit/poll/fetch + a short simulation.
+    for body in &bodies {
+        run_one(&router_addr, body);
+    }
+
+    let wall = Instant::now();
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .map(|body| {
+            let addr = router_addr.clone();
+            let jobs = scale.router_jobs_per_client;
+            std::thread::spawn(move || {
+                let mut conn =
+                    Connection::connect(&addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+                for _ in 0..jobs {
+                    conn.run(&body, Duration::from_secs(120))
+                        .unwrap_or_else(|e| fail(&format!("sharded job failed: {e}")));
+                }
+                jobs
+            })
+        })
+        .collect();
+    let mut total = 0usize;
+    for handle in handles {
+        total += handle.join().unwrap_or_else(|_| fail("shard client thread panicked"));
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    router.join();
+    for backend in backends {
+        backend.begin_shutdown(false);
+        backend.join();
+    }
+    total as f64 / elapsed
 }
 
 fn write_trace(path: &Path, length: usize) {
@@ -518,7 +677,9 @@ fn to_json(scale: &Scale, r: &Results) -> String {
          \"drain_ms\":{:.3},\
          \"fanout_configs\":{},\"fanout_sequential_jobs_per_sec\":{:.3},\
          \"fanout_jobs_per_sec\":{:.3},\"fanout_speedup\":{:.3},\"fanout_stream_passes\":{},\
-         \"dup_jobs\":{},\"dup_jobs_per_sec\":{:.3},\"dup_coalesced\":{},\"dup_cache_hits\":{}}}\n",
+         \"dup_jobs\":{},\"dup_jobs_per_sec\":{:.3},\"dup_coalesced\":{},\"dup_cache_hits\":{},\
+         \"router_shards\":{},\"router_solo_jobs_per_sec\":{:.3},\
+         \"router_jobs_per_sec\":{:.3},\"router_speedup\":{:.3}}}\n",
         scale.name,
         scale.length,
         scale.clients,
@@ -538,7 +699,11 @@ fn to_json(scale: &Scale, r: &Results) -> String {
         scale.dup_jobs,
         r.dup_jobs_per_sec,
         r.dup_coalesced,
-        r.dup_cache_hits
+        r.dup_cache_hits,
+        r.router_shards,
+        r.router_solo_jobs_per_sec,
+        r.router_jobs_per_sec,
+        r.router_speedup
     )
 }
 

@@ -1,7 +1,7 @@
-//! Command-line client for the simulation job server.
+//! Command-line client for the simulation job server and router.
 //!
 //! ```text
-//! sim_client --addr HOST:PORT <command>
+//! sim_client --server HOST:PORT <command>        (--addr is an alias)
 //!
 //! commands:
 //!   submit (--body '<json>' | --body-file <path>)   print the job id
@@ -13,6 +13,11 @@
 //!   metrics                                         print /metrics
 //!   shutdown [--abort]                              ask the server to stop
 //! ```
+//!
+//! `--server` takes a bare `sim_server` backend or a `sim_router` front
+//! identically — with or without an `http://` prefix. Against a router,
+//! job ids come back shard-qualified (`s0-17`) and feed straight into
+//! `status`/`fetch`.
 //!
 //! `run` is the whole round trip and is what the CI smoke test uses:
 //! with `--out` the fetched document is written verbatim, byte-for-byte
@@ -33,15 +38,30 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sim_client --addr HOST:PORT \
+const USAGE: &str = "usage: sim_client --server HOST:PORT \
     (submit|run (--body '<json>'|--body-file <path>) [--timeout SECONDS] [--out <path>]) \
     | status <id> | fetch <id> | health | metrics | shutdown [--abort]";
+
+/// Accepts `host:port`, `http://host:port`, or `http://host:port/` —
+/// routers and backends are addressed identically.
+fn normalize_server(raw: &str) -> Result<String, String> {
+    if raw.starts_with("https://") {
+        return Err(format!(
+            "https is not supported ({raw:?}); sim_server and sim_router speak plain HTTP"
+        ));
+    }
+    let addr = raw.strip_prefix("http://").unwrap_or(raw).trim_end_matches('/');
+    if addr.is_empty() {
+        return Err(format!("empty server address {raw:?}"));
+    }
+    Ok(addr.to_owned())
+}
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr: Option<String> = None;
     let mut command: Option<String> = None;
     let mut body: Option<String> = None;
-    let mut id: Option<u64> = None;
+    let mut id: Option<String> = None;
     let mut timeout = Duration::from_secs(120);
     let mut out: Option<String> = None;
     let mut abort = false;
@@ -49,7 +69,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--addr" => addr = Some(args.next().ok_or("--addr needs host:port")?),
+            "--server" | "--addr" => {
+                let raw = args.next().ok_or("--server needs host:port (or an http:// URL)")?;
+                addr = Some(normalize_server(&raw)?);
+            }
             "--body" => body = Some(args.next().ok_or("--body needs a JSON string")?),
             "--body-file" => {
                 let path = args.next().ok_or("--body-file needs a path")?;
@@ -72,16 +95,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 command = Some(other.to_owned());
             }
             other if command.is_some() && id.is_none() && !other.starts_with('-') => {
-                id = Some(other.parse().map_err(|_| format!("malformed job id {other:?}"))?);
+                // Ids are opaque: numeric from a backend (`17`),
+                // shard-qualified from a router (`s0-17`).
+                id = Some(other.to_owned());
             }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
 
-    let addr = addr.ok_or("--addr is required")?;
+    let addr = addr.ok_or("--server is required")?;
     let command = command.ok_or(USAGE)?;
-    let mut conn =
-        Connection::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut conn = Connection::connect(&addr)?;
 
     match command.as_str() {
         "submit" => {
@@ -95,7 +119,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "fetch" => {
             let id = id.ok_or("fetch needs a job id")?;
-            emit(&conn.fetch(id)?, out.as_deref())?;
+            emit(&conn.fetch(&id)?, out.as_deref())?;
         }
         "run" => {
             let body = body.ok_or("run needs --body or --body-file")?;

@@ -1,0 +1,148 @@
+//! The sharding router binary.
+//!
+//! ```text
+//! sim_router --backend HOST:PORT [--backend HOST:PORT …]
+//!            [--addr HOST:PORT] [--vnodes N] [--health-interval MS]
+//!            [--connect-timeout MS] [--addr-file <path>] [--metrics <path>]
+//! ```
+//!
+//! Fronts the listed `sim_server` backends: routes submissions by the
+//! job spec's canonical source key on a consistent-hash ring, fails
+//! over refused or unreachable shards to the next ring replica, probes
+//! `/healthz` to eject and re-admit backends, and aggregates fleet
+//! metrics under `router.*`. SIGINT, SIGTERM, or `POST /shutdown`
+//! starts a drain: new submissions get `503` while in-flight proxied
+//! requests, status polls, and result fetches finish. `--metrics`
+//! writes the final `router.*` telemetry document after the drain.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use sim_server::{Router, RouterConfig};
+
+/// Signals received so far; bumped from the (async-signal-safe) handler.
+static SIGNALS: AtomicU32 = AtomicU32::new(0);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // SIGINT = 2, SIGTERM = 15 on every platform this builds for. The
+    // libc `signal` entry point is reached directly to keep the crate
+    // zero-dependency.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal as *const () as usize);
+        signal(15, on_signal as *const () as usize);
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sim_router: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = RouterConfig { addr: "127.0.0.1:4700".to_owned(), ..RouterConfig::default() };
+    let mut addr_file: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().ok_or("--addr needs host:port")?,
+            "--backend" => {
+                config.backends.push(args.next().ok_or("--backend needs host:port")?);
+            }
+            "--vnodes" => {
+                config.vnodes = args.next().ok_or("--vnodes needs a count")?.parse()?;
+                if config.vnodes == 0 {
+                    return Err("--vnodes must be positive".into());
+                }
+            }
+            "--health-interval" => {
+                let ms: u64 = args.next().ok_or("--health-interval needs milliseconds")?.parse()?;
+                if ms == 0 {
+                    return Err("--health-interval must be positive".into());
+                }
+                config.health_interval = Duration::from_millis(ms);
+            }
+            "--connect-timeout" => {
+                let ms: u64 = args.next().ok_or("--connect-timeout needs milliseconds")?.parse()?;
+                if ms == 0 {
+                    return Err("--connect-timeout must be positive".into());
+                }
+                config.connect_timeout = Duration::from_millis(ms);
+            }
+            "--addr-file" => addr_file = Some(args.next().ok_or("--addr-file needs a path")?),
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: sim_router --backend HOST:PORT [--backend HOST:PORT ...] \
+                     [--addr HOST:PORT] [--vnodes N] [--health-interval MS] \
+                     [--connect-timeout MS] [--addr-file <path>] [--metrics <path>]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+    if config.backends.is_empty() {
+        return Err("at least one --backend is required".into());
+    }
+
+    install_signal_handlers();
+    let backends = config.backends.clone();
+    let router =
+        Router::start(config.clone()).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = router.local_addr();
+    println!(
+        "sim_router: listening on {addr}, fronting {} shard(s): {} ({} healthy at startup)",
+        backends.len(),
+        backends.join(", "),
+        router.healthy_backends()
+    );
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let handle = router.shutdown_handle();
+    // Signal watcher: any signal starts the drain. Unlike sim_server
+    // there is no abort grade — the router holds no job state, so the
+    // only clean exit is letting in-flight proxied requests finish.
+    let watcher = {
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if SIGNALS.load(Ordering::SeqCst) > 0 {
+                handle.begin_shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
+
+    while !router.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sim_router: shutting down, finishing in-flight proxied requests");
+    router.join();
+    drop(watcher); // detached; exits with the process
+
+    let doc = handle.metrics_json();
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("sim_router: wrote final metrics to {path}");
+    }
+    eprintln!("sim_router: drained and stopped");
+    Ok(())
+}

@@ -15,9 +15,16 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Connects to `addr` (e.g. `127.0.0.1:4600`).
+    /// Connects to `addr` (e.g. `127.0.0.1:4600`). The address works
+    /// the same whether it is a `sim_server` backend or a `sim_router`
+    /// front — the job API is identical, only id shapes differ.
     pub fn connect(addr: &str) -> io::Result<Connection> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("cannot connect to {addr}: {e} (is the server up? check GET /healthz)"),
+            )
+        })?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Connection { reader: BufReader::new(stream), writer })
@@ -39,8 +46,11 @@ impl Connection {
         read_response(&mut self.reader)
     }
 
-    /// Submits a job body; returns the assigned job id.
-    pub fn submit(&mut self, body: &str) -> io::Result<u64> {
+    /// Submits a job body; returns the assigned job id. Ids are opaque
+    /// strings: a bare backend issues numeric ids (`"17"`), a router
+    /// issues shard-qualified ones (`"s0-17"`); either feeds straight
+    /// back into [`Connection::wait`] / [`Connection::fetch`].
+    pub fn submit(&mut self, body: &str) -> io::Result<String> {
         let response = self.send("POST", "/jobs", body)?;
         if response.status != 202 {
             return Err(api_error("submit", &response));
@@ -50,7 +60,7 @@ impl Connection {
 
     /// Polls `GET /jobs/<id>` until the job reaches a terminal state or
     /// `timeout` elapses; returns the final status string.
-    pub fn wait(&mut self, id: u64, timeout: Duration) -> io::Result<String> {
+    pub fn wait(&mut self, id: &str, timeout: Duration) -> io::Result<String> {
         let deadline = Instant::now() + timeout;
         loop {
             let response = self.send("GET", &format!("/jobs/{id}"), "")?;
@@ -80,7 +90,7 @@ impl Connection {
     }
 
     /// Fetches the result document of a finished job.
-    pub fn fetch(&mut self, id: u64) -> io::Result<String> {
+    pub fn fetch(&mut self, id: &str) -> io::Result<String> {
         let response = self.send("GET", &format!("/jobs/{id}/result"), "")?;
         if response.status != 200 {
             return Err(api_error("fetch", &response));
@@ -118,12 +128,12 @@ impl Connection {
                 _ => return Err(api_error("submit", &response)),
             }
         };
-        let status = self.wait(id, deadline.saturating_duration_since(Instant::now()))?;
+        let status = self.wait(&id, deadline.saturating_duration_since(Instant::now()))?;
         if status != "done" {
             let detail = self.send("GET", &format!("/jobs/{id}/result"), "")?;
             return Err(io::Error::other(format!("job {id} {status}: {}", detail.text())));
         }
-        self.fetch(id)
+        self.fetch(&id)
     }
 }
 
@@ -134,10 +144,15 @@ fn retry_delay(attempt: u32, hint: Option<Duration>) -> Duration {
     backoff.max(hint.unwrap_or(Duration::ZERO)).min(Duration::from_secs(2))
 }
 
-fn parse_id(response: &ClientResponse) -> io::Result<u64> {
+fn parse_id(response: &ClientResponse) -> io::Result<String> {
+    // Backends issue ids as JSON numbers, the router as strings
+    // (`"s0-17"`); accept both so one client speaks to either.
     Value::parse(&response.text())
         .ok()
-        .and_then(|v| v.get("id").and_then(Value::as_u64))
+        .and_then(|v| {
+            let id = v.get("id")?;
+            id.as_str().map(str::to_owned).or_else(|| id.as_u64().map(|n| n.to_string()))
+        })
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response carried no job id"))
 }
 

@@ -36,6 +36,11 @@
 //! solo run uses, and the result cache memoizes finished documents
 //! verbatim, so batched and cached results are byte-identical to
 //! unbatched ones.
+//!
+//! Scale-out lives in [`router`]: the `sim_router` binary fronts N of
+//! these servers, sharding submissions by canonical source key on a
+//! consistent-hash [`ring`] so each shard's caches stay hot for "its"
+//! record streams; [`router`]'s module docs carry the fleet diagram.
 
 pub mod client;
 pub mod http;
@@ -44,10 +49,14 @@ pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod result_cache;
+pub mod ring;
+pub mod router;
 pub mod server;
 
 pub use client::Connection;
 pub use jobspec::{JobError, JobSource, JobSpec};
 pub use queue::BoundedQueue;
 pub use result_cache::{ResultCache, ResultCacheStats};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{JobStatus, Server, ServerConfig, ShutdownHandle};

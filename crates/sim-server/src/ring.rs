@@ -1,0 +1,204 @@
+//! Consistent-hash ring for sharding job streams across backends.
+//!
+//! Each backend contributes `vnodes` points to the ring, placed by
+//! FNV-1a hashing `"{addr}#{replica}"`. A key routes to the backend
+//! owning the first point at or after the key's hash (wrapping around).
+//! Because points depend only on the backend address strings, the same
+//! backend list always rebuilds the same ring: a router restart — or a
+//! second router fronting the same fleet — sends every spec to the same
+//! shard, which is what keeps each shard's artifact cache, batch
+//! planner, and result cache hot for "its" streams.
+//!
+//! Removing a backend removes only that backend's points, so keys that
+//! did not route to it keep their assignment — the classic consistent
+//! hashing property the failover path leans on:
+//! [`HashRing::preference`] yields every distinct backend in ring
+//! order, and a retry simply walks to the next one.
+
+/// Virtual nodes per backend used by the router (and by anything that
+/// wants to predict its routing, e.g. `server_bench`).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// FNV-1a over `bytes` — the same hash family the job-spec
+/// canonicalization uses, kept dependency-free on purpose.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer. FNV-1a alone clusters inputs that differ only
+/// in a trailing character — exactly what `"{addr}#{replica}"` vnode
+/// labels and `seed=N` spec keys look like — so ring placement mixes
+/// the hash through an avalanche pass to spread points uniformly.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The ring's placement hash for an arbitrary label.
+fn point_hash(label: &str) -> u64 {
+    mix(fnv1a(label.as_bytes()))
+}
+
+/// A consistent-hash ring over backend indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point hash, backend index)` sorted by hash (ties by index,
+    /// astronomically unlikely with 64-bit points).
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` points per backend. Backends are
+    /// identified by their string form (an address like
+    /// `127.0.0.1:4600`); identical inputs always build identical
+    /// rings.
+    pub fn new<S: AsRef<str>>(backends: &[S], vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for (index, backend) in backends.iter().enumerate() {
+            for replica in 0..vnodes {
+                let point = point_hash(&format!("{}#{replica}", backend.as_ref()));
+                points.push((point, index));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, backends: backends.len() }
+    }
+
+    /// Number of backends on the ring.
+    pub fn len(&self) -> usize {
+        self.backends
+    }
+
+    /// `true` when the ring has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.backends == 0
+    }
+
+    /// The home backend for `key`: the owner of the first ring point at
+    /// or after the key's hash, wrapping past the top. `None` on an
+    /// empty ring.
+    pub fn route(&self, key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = point_hash(key);
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        Some(self.points[at % self.points.len()].1)
+    }
+
+    /// Every distinct backend in ring order starting from the key's
+    /// home — the retry walk: index 0 is the home shard, each further
+    /// entry is the next distinct backend a refused submission fails
+    /// over to.
+    pub fn preference(&self, key: &str) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends);
+        if self.points.is_empty() {
+            return order;
+        }
+        let hash = point_hash(key);
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        let mut seen = vec![false; self.backends];
+        for offset in 0..self.points.len() {
+            let (_, index) = self.points[(start + offset) % self.points.len()];
+            if !seen[index] {
+                seen[index] = true;
+                order.push(index);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:4600")).collect()
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        // Deterministic spread of key material, spec-key shaped.
+        (0..n).map(|i| format!("workload:crypto:seed={i}:len=8000|improvements=All_imps")).collect()
+    }
+
+    #[test]
+    fn identical_inputs_build_identical_rings() {
+        let backends = addrs(3);
+        let a = HashRing::new(&backends, DEFAULT_VNODES);
+        let b = HashRing::new(&backends, DEFAULT_VNODES);
+        for key in keys(500) {
+            assert_eq!(a.route(&key), b.route(&key), "restart moved {key}");
+            assert_eq!(a.preference(&key), b.preference(&key));
+        }
+    }
+
+    #[test]
+    fn preference_walks_every_backend_once_starting_at_home() {
+        let ring = HashRing::new(&addrs(5), DEFAULT_VNODES);
+        for key in keys(100) {
+            let order = ring.preference(&key);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "not a permutation: {order:?}");
+            assert_eq!(order[0], ring.route(&key).unwrap(), "preference must start at home");
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_keys() {
+        let full = addrs(4);
+        let survivors = &full[..3]; // drop 10.0.0.3
+        let before = HashRing::new(&full, DEFAULT_VNODES);
+        let after = HashRing::new(survivors, DEFAULT_VNODES);
+        for key in keys(1000) {
+            let old = before.route(&key).unwrap();
+            if old < 3 {
+                // Keys not homed on the removed backend must not move;
+                // survivor indices are unchanged because the removed
+                // backend was last in the list.
+                assert_eq!(after.route(&key), Some(old), "removal moved {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ring = HashRing::new(&addrs(4), DEFAULT_VNODES);
+        let mut counts = [0usize; 4];
+        let total = 4000;
+        for key in keys(total) {
+            counts[ring.route(&key).unwrap()] += 1;
+        }
+        for (index, &count) in counts.iter().enumerate() {
+            let share = count as f64 / total as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "backend {index} owns {share:.2} of keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&Vec::<String>::new(), DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route("anything"), None);
+        assert!(ring.preference("anything").is_empty());
+    }
+}

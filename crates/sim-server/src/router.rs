@@ -1,0 +1,783 @@
+//! The sharding router: one front door for a fleet of `sim_server`
+//! backends.
+//!
+//! ```text
+//!   sim_client / curl                       sim_server shard s0
+//!         │ POST /jobs                    ┌──────────────────────┐
+//!         ▼                          ┌──▶ │ queue → workers → …  │
+//!   ┌──────────────── sim_router ────┤    └──────────────────────┘
+//!   │ validate spec (local 400s)     │      sim_server shard s1
+//!   │ ring.route(source_key) ────────┤    ┌──────────────────────┐
+//!   │   429/503/refused: walk to the └──▶ │ queue → workers → …  │
+//!   │   next distinct ring replica        └──────────────────────┘
+//!   │   with capped backoff                        ▲
+//!   │ health thread: /healthz probes ──────────────┘
+//!   │   eject on failure, re-admit on recovery
+//!   │ GET /jobs/s<shard>-<id>[/result] → proxied to that shard
+//!   │ GET /metrics → router.* + fleet sums scraped from shards
+//!   └───────────────────────────────────
+//! ```
+//!
+//! Routing is by the job's [`source key`](JobSpec::source_key) — the
+//! same canonicalization the backends' batch planners and result caches
+//! use — so every spelling of a spec over one record stream lands on
+//! one shard, keeping that shard's artifact cache, fused batching, and
+//! result cache hot for "its" traces.
+//!
+//! Job ids become *shard-qualified* on the way back: a backend's
+//! `{"id":17,…}` is rewritten to `{"id":"s2-17",…}`, and
+//! `GET /jobs/s2-17[/result]` proxies to shard 2's `/jobs/17`. Result
+//! documents are relayed **verbatim** — the byte-identity anchor (a
+//! routed trace-job result is still byte-for-byte what a local
+//! `champsim-run --metrics` writes) survives the extra hop.
+//!
+//! Shutdown is a single-grade drain: new submissions get `503` while
+//! status polls, result fetches, `/healthz`, and `/metrics` keep
+//! working; [`Router::join`] returns once the last in-flight proxied
+//! request has been answered.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use telemetry::{catalog, Registry};
+
+use crate::http::{read_request, read_response, ClientResponse, Request, Response};
+use crate::jobspec::JobSpec;
+use crate::json;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// How often blocked reads and the accept loop re-check shutdown flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Read/write deadline on a proxied backend exchange. Generous: every
+/// backend endpoint answers without waiting on job execution.
+const PROXY_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Backend `host:port` addresses, one per shard. Order defines the
+    /// shard indices (`s0`, `s1`, …) baked into job ids.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Delay between health-probe sweeps over the backends.
+    pub health_interval: Duration,
+    /// Connect deadline for probes and proxied requests.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            health_interval: Duration::from_millis(250),
+            connect_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+struct Backend {
+    addr: String,
+    /// Last probe verdict; flips eject/re-admit the fleet membership
+    /// for new submissions (proxied polls ignore it — a draining shard
+    /// still answers them).
+    healthy: AtomicBool,
+}
+
+/// Routing-edge counters exported under the `router.*` descriptors.
+#[derive(Default)]
+pub struct RouterMetrics {
+    routed: AtomicU64,
+    retried: AtomicU64,
+    rejected: AtomicU64,
+    unroutable: AtomicU64,
+    ejected: AtomicU64,
+    readmitted: AtomicU64,
+}
+
+impl RouterMetrics {
+    fn note_routed(&self) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_unroutable(&self) {
+        self.unroutable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_ejected(&self) {
+        self.ejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_readmitted(&self) {
+        self.readmitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the router counters plus the caller-scraped fleet
+    /// totals into a registry.
+    pub fn export(&self, healthy: usize, fleet: &FleetTotals) -> Registry {
+        let mut registry = Registry::new();
+        registry.label("tool", "sim-router");
+        registry.counter(&catalog::ROUTER_JOBS_ROUTED, self.routed.load(Ordering::Relaxed));
+        registry.counter(&catalog::ROUTER_JOBS_RETRIED, self.retried.load(Ordering::Relaxed));
+        registry.counter(&catalog::ROUTER_JOBS_REJECTED, self.rejected.load(Ordering::Relaxed));
+        registry.counter(&catalog::ROUTER_JOBS_UNROUTABLE, self.unroutable.load(Ordering::Relaxed));
+        registry.gauge(&catalog::ROUTER_BACKENDS_HEALTHY, healthy as f64);
+        registry.counter(&catalog::ROUTER_BACKENDS_EJECTED, self.ejected.load(Ordering::Relaxed));
+        registry
+            .counter(&catalog::ROUTER_BACKENDS_READMITTED, self.readmitted.load(Ordering::Relaxed));
+        registry.counter(&catalog::ROUTER_FLEET_JOBS_ACCEPTED, fleet.jobs_accepted);
+        registry.counter(&catalog::ROUTER_FLEET_JOBS_COMPLETED, fleet.jobs_completed);
+        registry.counter(&catalog::ROUTER_FLEET_JOBS_REJECTED, fleet.jobs_rejected);
+        registry.gauge(&catalog::ROUTER_FLEET_QUEUE_DEPTH, fleet.queue_depth as f64);
+        registry
+    }
+}
+
+/// `server.*` counters summed over every reachable shard at scrape
+/// time (an unreachable shard contributes nothing).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTotals {
+    /// Sum of `server.jobs.accepted`.
+    pub jobs_accepted: u64,
+    /// Sum of `server.jobs.completed`.
+    pub jobs_completed: u64,
+    /// Sum of `server.jobs.rejected`.
+    pub jobs_rejected: u64,
+    /// Sum of `server.queue.depth`.
+    pub queue_depth: u64,
+}
+
+struct Shared {
+    config: RouterConfig,
+    ring: HashRing,
+    backends: Vec<Backend>,
+    metrics: RouterMetrics,
+    /// Submissions refused (`503`); polls and fetches still served.
+    shutting_down: AtomicBool,
+    /// Connection threads and loops exit at next poll.
+    terminate: AtomicBool,
+    /// Requests currently being handled; the drain waits on zero.
+    inflight: AtomicU64,
+}
+
+impl Shared {
+    fn healthy_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.healthy.load(Ordering::SeqCst)).count()
+    }
+
+    fn metrics_json(&self) -> String {
+        let mut fleet = FleetTotals::default();
+        for backend in &self.backends {
+            let Ok(response) =
+                forward_once(&backend.addr, "GET", "/metrics", "", self.config.connect_timeout)
+            else {
+                continue;
+            };
+            if response.status != 200 {
+                continue;
+            }
+            let doc = response.text();
+            fleet.jobs_accepted += metric_value(&doc, "server.jobs.accepted");
+            fleet.jobs_completed += metric_value(&doc, "server.jobs.completed");
+            fleet.jobs_rejected += metric_value(&doc, "server.jobs.rejected");
+            fleet.queue_depth += metric_value(&doc, "server.queue.depth");
+        }
+        self.metrics.export(self.healthy_count(), &fleet).to_json()
+    }
+}
+
+/// A running sharding router; see the module docs for the data flow.
+pub struct Router {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `config.addr`, probes every backend once (a backend down
+    /// at startup begins life ejected), and spawns the accept loop and
+    /// the health checker.
+    pub fn start(config: RouterConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let ring = HashRing::new(&config.backends, config.vnodes);
+        let backends: Vec<Backend> = config
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                healthy: AtomicBool::new(probe(addr, config.connect_timeout)),
+                addr: addr.clone(),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            config,
+            ring,
+            backends,
+            metrics: RouterMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            terminate: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("router-accept".to_owned())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("router-health".to_owned())
+                .spawn(move || health_loop(&shared))
+                .expect("spawn health loop")
+        };
+        Ok(Router { shared, local_addr, accept: Some(accept), health: Some(health) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts the drain without blocking: new submissions get `503`,
+    /// everything else keeps serving. Idempotent; call
+    /// [`Router::join`] afterwards to wait it out.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested (signal handler, the
+    /// `/shutdown` endpoint, or [`Router::begin_shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Backends the health checker currently considers live.
+    pub fn healthy_backends(&self) -> usize {
+        self.shared.healthy_count()
+    }
+
+    /// The operational metrics document (same as `GET /metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
+    }
+
+    /// A cloneable handle that outlives [`Router::join`]; signal
+    /// handlers use it to trigger the drain, and the binary uses it to
+    /// flush final metrics afterwards.
+    pub fn shutdown_handle(&self) -> RouterHandle {
+        RouterHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Drains and stops: refuses new submissions, waits for in-flight
+    /// proxied requests to finish, then tears down the accept and
+    /// health loops.
+    pub fn join(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        while self.shared.inflight.load(Ordering::SeqCst) > 0 {
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.terminate.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+/// See [`Router::shutdown_handle`].
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<Shared>,
+}
+
+impl RouterHandle {
+    /// Same as [`Router::begin_shutdown`]; callable while (or after)
+    /// another thread joins the router.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// The operational metrics document (same as `GET /metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.terminate.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("router-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn health_loop(shared: &Arc<Shared>) {
+    while !shared.terminate.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            if shared.terminate.load(Ordering::SeqCst) {
+                return;
+            }
+            let live = probe(&backend.addr, shared.config.connect_timeout);
+            let was = backend.healthy.swap(live, Ordering::SeqCst);
+            if was && !live {
+                shared.metrics.note_ejected();
+            } else if !was && live {
+                shared.metrics.note_readmitted();
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.config.health_interval && !shared.terminate.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(10).min(shared.config.health_interval - slept);
+            thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// One `/healthz` probe: healthy iff the backend answers `200` with
+/// `"status":"ok"`. A *draining* backend reports `"draining"` and is
+/// treated as unhealthy — it would refuse new submissions anyway.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    match forward_once_with_deadline(
+        addr,
+        "GET",
+        "/healthz",
+        "",
+        timeout,
+        timeout.max(POLL_INTERVAL),
+    ) {
+        Ok(response) if response.status == 200 => {
+            let text = response.text();
+            json::Value::parse(&text)
+                .ok()
+                .as_ref()
+                .and_then(|v| v.get("status"))
+                .and_then(json::Value::as_str)
+                == Some("ok")
+        }
+        _ => false,
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.terminate.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = format!("{{\"error\":{}}}", json::escape(&e.to_string()));
+                let _ = Response::json(400, body).write(&mut writer, true);
+                return;
+            }
+            Err(_) => return,
+        };
+        let close = request.wants_close() || shared.terminate.load(Ordering::SeqCst);
+        // The in-flight window covers routing AND writing the reply, so
+        // a drain never cuts a proxied response mid-stream.
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let response = route(&request, shared);
+        let wrote = response.write(&mut writer, close);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if wrote.is_err() || close {
+            return;
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => forward_submit(request, shared),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::json(200, shared.metrics_json()),
+        ("POST", "/shutdown") => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"status\":\"shutting down\"}")
+        }
+        ("GET", _) if path.starts_with("/jobs/") => proxy_job_get(path, shared),
+        (_, "/jobs" | "/healthz" | "/metrics" | "/shutdown") => {
+            error_response(405, "method not allowed")
+        }
+        (_, _) if path.starts_with("/jobs/") => error_response(405, "method not allowed"),
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+/// Validates the spec locally (a bad body earns its `400` without
+/// touching any shard), routes by source key, and walks the ring's
+/// distinct replicas until one accepts. `429`/`503` answers and
+/// unreachable shards both advance the walk; busy shards additionally
+/// pace it with capped exponential backoff.
+fn forward_submit(request: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_response(503, "router is draining").with_header("retry-after", "1");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(message) => return error_response(400, &message),
+    };
+    let preference = shared.ring.preference(&spec.source_key());
+    // Prefer live shards in ring order; when the health checker has
+    // ejected everyone its view may be stale, so fall back to trying
+    // the full walk rather than refusing outright.
+    let live: Vec<usize> = preference
+        .iter()
+        .copied()
+        .filter(|&index| shared.backends[index].healthy.load(Ordering::SeqCst))
+        .collect();
+    let order = if live.is_empty() { preference } else { live };
+
+    let mut retry_after: Option<u64> = None;
+    let mut pace = false;
+    for (attempt, &index) in order.iter().enumerate() {
+        if attempt > 0 {
+            shared.metrics.note_retried();
+            if pace {
+                thread::sleep(backoff(attempt));
+            }
+        }
+        let backend = &shared.backends[index];
+        match forward_once(&backend.addr, "POST", "/jobs", body, shared.config.connect_timeout) {
+            Ok(response) if response.status == 202 => {
+                shared.metrics.note_routed();
+                let text = response.text();
+                return match shard_qualify(&text, index) {
+                    Some(body) => Response::json(202, body),
+                    None => relay(response),
+                };
+            }
+            Ok(response) if response.status == 429 || response.status == 503 => {
+                pace = true;
+                let hint = response
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .unwrap_or(1);
+                retry_after = Some(retry_after.map_or(hint, |seen| seen.max(hint)));
+            }
+            // Anything else is a definitive per-request verdict (e.g. a
+            // 400 local validation missed); relay it verbatim.
+            Ok(response) => return relay(response),
+            Err(_) => {}
+        }
+    }
+    match retry_after {
+        Some(seconds) => {
+            shared.metrics.note_rejected();
+            error_response(429, "every shard refused the job")
+                .with_header("retry-after", &seconds.to_string())
+        }
+        None => {
+            shared.metrics.note_unroutable();
+            error_response(503, "no shard is reachable").with_header("retry-after", "1")
+        }
+    }
+}
+
+/// Proxy `GET /jobs/s<shard>-<id>[/result]` to the owning shard.
+/// Health status is ignored here: a draining shard still serves its
+/// job table, and the job's state lives nowhere else.
+fn proxy_job_get(path: &str, shared: &Arc<Shared>) -> Response {
+    let rest = &path["/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Some((shard, raw_id)) = parse_shard_id(id_text) else {
+        return error_response(404, "malformed job id (router job ids look like \"s0-17\")");
+    };
+    if shard >= shared.backends.len() {
+        return error_response(
+            404,
+            &format!("no shard s{shard} (this router fronts {} shards)", shared.backends.len()),
+        );
+    }
+    let backend = &shared.backends[shard];
+    let backend_path =
+        if want_result { format!("/jobs/{raw_id}/result") } else { format!("/jobs/{raw_id}") };
+    match forward_once(&backend.addr, "GET", &backend_path, "", shared.config.connect_timeout) {
+        // A finished result document is relayed verbatim: this is the
+        // byte-identity anchor, never rewritten.
+        Ok(response) if want_result && response.status == 200 => relay(response),
+        Ok(response) => {
+            let text = response.text();
+            match shard_qualify(&text, shard) {
+                Some(body) => {
+                    let status = response.status;
+                    let mut out = Response::json(status, body);
+                    if let Some(hint) = response.header("retry-after") {
+                        out = out.with_header("retry-after", hint);
+                    }
+                    out
+                }
+                None => relay(response),
+            }
+        }
+        Err(_) => error_response(
+            503,
+            &format!(
+                "shard s{shard} ({}) is unreachable; if it died, the job's state died \
+                 with it — resubmit through the router",
+                backend.addr
+            ),
+        )
+        .with_header("retry-after", "1"),
+    }
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    let mut shards = String::from("[");
+    for (index, backend) in shared.backends.iter().enumerate() {
+        if index > 0 {
+            shards.push(',');
+        }
+        shards.push_str(&format!(
+            "{{\"shard\":\"s{index}\",\"addr\":{},\"healthy\":{}}}",
+            json::escape(&backend.addr),
+            backend.healthy.load(Ordering::SeqCst)
+        ));
+    }
+    shards.push(']');
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{}\",\"backends\":{},\"healthy_backends\":{},\"shards\":{shards}}}",
+            if draining { "draining" } else { "ok" },
+            shared.backends.len(),
+            shared.healthy_count(),
+        ),
+    )
+}
+
+/// Backoff before re-walking to the next replica after a busy signal:
+/// 50 ms doubling, capped at 200 ms (the client retry loop above this
+/// owns the long waits).
+fn backoff(attempt: usize) -> Duration {
+    Duration::from_millis(25u64 << attempt.min(3))
+}
+
+/// One short-lived proxied exchange with a backend.
+fn forward_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    connect_timeout: Duration,
+) -> io::Result<ClientResponse> {
+    forward_once_with_deadline(addr, method, path, body, connect_timeout, PROXY_IO_TIMEOUT)
+}
+
+fn forward_once_with_deadline(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: sim-router\r\nconnection: close\r\n");
+    if !body.is_empty() {
+        head.push_str(&format!(
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Rewrites a backend body's leading `{"id":<n>` to the
+/// shard-qualified `{"id":"s<shard>-<n>"`, preserving the rest of the
+/// body byte-for-byte. `None` when the body doesn't lead with a
+/// numeric id (then the body is relayed untouched).
+fn shard_qualify(body: &str, shard: usize) -> Option<String> {
+    let rest = body.strip_prefix("{\"id\":")?;
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let (id, tail) = rest.split_at(digits);
+    Some(format!("{{\"id\":\"s{shard}-{id}\"{tail}"))
+}
+
+/// Parses a shard-qualified job id `s<shard>-<raw>`.
+fn parse_shard_id(text: &str) -> Option<(usize, u64)> {
+    let rest = text.strip_prefix('s')?;
+    let (shard, raw) = rest.split_once('-')?;
+    Some((shard.parse().ok()?, raw.parse().ok()?))
+}
+
+/// Converts a backend's response into ours, body untouched. The
+/// framing headers (`content-length`, `connection`) are regenerated by
+/// [`Response::write`].
+fn relay(response: ClientResponse) -> Response {
+    let headers = response
+        .headers
+        .into_iter()
+        .filter(|(name, _)| name != "content-length" && name != "connection")
+        .collect();
+    Response { status: response.status, headers, body: response.body }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":{}}}", json::escape(message)))
+}
+
+/// Reads one counter/gauge value out of a `/metrics` registry
+/// document; `0` when absent (a shard running an older build simply
+/// contributes nothing).
+fn metric_value(doc: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    let Some(at) = doc.find(&needle) else { return 0 };
+    let rest = &doc[at + needle.len()..];
+    let Some(vat) = rest.find("\"value\":") else { return 0 };
+    let rest = &rest[vat + "\"value\":".len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().map(|v| v as u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_qualify_rewrites_only_the_leading_id() {
+        assert_eq!(
+            shard_qualify("{\"id\":17,\"status\":\"queued\"}", 2).as_deref(),
+            Some("{\"id\":\"s2-17\",\"status\":\"queued\"}")
+        );
+        assert_eq!(
+            shard_qualify("{\"id\":4,\"status\":\"done\",\"queue_ms\":0,\"run_ms\":3}", 0)
+                .as_deref(),
+            Some("{\"id\":\"s0-4\",\"status\":\"done\",\"queue_ms\":0,\"run_ms\":3}")
+        );
+        assert_eq!(shard_qualify("{\"error\":\"nope\"}", 1), None, "no leading id: untouched");
+        assert_eq!(shard_qualify("{\"id\":\"s0-1\"}", 1), None, "already qualified: untouched");
+    }
+
+    #[test]
+    fn shard_ids_parse_and_reject_malformed_forms() {
+        assert_eq!(parse_shard_id("s0-17"), Some((0, 17)));
+        assert_eq!(parse_shard_id("s12-9000"), Some((12, 9000)));
+        for bad in ["17", "s-17", "sx-17", "s1-", "s1-abc", "1-2", "s1", ""] {
+            assert_eq!(parse_shard_id(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff(1), Duration::from_millis(50));
+        assert_eq!(backoff(2), Duration::from_millis(100));
+        assert_eq!(backoff(3), Duration::from_millis(200));
+        assert_eq!(backoff(9), Duration::from_millis(200), "capped");
+    }
+
+    #[test]
+    fn metric_values_parse_out_of_registry_documents() {
+        let doc = "{\"metrics\":[{\"name\":\"server.jobs.accepted\",\"kind\":\"counter\",\
+                   \"value\":7},{\"name\":\"server.queue.depth\",\"value\":2.0}]}";
+        assert_eq!(metric_value(doc, "server.jobs.accepted"), 7);
+        assert_eq!(metric_value(doc, "server.queue.depth"), 2);
+        assert_eq!(metric_value(doc, "server.jobs.rejected"), 0, "absent reads as zero");
+    }
+
+    #[test]
+    fn router_metrics_export_under_router_descriptors() {
+        let metrics = RouterMetrics::default();
+        metrics.note_routed();
+        metrics.note_routed();
+        metrics.note_retried();
+        metrics.note_rejected();
+        metrics.note_unroutable();
+        metrics.note_ejected();
+        metrics.note_readmitted();
+        let fleet =
+            FleetTotals { jobs_accepted: 10, jobs_completed: 8, jobs_rejected: 1, queue_depth: 3 };
+        let registry = metrics.export(2, &fleet);
+        assert_eq!(registry.counter_value("router.jobs.routed"), 2);
+        assert_eq!(registry.counter_value("router.jobs.retried"), 1);
+        assert_eq!(registry.counter_value("router.jobs.rejected"), 1);
+        assert_eq!(registry.counter_value("router.jobs.unroutable"), 1);
+        assert_eq!(registry.counter_value("router.backends.ejected"), 1);
+        assert_eq!(registry.counter_value("router.backends.readmitted"), 1);
+        assert_eq!(registry.counter_value("router.fleet.jobs_accepted"), 10);
+        assert_eq!(registry.counter_value("router.fleet.jobs_completed"), 8);
+        assert_eq!(registry.counter_value("router.fleet.jobs_rejected"), 1);
+        let doc = registry.to_json();
+        assert!(doc.contains("router.backends.healthy"));
+        assert!(doc.contains("router.fleet.queue_depth"));
+        assert!(doc.contains("\"tool\":\"sim-router\""));
+    }
+}

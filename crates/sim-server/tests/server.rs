@@ -145,7 +145,7 @@ fn graceful_shutdown_drains_accepted_jobs() {
     let addr = server.local_addr().to_string();
     let mut conn = Connection::connect(&addr).unwrap();
     let body = r#"{"workload": {"kind": "streaming", "seed": 2, "length": 8000}}"#;
-    let ids: Vec<u64> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
+    let ids: Vec<String> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
 
     server.begin_shutdown(false);
     let refused = conn.send("POST", "/jobs", body).unwrap();
@@ -153,9 +153,9 @@ fn graceful_shutdown_drains_accepted_jobs() {
     assert!(conn.send("GET", "/healthz", "").unwrap().text().contains("draining"));
 
     for id in &ids {
-        let status = conn.wait(*id, Duration::from_secs(60)).unwrap();
+        let status = conn.wait(id, Duration::from_secs(60)).unwrap();
         assert_eq!(status, "done", "job {id} must finish during the drain");
-        let doc = conn.fetch(*id).unwrap();
+        let doc = conn.fetch(id).unwrap();
         assert!(doc.contains("sim.ipc"), "drained job result is a metrics document");
     }
     let (_, _, completed) = server.job_counts();
@@ -171,12 +171,12 @@ fn abort_shutdown_cancels_queued_jobs() {
     let mut conn = Connection::connect(&addr).unwrap();
     // One slow-ish job occupies the single worker; the rest queue up.
     let body = r#"{"workload": {"kind": "crypto", "seed": 3, "length": 60000}}"#;
-    let ids: Vec<u64> = (0..4).map(|_| conn.submit(body).unwrap()).collect();
+    let ids: Vec<String> = (0..4).map(|_| conn.submit(body).unwrap()).collect();
 
     server.begin_shutdown(true);
     let mut cancelled = 0;
     for id in &ids {
-        let status = conn.wait(*id, Duration::from_secs(60)).unwrap();
+        let status = conn.wait(id, Duration::from_secs(60)).unwrap();
         if status == "cancelled" {
             cancelled += 1;
             let result = conn.send("GET", &format!("/jobs/{id}/result"), "").unwrap();
@@ -197,7 +197,7 @@ fn job_deadline_cancels_overlong_jobs() {
     let mut conn = Connection::connect(&addr).unwrap();
     let id =
         conn.submit(r#"{"workload": {"kind": "crypto", "seed": 4, "length": 50000}}"#).unwrap();
-    let status = conn.wait(id, Duration::from_secs(30)).unwrap();
+    let status = conn.wait(&id, Duration::from_secs(30)).unwrap();
     assert_eq!(status, "cancelled");
     server.join();
 }
@@ -219,7 +219,7 @@ fn truncated_store_job_fails_with_diagnostic() {
     let mut conn = Connection::connect(&addr).unwrap();
     let body = format!("{{\"trace\": \"{}\"}}", store.to_str().unwrap());
     let id = conn.submit(&body).unwrap();
-    assert_eq!(conn.wait(id, Duration::from_secs(30)).unwrap(), "failed");
+    assert_eq!(conn.wait(&id, Duration::from_secs(30)).unwrap(), "failed");
     let result = conn.send("GET", &format!("/jobs/{id}/result"), "").unwrap();
     assert_eq!(result.status, 409);
     let text = result.text();
@@ -282,7 +282,7 @@ fn fused_batch_results_match_local_runs_bytewise() {
         format!("{{\"trace\": \"{path_text}\", \"warmup\": 100, \"prefetcher\": \"next-line\"}}"),
         format!("{{\"trace\": \"{path_text}\"}}"),
     ];
-    let ids: Vec<u64> = bodies.iter().map(|body| conn.submit(body).unwrap()).collect();
+    let ids: Vec<String> = bodies.iter().map(|body| conn.submit(body).unwrap()).collect();
     let local_records: Vec<ChampsimRecord> =
         ChampsimTraceReader::open(&store).unwrap().collect::<Result<_, _>>().unwrap();
     let local_options = [
@@ -293,10 +293,10 @@ fn fused_batch_results_match_local_runs_bytewise() {
         RunOptions::default(),
     ];
     for (id, options) in ids.iter().zip(local_options) {
-        assert_eq!(conn.wait(*id, Duration::from_secs(60)).unwrap(), "done");
+        assert_eq!(conn.wait(id, Duration::from_secs(60)).unwrap(), "done");
         let report = Simulator::run_on(&CoreConfig::iiswc_main(), &local_records, options);
         let local_doc = cli::champsim_run_registry(&report, "iiswc", path_text).to_json();
-        assert_eq!(conn.fetch(*id).unwrap(), local_doc, "fused result differs for job {id}");
+        assert_eq!(conn.fetch(id).unwrap(), local_doc, "fused result differs for job {id}");
     }
     let metrics = conn.send("GET", "/metrics", "").unwrap().text();
     assert!(
@@ -316,10 +316,10 @@ fn duplicate_submissions_coalesce_onto_one_execution() {
     let mut conn = Connection::connect(&addr).unwrap();
     // Long enough that the duplicates arrive mid-execution.
     let body = r#"{"workload": {"kind": "crypto", "seed": 5, "length": 60000}}"#;
-    let ids: Vec<u64> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
+    let ids: Vec<String> = (0..3).map(|_| conn.submit(body).unwrap()).collect();
     let docs: Vec<String> = ids
         .iter()
-        .map(|&id| {
+        .map(|id| {
             assert_eq!(conn.wait(id, Duration::from_secs(60)).unwrap(), "done");
             conn.fetch(id).unwrap()
         })
@@ -347,11 +347,11 @@ fn resubmitted_spec_is_answered_from_the_result_cache() {
 
     let id = conn.submit(body).unwrap();
     assert_eq!(
-        conn.wait(id, Duration::from_secs(60)).unwrap(),
+        conn.wait(&id, Duration::from_secs(60)).unwrap(),
         "done",
         "a cached job needs no polling round-trips"
     );
-    assert_eq!(conn.fetch(id).unwrap(), first, "cached document differs from the original");
+    assert_eq!(conn.fetch(&id).unwrap(), first, "cached document differs from the original");
     let metrics = conn.send("GET", "/metrics", "").unwrap().text();
     assert!(metric_u64(&metrics, "server.result_cache.hits") >= 1, "{metrics}");
     server.join();

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fails on dead relative links in README.md and docs/*.md.
+#
+# Checks every markdown inline-link target `](...)`, skipping absolute
+# URLs (http/https/mailto) and pure in-page anchors (#...). Fragments
+# are stripped before the existence check, which is resolved relative
+# to the file containing the link.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+for file in README.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # One target per line; tolerate multiple links on a line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*|'') continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in $file: ($target) -> $dir/$path" >&2
+            status=1
+        fi
+    done < <(grep -o ']([^)]*)' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "docs link check FAILED" >&2
+else
+    echo "docs link check passed"
+fi
+exit "$status"
