@@ -3,21 +3,26 @@
 //! ```text
 //! champsim-run <trace.champsimtrace> [--core iiswc|ipc1] [--warmup N]
 //!              [--prefetcher <name>] [--max N] [--metrics <path>]
-//!              [--epochs N]
+//!              [--epochs N] [--improvements <set>]
 //! ```
 //!
-//! Accepts flat record files and block-compressed `.champsimz` stores.
-//! The core presets match the paper's §4 setups; `--prefetcher` plugs one
-//! of the IPC-1 instruction prefetchers into the L1I. `--metrics` writes
-//! the full `sim.*`/`memsys.*`/`bpred.*` telemetry document (see
-//! METRICS.md); `--epochs N` additionally samples cycles and miss
-//! counters every N instructions into the document's `epochs` section.
+//! Accepts flat record files, block-compressed `.champsimz` stores, and
+//! packetized `.etrace` RISC-V branch traces — the latter are decoded
+//! and converted in memory (under `--improvements`, `No_imp` by
+//! default, matching the server) before simulation. The core presets
+//! match the paper's §4 setups; `--prefetcher` plugs one of the IPC-1
+//! instruction prefetchers into the L1I. `--metrics` writes the full
+//! `sim.*`/`memsys.*`/`bpred.*` telemetry document (see METRICS.md);
+//! `--epochs N` additionally samples cycles and miss counters every N
+//! instructions into the document's `epochs` section.
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use champsim_trace::ChampsimRecord;
+use converter::{Converter, ImprovementSet};
 use sim::{CoreConfig, RunOptions, Simulator};
-use trace_store::ChampsimTraceReader;
+use trace_store::{is_etrace_path, ChampsimTraceReader, CvpTraceReader};
 
 fn main() -> ExitCode {
     match run() {
@@ -38,6 +43,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_records = usize::MAX;
     let mut metrics_path: Option<String> = None;
     let mut epochs: Option<u64> = None;
+    let mut improvements: Option<ImprovementSet> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,11 +72,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 epochs = Some(n);
             }
+            "--improvements" => {
+                improvements =
+                    Some(args.next().ok_or("--improvements needs an improvement name")?.parse()?);
+            }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: champsim-run <trace.champsimtrace> [--core iiswc|ipc1] \
+                    "usage: champsim-run <trace.champsimtrace|trace.etrace> [--core iiswc|ipc1] \
                      [--warmup N] [--prefetcher none|next-line|djolt|jip|mana|fnl+mma|pips|epi|barca|tap] \
-                     [--max N] [--metrics <path>] [--epochs N]"
+                     [--max N] [--metrics <path>] [--epochs N] [--improvements <set>]"
                 );
                 return Ok(());
             }
@@ -82,15 +92,37 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_path = trace_path.ok_or("missing trace path")?;
-    let reader = ChampsimTraceReader::open(Path::new(&trace_path))
-        .map_err(|e| format!("{trace_path}: {e}"))?;
-    let mut records = Vec::new();
-    for rec in reader {
-        records.push(rec.map_err(|e| format!("{trace_path}: {e}"))?);
-        if records.len() >= max_records {
-            break;
+    let records: Vec<ChampsimRecord> = if is_etrace_path(Path::new(&trace_path)) {
+        // Decode the E-Trace packet stream to CVP instructions and
+        // convert them in memory — the same path the server takes for
+        // an `.etrace` job, which keeps the two documents identical.
+        let mut reader = CvpTraceReader::open(Path::new(&trace_path))
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        let mut converter = Converter::new(improvements.unwrap_or_else(ImprovementSet::none));
+        let mut records = Vec::new();
+        while let Some(insn) = reader.read().map_err(|e| format!("{trace_path}: {e}"))? {
+            records.extend(converter.convert(&insn));
+            if records.len() >= max_records {
+                break;
+            }
         }
-    }
+        records.truncate(max_records);
+        records
+    } else {
+        if improvements.is_some() {
+            return Err("--improvements only applies to .etrace inputs".into());
+        }
+        let reader = ChampsimTraceReader::open(Path::new(&trace_path))
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        let mut records = Vec::new();
+        for rec in reader {
+            records.push(rec.map_err(|e| format!("{trace_path}: {e}"))?);
+            if records.len() >= max_records {
+                break;
+            }
+        }
+        records
+    };
     if records.is_empty() {
         return Err(format!("{trace_path}: trace contains no records").into());
     }

@@ -5,7 +5,8 @@
 //!              [--stats] [--metrics <path>]
 //! ```
 //!
-//! Reads a CVP-1 binary trace (flat `.cvp` or compressed `.cvpz`),
+//! Reads a CVP-1 binary trace (flat `.cvp`, compressed `.cvpz`, or a
+//! RISC-V `.etrace` branch trace decoded to CVP records on the fly),
 //! converts it with the selected improvement set (`No_imp` by default,
 //! as in the original tool), and writes ChampSim 64-byte records to
 //! `-o` or standard output; an output path ending in `.champsimz`
@@ -51,7 +52,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: cvp2champsim -t <trace.cvp> [-i <improvement>] \
+                    "usage: cvp2champsim -t <trace.cvp|trace.etrace> [-i <improvement>] \
                      [-o <out.champsimtrace>] [--stats] [--metrics <path>]\n\
                      improvements: No_imp (default), All_imps, Memory_imps, Branch_imps,\n\
                      imp_mem-regs, imp_base-update, imp_mem-footprint, imp_call-stack,\n\

@@ -2,12 +2,15 @@
 //! statistics of the improved converter.
 //!
 //! ```text
-//! trace-stats <trace.cvp|trace.cvpz> [-i <improvement>] [--metrics <path>]
+//! trace-stats <trace.cvp|trace.cvpz|trace.etrace> [-i <improvement>]
+//!             [--metrics <path>]
 //! ```
 //!
-//! Accepts flat `.cvp` traces and block-compressed `.cvpz` stores.
-//! `--metrics` writes the `cvp.*` mix and `convert.*` conversion
-//! telemetry as one JSON document (see METRICS.md).
+//! Accepts flat `.cvp` traces, block-compressed `.cvpz` stores, and
+//! packetized `.etrace` RISC-V branch traces (decoded to CVP records on
+//! the fly). `--metrics` writes the `cvp.*` mix and `convert.*`
+//! conversion telemetry as one JSON document, plus the `etrace.*`
+//! decode counters for `.etrace` inputs (see METRICS.md).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -40,7 +43,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: trace-stats <trace.cvp|trace.cvpz> [-i <improvement>] [--metrics <path>]"
+                    "usage: trace-stats <trace.cvp|trace.cvpz|trace.etrace> [-i <improvement>] \
+                     [--metrics <path>]"
                 );
                 return Ok(());
             }
@@ -67,6 +71,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("instruction mix:\n{stats}\n");
     println!("conversion ({}):\n{}", improvements, converter.stats());
+    let etrace_stats = reader.etrace_stats();
+    if let Some(es) = &etrace_stats {
+        println!("\n{}", cli::etrace_summary(es));
+    }
     if let Some(path) = metrics_path {
         let mut registry = telemetry::Registry::new();
         registry.label("tool", "trace-stats");
@@ -74,6 +82,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         registry.label("improvements", &improvements.to_string());
         cli::export_cvp_stats(&stats, &mut registry);
         converter.stats().export(improvements, &mut registry);
+        if let Some(es) = &etrace_stats {
+            cli::export_etrace_stats(es, &mut registry);
+        }
         cli::write_metrics(&path, &registry)?;
     }
     Ok(())

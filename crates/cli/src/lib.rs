@@ -17,6 +17,7 @@
 //! dependency-free.
 
 use cvp_trace::{CvpClass, CvpTraceStats};
+use etrace::EtraceStats;
 use telemetry::{catalog, Registry};
 use trace_store::StoreStats;
 
@@ -46,6 +47,30 @@ pub fn export_store_stats(stats: &StoreStats, registry: &mut Registry) {
     registry.counter(&catalog::STORE_BYTES_RAW, stats.bytes_raw);
     registry.counter(&catalog::STORE_BYTES_COMPRESSED, stats.bytes_compressed);
     registry.gauge(&catalog::STORE_COMPRESSION_RATIO, stats.compression_ratio());
+}
+
+/// Registers an E-Trace decode's packet and volume counters under
+/// `etrace.*`.
+pub fn export_etrace_stats(stats: &EtraceStats, registry: &mut Registry) {
+    registry.counter(&catalog::ETRACE_INSTRUCTIONS, stats.items);
+    registry.counter(&catalog::ETRACE_PACKETS, stats.packets);
+    registry.counter(&catalog::ETRACE_SYNC_RECOVERIES, stats.sync_recoveries);
+    registry.gauge(&catalog::ETRACE_BYTES_PER_INSTRUCTION, stats.bytes_per_instruction());
+    registry.gauge(&catalog::ETRACE_COMPRESSION_RATIO, stats.compression_ratio());
+}
+
+/// One-line human summary of a written `.etrace` file (the binaries
+/// print this to standard error after encoding one).
+pub fn etrace_summary(stats: &EtraceStats) -> String {
+    format!(
+        "etrace: {} instructions, {} packets, {} -> {} bytes ({:.2}x, {:.3} B/insn)",
+        stats.items,
+        stats.packets,
+        stats.flat_bytes,
+        stats.file_bytes,
+        stats.compression_ratio(),
+        stats.bytes_per_instruction()
+    )
 }
 
 /// One-line human summary of a written store (the binaries print this
@@ -98,6 +123,28 @@ mod tests {
         assert_eq!(registry.counter_value("store.bytes_compressed"), 250);
         assert!(registry.get("store.compression_ratio").is_some());
         assert_eq!(store_summary(&stats), "store: 2 blocks, 1000 -> 250 bytes (4.00x)");
+    }
+
+    #[test]
+    fn etrace_export_covers_packets_and_ratios() {
+        let stats = EtraceStats {
+            items: 1000,
+            packets: 40,
+            flat_bytes: 9000,
+            file_bytes: 1500,
+            ..EtraceStats::default()
+        };
+        let mut registry = Registry::new();
+        export_etrace_stats(&stats, &mut registry);
+        assert_eq!(registry.counter_value("etrace.instructions"), 1000);
+        assert_eq!(registry.counter_value("etrace.packets"), 40);
+        assert_eq!(registry.counter_value("etrace.sync_recoveries"), 0);
+        assert!(registry.get("etrace.bytes_per_instruction").is_some());
+        assert!(registry.get("etrace.compression_ratio").is_some());
+        assert_eq!(
+            etrace_summary(&stats),
+            "etrace: 1000 instructions, 40 packets, 9000 -> 1500 bytes (6.00x, 1.500 B/insn)"
+        );
     }
 
     #[test]

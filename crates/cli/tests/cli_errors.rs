@@ -123,6 +123,41 @@ fn truncated_stores_report_path_and_block() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Generates a small `.etrace` trace and returns its path.
+fn sample_etrace(dir: &Path) -> PathBuf {
+    let path = dir.join("sample.etrace");
+    let out = run(
+        TRACEGEN,
+        &["--kind", "rv-int", "--seed", "5", "--length", "2000", "-o", path.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn truncated_etrace_reports_path_and_offset_everywhere() {
+    let dir = scratch_dir("truncetrace");
+    let path = sample_etrace(&dir);
+    // Framing lengths are validated up front, so any strict prefix
+    // fails at open with the byte offset of the shortfall.
+    truncate(&path, 7);
+    let text = path.to_str().unwrap();
+    assert_diagnostic(&run(CVP2CHAMPSIM, &["-t", text]), &["cvp2champsim:", text, "byte"]);
+    assert_diagnostic(&run(TRACE_STATS, &[text]), &["trace-stats:", text, "byte"]);
+    assert_diagnostic(&run(CHAMPSIM_RUN, &[text]), &["champsim-run:", text, "byte"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_etrace_is_rejected_with_magic_diagnostic() {
+    let dir = scratch_dir("badetrace");
+    let path = dir.join("junk.etrace");
+    std::fs::write(&path, b"not an etrace file at all").unwrap();
+    let text = path.to_str().unwrap();
+    assert_diagnostic(&run(TRACE_STATS, &[text]), &[text, "magic"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn malformed_arguments_fail_with_usage_hints() {
     assert_diagnostic(&run(CVP2CHAMPSIM, &["-t", "x.cvp", "-i", "imp_bogus"]), &["cvp2champsim:"]);
@@ -130,6 +165,33 @@ fn malformed_arguments_fail_with_usage_hints() {
     assert_diagnostic(&run(TRACEGEN, &["--kind", "quantum"]), &["quantum"]);
     assert_diagnostic(&run(TRACEGEN, &[]), &["tracegen:"]);
     assert_diagnostic(&run(TRACE_STATS, &["--bogus"]), &["--bogus"]);
+}
+
+#[test]
+fn rv_kinds_require_an_etrace_output_path_and_vice_versa() {
+    let dir = scratch_dir("rvout");
+    let wrong = dir.join("rv.cvp");
+    assert_diagnostic(
+        &run(TRACEGEN, &["--kind", "rv-int", "--length", "100", "-o", wrong.to_str().unwrap()]),
+        &["tracegen:", ".etrace"],
+    );
+    let wrong = dir.join("arm.etrace");
+    assert_diagnostic(
+        &run(TRACEGEN, &["--kind", "crypto", "--length", "100", "-o", wrong.to_str().unwrap()]),
+        &["tracegen:", "program image"],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn improvements_flag_is_rejected_for_non_etrace_traces() {
+    let dir = scratch_dir("impflag");
+    let champ = sample_champsim(&dir);
+    assert_diagnostic(
+        &run(CHAMPSIM_RUN, &[champ.to_str().unwrap(), "--improvements", "All_imps"]),
+        &["champsim-run:", ".etrace"],
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

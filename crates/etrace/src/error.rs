@@ -1,0 +1,132 @@
+//! Decode and encode failures, every variant carrying the byte offset
+//! where the stream went wrong so CLI diagnostics can point at it.
+
+use std::fmt;
+use std::io;
+
+/// Why an E-Trace stream could not be encoded or decoded.
+#[derive(Debug)]
+pub enum EtraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `ETRC` magic.
+    BadMagic {
+        /// Byte offset of the failed magic check (always `0`).
+        offset: u64,
+    },
+    /// The version byte names a format this build does not speak.
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+        /// Byte offset of the version byte.
+        offset: u64,
+    },
+    /// The stream ended in the middle of a structure.
+    Truncated {
+        /// Byte offset where input ran out.
+        offset: u64,
+    },
+    /// A packet type byte or payload field holds an impossible value.
+    InvalidPacket {
+        /// The offending byte.
+        value: u8,
+        /// Byte offset of the offending byte.
+        offset: u64,
+    },
+    /// The control stream did not begin with a SYNC packet, so the
+    /// decoder has no initial program counter.
+    MissingSync {
+        /// Byte offset where SYNC was expected.
+        offset: u64,
+    },
+    /// Execution reached a program counter the program table does not
+    /// describe.
+    UnknownPc {
+        /// The unresolvable program counter.
+        pc: u64,
+        /// Byte offset of the control-stream cursor when it happened.
+        offset: u64,
+    },
+    /// The program table is malformed (empty, unsorted, or duplicate
+    /// program counters).
+    InvalidProgram {
+        /// What the validation found.
+        detail: &'static str,
+    },
+    /// All items were reconstructed but encoded bytes remain.
+    TrailingData {
+        /// Byte offset of the first unconsumed byte.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for EtraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtraceError::Io(e) => write!(f, "i/o error: {e}"),
+            EtraceError::BadMagic { offset } => {
+                write!(f, "not an e-trace file (bad magic) at byte {offset}")
+            }
+            EtraceError::UnsupportedVersion { version, offset } => {
+                write!(f, "unsupported e-trace version {version} at byte {offset}")
+            }
+            EtraceError::Truncated { offset } => {
+                write!(f, "truncated e-trace stream at byte {offset}")
+            }
+            EtraceError::InvalidPacket { value, offset } => {
+                write!(f, "invalid e-trace packet byte {value:#04x} at byte {offset}")
+            }
+            EtraceError::MissingSync { offset } => {
+                write!(f, "e-trace stream does not start with a sync packet at byte {offset}")
+            }
+            EtraceError::UnknownPc { pc, offset } => {
+                write!(f, "pc {pc:#x} not in the program table at byte {offset}")
+            }
+            EtraceError::InvalidProgram { detail } => {
+                write!(f, "invalid program table: {detail}")
+            }
+            EtraceError::TrailingData { offset } => {
+                write!(f, "trailing bytes after the last instruction at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EtraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EtraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EtraceError {
+    fn from(e: io::Error) -> EtraceError {
+        EtraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_one_line_and_carry_offsets() {
+        let cases: Vec<(EtraceError, &str)> = vec![
+            (EtraceError::BadMagic { offset: 0 }, "byte 0"),
+            (EtraceError::UnsupportedVersion { version: 9, offset: 4 }, "version 9"),
+            (EtraceError::Truncated { offset: 77 }, "byte 77"),
+            (EtraceError::InvalidPacket { value: 0xfe, offset: 12 }, "0xfe"),
+            (EtraceError::MissingSync { offset: 30 }, "sync"),
+            (EtraceError::UnknownPc { pc: 0x1000, offset: 5 }, "0x1000"),
+            (EtraceError::InvalidProgram { detail: "empty" }, "empty"),
+            (EtraceError::TrailingData { offset: 9 }, "byte 9"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} misses {needle:?}");
+            assert_eq!(msg.lines().count(), 1, "multi-line: {msg:?}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! RISC-V E-Trace-style branch-trace encoding and reconstruction.
+//!
+//! Processor trace on RISC-V ("Efficient Trace for RISC-V", see
+//! PAPERS.md) does not record one fat record per retired instruction
+//! the way CVP-1 or ChampSim traces do. The encoder assumes the decoder
+//! holds the **static program image** and emits only what execution
+//! decides at run time: conditional branch outcomes (packed into
+//! branch-map bitmaps), the targets of indirect jumps (as differential
+//! compressed addresses), and periodic synchronization points. The
+//! decoder walks the program image instruction by instruction,
+//! consuming a packet only when the static image cannot tell it where
+//! execution went next. The result is a trace measured in *bits* per
+//! instruction instead of tens of bytes.
+//!
+//! This crate implements that scheme end to end, plus one extension the
+//! downstream cache model needs: a second packet stream carrying
+//! differentially encoded data addresses for loads and stores (real
+//! E-Trace leaves data addresses to a separate data-trace channel; we
+//! ship both channels in one `.etrace` file).
+//!
+//! # File layout
+//!
+//! ```text
+//! "ETRC" magic · version byte
+//! program table      (instruction metadata: pc, size, op, registers)
+//! control stream     (SYNC / BRANCH-MAP / ADDR / CTX packets)
+//! memory stream      (one signed-LEB address delta per load/store)
+//! item count         (total instructions, validates clean EOF)
+//! ```
+//!
+//! All integers are LEB128 variable-length; addresses in ADDR packets
+//! and the memory stream are signed deltas against the previous value
+//! of their channel, so strided and looping access patterns cost one or
+//! two bytes per event.
+//!
+//! # Data flow
+//!
+//! ```text
+//!  Program + execution items          .etrace file           reconstruction
+//! ┌──────────────────────────┐   ┌──────────────────┐   ┌──────────────────────┐
+//! │ workloads::riscv         │──►│ EtraceWriter     │──►│ EtraceReader         │
+//! │ (Program, Vec<TraceItem>)│   │ packetize + LEB  │   │ walk program image,  │
+//! └──────────────────────────┘   └──────────────────┘   │ consume packets on   │
+//!                                                       │ demand → TraceItem   │
+//!                                                       └──────────────────────┘
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use etrace::{EtraceReader, EtraceWriter, MetaInstr, MetaOp, Program, TraceItem, RV_REG_NONE};
+//!
+//! // A two-instruction loop: an ALU op, then a backward branch to it.
+//! let program = Program::new(vec![
+//!     MetaInstr { pc: 0x1000, size: 4, op: MetaOp::Int, rd: 5, rs1: 6, rs2: RV_REG_NONE },
+//!     MetaInstr { pc: 0x1004, size: 4, op: MetaOp::CondBranch { target: 0x1000 },
+//!                 rd: RV_REG_NONE, rs1: 5, rs2: 6 },
+//! ])
+//! .unwrap();
+//! let items = vec![
+//!     TraceItem { pc: 0x1000, taken: false, target: 0x1004, mem_addr: 0 },
+//!     TraceItem { pc: 0x1004, taken: true, target: 0x1000, mem_addr: 0 },
+//!     TraceItem { pc: 0x1000, taken: false, target: 0x1004, mem_addr: 0 },
+//!     TraceItem { pc: 0x1004, taken: false, target: 0x1008, mem_addr: 0 },
+//! ];
+//! let mut writer = EtraceWriter::new(Vec::new(), &program).unwrap();
+//! for item in &items {
+//!     writer.write(item).unwrap();
+//! }
+//! let (bytes, stats) = writer.finish().unwrap();
+//! assert_eq!(stats.items, 4);
+//!
+//! let mut reader = EtraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+//! let mut back = Vec::new();
+//! while let Some(decoded) = reader.read().unwrap() {
+//!     back.push(decoded.item);
+//! }
+//! assert_eq!(back, items);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod program;
+mod reader;
+mod varint;
+mod writer;
+
+pub use error::EtraceError;
+pub use program::{MetaInstr, MetaOp, Program, RV_REG_NONE};
+pub use reader::{Decoded, EtraceReader};
+pub use writer::EtraceWriter;
+
+/// File extension for E-Trace branch-trace files.
+pub const ETRACE_EXT: &str = "etrace";
+
+/// The file magic ("ETRC").
+pub const MAGIC: [u8; 4] = *b"ETRC";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// One retired instruction, as the generator records it and the decoder
+/// reconstructs it.
+///
+/// `target` is always the program counter of the *next* retired
+/// instruction — `pc + size` for straight-line code and not-taken
+/// branches, the branch/jump target otherwise — so a round trip through
+/// the packet stream can be checked by plain equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceItem {
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// Conditional-branch outcome (`false` for everything else).
+    pub taken: bool,
+    /// Program counter of the next retired instruction.
+    pub target: u64,
+    /// Effective data address for loads and stores (`0` otherwise).
+    pub mem_addr: u64,
+}
+
+/// Volume and event counters for one encoded or decoded stream.
+///
+/// The writer fills one in as it packetizes; the reader accumulates an
+/// identical set while reconstructing, plus `sync_recoveries` for SYNC
+/// packets that disagreed with its walker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EtraceStats {
+    /// Instructions encoded or reconstructed.
+    pub items: u64,
+    /// Control-stream packets (SYNC + BRANCH-MAP + ADDR + CTX).
+    pub packets: u64,
+    /// SYNC packets.
+    pub sync_packets: u64,
+    /// BRANCH-MAP packets.
+    pub branch_packets: u64,
+    /// ADDR packets (indirect-branch targets).
+    pub addr_packets: u64,
+    /// CTX packets (context changes).
+    pub ctx_packets: u64,
+    /// Memory-stream address deltas (one per load/store).
+    pub mem_addresses: u64,
+    /// SYNC packets whose pc disagreed with the decoder's walker,
+    /// forcing a rebase. Always `0` on the writer side and for any
+    /// stream this crate produced.
+    pub sync_recoveries: u64,
+    /// Bytes in the control and memory streams (the per-instruction
+    /// payload, excluding the program table and framing).
+    pub stream_bytes: u64,
+    /// Total file bytes, including magic, program table, and framing.
+    pub file_bytes: u64,
+    /// Bytes the same execution would occupy as flat per-instruction
+    /// records (see [`flat_record_bytes`]) — the compression baseline.
+    pub flat_bytes: u64,
+}
+
+impl EtraceStats {
+    /// Encoded file bytes per traced instruction.
+    pub fn bytes_per_instruction(&self) -> f64 {
+        if self.items == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 / self.items as f64
+    }
+
+    /// Flat-record bytes over total encoded file bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.file_bytes == 0 {
+            return 0.0;
+        }
+        self.flat_bytes as f64 / self.file_bytes as f64
+    }
+}
+
+/// Bytes one instruction would occupy in a flat, uncompressed
+/// per-instruction record stream: 8 (pc) + 1 (kind) for every
+/// instruction, plus 9 (target + outcome) for branch-class ops and
+/// 9 (address + width) for memory ops.
+///
+/// This is the denominator-free baseline [`EtraceStats::flat_bytes`]
+/// accumulates and `convert_bench` reports compression against.
+pub fn flat_record_bytes(op: MetaOp) -> u64 {
+    let base = 9;
+    match op {
+        MetaOp::Int | MetaOp::Mul | MetaOp::Fp => base,
+        MetaOp::Load { .. } | MetaOp::Store { .. } => base + 9,
+        MetaOp::CondBranch { .. }
+        | MetaOp::Jump { .. }
+        | MetaOp::Call { .. }
+        | MetaOp::IndJump
+        | MetaOp::IndCall
+        | MetaOp::Ret => base + 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_baseline_distinguishes_classes() {
+        assert_eq!(flat_record_bytes(MetaOp::Int), 9);
+        assert_eq!(flat_record_bytes(MetaOp::Load { size: 8 }), 18);
+        assert_eq!(flat_record_bytes(MetaOp::CondBranch { target: 0 }), 18);
+    }
+
+    #[test]
+    fn stats_ratios_guard_division_by_zero() {
+        let stats = EtraceStats::default();
+        assert_eq!(stats.bytes_per_instruction(), 0.0);
+        assert_eq!(stats.compression_ratio(), 0.0);
+        let stats = EtraceStats { items: 4, file_bytes: 20, flat_bytes: 80, ..stats };
+        assert_eq!(stats.bytes_per_instruction(), 5.0);
+        assert_eq!(stats.compression_ratio(), 4.0);
+    }
+}

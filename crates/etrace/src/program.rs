@@ -1,0 +1,335 @@
+//! The static program image: per-instruction metadata the decoder walks
+//! while consuming packets.
+//!
+//! Real E-Trace decoders obtain this from the traced ELF binary; here
+//! the synthetic RISC-V workload generator builds it directly and the
+//! writer embeds it in the `.etrace` file header, so every file is
+//! self-contained.
+
+use crate::varint::{get_sleb, get_uleb, put_sleb, put_uleb};
+use crate::EtraceError;
+
+/// Register-field value meaning "no register".
+pub const RV_REG_NONE: u8 = 0xff;
+
+/// What one static instruction does, as far as trace reconstruction
+/// and downstream conversion care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaOp {
+    /// Integer ALU operation.
+    Int,
+    /// Integer multiply/divide (slow ALU).
+    Mul,
+    /// Floating-point operation.
+    Fp,
+    /// Memory load of `size` bytes.
+    Load {
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// Memory store of `size` bytes.
+    Store {
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// Conditional branch to a static target when taken.
+    CondBranch {
+        /// Taken-path target program counter.
+        target: u64,
+    },
+    /// Unconditional direct jump (no link register written).
+    Jump {
+        /// Target program counter.
+        target: u64,
+    },
+    /// Direct call: jumps to `target` and links the return address.
+    Call {
+        /// Target program counter.
+        target: u64,
+    },
+    /// Indirect jump through a register (target only known at run
+    /// time — the trace carries it in an ADDR packet).
+    IndJump,
+    /// Indirect call through a register, linking the return address.
+    IndCall,
+    /// Function return (an indirect jump through the return-address
+    /// register).
+    Ret,
+}
+
+impl MetaOp {
+    /// Whether reconstruction needs an ADDR packet for this op.
+    pub fn is_indirect(self) -> bool {
+        matches!(self, MetaOp::IndJump | MetaOp::IndCall | MetaOp::Ret)
+    }
+
+    /// Whether this op accesses memory (and so consumes one
+    /// memory-stream delta).
+    pub fn is_memory(self) -> bool {
+        matches!(self, MetaOp::Load { .. } | MetaOp::Store { .. })
+    }
+}
+
+/// One instruction of the static program image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaInstr {
+    /// Program counter.
+    pub pc: u64,
+    /// Encoded length in bytes (4, or 2 for a compressed instruction).
+    pub size: u8,
+    /// Operation class and static operands.
+    pub op: MetaOp,
+    /// Destination register, or [`RV_REG_NONE`].
+    pub rd: u8,
+    /// First source register, or [`RV_REG_NONE`].
+    pub rs1: u8,
+    /// Second source register, or [`RV_REG_NONE`].
+    pub rs2: u8,
+}
+
+impl MetaInstr {
+    /// Program counter of the next sequential instruction.
+    pub fn fallthrough(&self) -> u64 {
+        self.pc + u64::from(self.size)
+    }
+}
+
+/// The instruction-metadata table: every pc execution may visit, sorted
+/// ascending and unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<MetaInstr>,
+}
+
+impl Program {
+    /// Builds a program from instructions in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`EtraceError::InvalidProgram`] if the table is empty, holds a
+    /// duplicate pc, or an instruction size is not 2 or 4.
+    pub fn new(mut instrs: Vec<MetaInstr>) -> Result<Program, EtraceError> {
+        if instrs.is_empty() {
+            return Err(EtraceError::InvalidProgram { detail: "empty instruction table" });
+        }
+        instrs.sort_by_key(|i| i.pc);
+        for pair in instrs.windows(2) {
+            if pair[0].pc == pair[1].pc {
+                return Err(EtraceError::InvalidProgram { detail: "duplicate program counter" });
+            }
+        }
+        if instrs.iter().any(|i| i.size != 2 && i.size != 4) {
+            return Err(EtraceError::InvalidProgram { detail: "instruction size must be 2 or 4" });
+        }
+        Ok(Program { instrs })
+    }
+
+    /// Number of instructions in the table.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed
+    /// program; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions, ascending by pc.
+    pub fn instrs(&self) -> &[MetaInstr] {
+        &self.instrs
+    }
+
+    /// Looks up `pc`, exact match only.
+    pub fn lookup(&self, pc: u64) -> Option<&MetaInstr> {
+        self.instrs.binary_search_by_key(&pc, |i| i.pc).ok().map(|idx| &self.instrs[idx])
+    }
+
+    /// Looks up `pc` with a caller-held position hint. Sequential and
+    /// short-jump walks hit the hint or its successor and skip the
+    /// binary search; the hint is updated to the found index.
+    pub fn lookup_cached(&self, hint: &mut usize, pc: u64) -> Option<&MetaInstr> {
+        if let Some(i) = self.instrs.get(*hint) {
+            if i.pc == pc {
+                return Some(i);
+            }
+        }
+        if let Some(i) = self.instrs.get(*hint + 1) {
+            if i.pc == pc {
+                *hint += 1;
+                return Some(i);
+            }
+        }
+        let idx = self.instrs.binary_search_by_key(&pc, |i| i.pc).ok()?;
+        *hint = idx;
+        Some(&self.instrs[idx])
+    }
+
+    /// Serializes the table: count, then per instruction the pc delta
+    /// to its predecessor, size, op tag, op payload (branch targets as
+    /// signed deltas from the instruction's own pc), and the three
+    /// register fields.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_uleb(out, self.instrs.len() as u64);
+        let mut prev_pc = 0u64;
+        for instr in &self.instrs {
+            put_uleb(out, instr.pc - prev_pc);
+            prev_pc = instr.pc;
+            out.push(instr.size);
+            let (tag, target, mem_size) = match instr.op {
+                MetaOp::Int => (0u8, None, None),
+                MetaOp::Mul => (1, None, None),
+                MetaOp::Fp => (2, None, None),
+                MetaOp::Load { size } => (3, None, Some(size)),
+                MetaOp::Store { size } => (4, None, Some(size)),
+                MetaOp::CondBranch { target } => (5, Some(target), None),
+                MetaOp::Jump { target } => (6, Some(target), None),
+                MetaOp::Call { target } => (7, Some(target), None),
+                MetaOp::IndJump => (8, None, None),
+                MetaOp::IndCall => (9, None, None),
+                MetaOp::Ret => (10, None, None),
+            };
+            out.push(tag);
+            if let Some(target) = target {
+                put_sleb(out, target.wrapping_sub(instr.pc) as i64);
+            }
+            if let Some(size) = mem_size {
+                out.push(size);
+            }
+            out.push(instr.rd);
+            out.push(instr.rs1);
+            out.push(instr.rs2);
+        }
+    }
+
+    /// Decodes a table serialized by [`encode`](Program::encode),
+    /// advancing `cursor`. `base` locates `buf` in the file for error
+    /// offsets.
+    pub fn decode(buf: &[u8], cursor: &mut usize, base: u64) -> Result<Program, EtraceError> {
+        let take_byte = |cursor: &mut usize| -> Result<u8, EtraceError> {
+            let Some(&byte) = buf.get(*cursor) else {
+                return Err(EtraceError::Truncated { offset: base + *cursor as u64 });
+            };
+            *cursor += 1;
+            Ok(byte)
+        };
+        let count = get_uleb(buf, cursor, base)?;
+        let mut instrs = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut pc = 0u64;
+        for _ in 0..count {
+            pc = pc.wrapping_add(get_uleb(buf, cursor, base)?);
+            let size = take_byte(cursor)?;
+            let tag_offset = base + *cursor as u64;
+            let tag = take_byte(cursor)?;
+            let op = match tag {
+                0 => MetaOp::Int,
+                1 => MetaOp::Mul,
+                2 => MetaOp::Fp,
+                3 => MetaOp::Load { size: take_byte(cursor)? },
+                4 => MetaOp::Store { size: take_byte(cursor)? },
+                5..=7 => {
+                    let target = pc.wrapping_add(get_sleb(buf, cursor, base)? as u64);
+                    match tag {
+                        5 => MetaOp::CondBranch { target },
+                        6 => MetaOp::Jump { target },
+                        _ => MetaOp::Call { target },
+                    }
+                }
+                8 => MetaOp::IndJump,
+                9 => MetaOp::IndCall,
+                10 => MetaOp::Ret,
+                value => return Err(EtraceError::InvalidPacket { value, offset: tag_offset }),
+            };
+            let rd = take_byte(cursor)?;
+            let rs1 = take_byte(cursor)?;
+            let rs2 = take_byte(cursor)?;
+            instrs.push(MetaInstr { pc, size, op, rd, rs1, rs2 });
+        }
+        Program::new(instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program::new(vec![
+            MetaInstr { pc: 0x1000, size: 4, op: MetaOp::Int, rd: 5, rs1: 6, rs2: 7 },
+            MetaInstr {
+                pc: 0x1004,
+                size: 2,
+                op: MetaOp::Load { size: 8 },
+                rd: 8,
+                rs1: 9,
+                rs2: RV_REG_NONE,
+            },
+            MetaInstr {
+                pc: 0x1006,
+                size: 4,
+                op: MetaOp::CondBranch { target: 0x1000 },
+                rd: RV_REG_NONE,
+                rs1: 5,
+                rs2: 8,
+            },
+            MetaInstr {
+                pc: 0x100a,
+                size: 4,
+                op: MetaOp::Ret,
+                rd: RV_REG_NONE,
+                rs1: 1,
+                rs2: RV_REG_NONE,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let program = sample();
+        let mut buf = Vec::new();
+        program.encode(&mut buf);
+        let mut cursor = 0;
+        let back = Program::decode(&buf, &mut cursor, 0).unwrap();
+        assert_eq!(back, program);
+        assert_eq!(cursor, buf.len());
+    }
+
+    #[test]
+    fn validation_rejects_bad_tables() {
+        assert!(matches!(Program::new(vec![]), Err(EtraceError::InvalidProgram { .. })));
+        let dup = vec![
+            MetaInstr { pc: 4, size: 4, op: MetaOp::Int, rd: 0, rs1: 0, rs2: 0 },
+            MetaInstr { pc: 4, size: 4, op: MetaOp::Int, rd: 0, rs1: 0, rs2: 0 },
+        ];
+        assert!(matches!(Program::new(dup), Err(EtraceError::InvalidProgram { .. })));
+        let bad_size = vec![MetaInstr { pc: 4, size: 3, op: MetaOp::Int, rd: 0, rs1: 0, rs2: 0 }];
+        assert!(matches!(Program::new(bad_size), Err(EtraceError::InvalidProgram { .. })));
+    }
+
+    #[test]
+    fn cached_lookup_matches_binary_search() {
+        let program = sample();
+        let mut hint = 0;
+        // Sequential walk hits the hint path.
+        assert_eq!(program.lookup_cached(&mut hint, 0x1000).unwrap().pc, 0x1000);
+        assert_eq!(program.lookup_cached(&mut hint, 0x1004).unwrap().pc, 0x1004);
+        assert_eq!(program.lookup_cached(&mut hint, 0x1006).unwrap().pc, 0x1006);
+        // Backward jump falls back to binary search.
+        assert_eq!(program.lookup_cached(&mut hint, 0x1000).unwrap().pc, 0x1000);
+        assert!(program.lookup_cached(&mut hint, 0x2000).is_none());
+        assert!(program.lookup(0x1005).is_none());
+    }
+
+    #[test]
+    fn truncated_tables_error_with_offsets() {
+        let program = sample();
+        let mut buf = Vec::new();
+        program.encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut cursor = 0;
+            let result = Program::decode(&buf[..cut], &mut cursor, 0);
+            assert!(result.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The decoder: reconstructs the instruction stream from a `.etrace`
+//! file by walking the embedded program image and consuming packets on
+//! demand.
+
+use std::io::Read;
+
+use crate::program::{MetaInstr, Program};
+use crate::varint::{get_sleb, get_uleb};
+use crate::writer::packet;
+use crate::{flat_record_bytes, EtraceError, EtraceStats, TraceItem, MAGIC, VERSION};
+
+/// One reconstructed instruction: the dynamic record plus the static
+/// metadata it resolved against, so converters need no second lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The dynamic execution record.
+    pub item: TraceItem,
+    /// The static program-image entry for `item.pc`.
+    pub meta: MetaInstr,
+}
+
+/// Decodes a `.etrace` file back into [`TraceItem`]s.
+///
+/// Construction slurps and frames the whole file — magic, program
+/// table, stream lengths — so any truncation is caught up front with an
+/// absolute byte offset. [`read`](EtraceReader::read) then advances a
+/// program-image walker one instruction per call: conditional branches
+/// pop one bit from the current branch map, indirect branches consume
+/// an ADDR packet, loads and stores consume one memory-stream delta,
+/// and everything else follows the static image for free. After the
+/// last item, both streams must be exactly exhausted.
+#[derive(Debug)]
+pub struct EtraceReader {
+    data: Vec<u8>,
+    program: Program,
+    ctrl_cursor: usize,
+    ctrl_end: usize,
+    mem_cursor: usize,
+    mem_end: usize,
+    item_count: u64,
+    pc: u64,
+    synced: bool,
+    ctx: u64,
+    hint: usize,
+    addr_base: u64,
+    mem_base: u64,
+    bit_queue: u64,
+    bits_avail: u8,
+    stats: EtraceStats,
+}
+
+impl EtraceReader {
+    /// Reads and frames a complete `.etrace` stream from `inner`.
+    ///
+    /// # Errors
+    ///
+    /// [`EtraceError::BadMagic`], [`EtraceError::UnsupportedVersion`],
+    /// [`EtraceError::Truncated`], [`EtraceError::TrailingData`], or
+    /// [`EtraceError::InvalidProgram`] when the header does not frame;
+    /// [`EtraceError::Io`] from the inner reader.
+    pub fn new<R: Read>(mut inner: R) -> Result<EtraceReader, EtraceError> {
+        let mut data = Vec::new();
+        inner.read_to_end(&mut data)?;
+        if data.len() < MAGIC.len() {
+            return Err(EtraceError::Truncated { offset: data.len() as u64 });
+        }
+        if data[..MAGIC.len()] != MAGIC {
+            return Err(EtraceError::BadMagic { offset: 0 });
+        }
+        let Some(&version) = data.get(MAGIC.len()) else {
+            return Err(EtraceError::Truncated { offset: MAGIC.len() as u64 });
+        };
+        if version != VERSION {
+            return Err(EtraceError::UnsupportedVersion { version, offset: MAGIC.len() as u64 });
+        }
+        let mut cursor = MAGIC.len() + 1;
+        let program = Program::decode(&data, &mut cursor, 0)?;
+        let ctrl_len = get_uleb(&data, &mut cursor, 0)? as usize;
+        let ctrl_cursor = cursor;
+        let Some(ctrl_end) = ctrl_cursor.checked_add(ctrl_len).filter(|&e| e <= data.len()) else {
+            return Err(EtraceError::Truncated { offset: data.len() as u64 });
+        };
+        cursor = ctrl_end;
+        let mem_len = get_uleb(&data, &mut cursor, 0)? as usize;
+        let mem_cursor = cursor;
+        let Some(mem_end) = mem_cursor.checked_add(mem_len).filter(|&e| e <= data.len()) else {
+            return Err(EtraceError::Truncated { offset: data.len() as u64 });
+        };
+        cursor = mem_end;
+        let item_count = get_uleb(&data, &mut cursor, 0)?;
+        if cursor != data.len() {
+            return Err(EtraceError::TrailingData { offset: cursor as u64 });
+        }
+        let stats = EtraceStats {
+            stream_bytes: (ctrl_len + mem_len) as u64,
+            file_bytes: data.len() as u64,
+            ..EtraceStats::default()
+        };
+        Ok(EtraceReader {
+            data,
+            program,
+            ctrl_cursor,
+            ctrl_end,
+            mem_cursor,
+            mem_end,
+            item_count,
+            pc: 0,
+            synced: false,
+            ctx: 0,
+            hint: 0,
+            addr_base: 0,
+            mem_base: 0,
+            bit_queue: 0,
+            bits_avail: 0,
+            stats,
+        })
+    }
+
+    /// The embedded static program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Counters accumulated so far (complete once `read` returns
+    /// `None`).
+    pub fn stats(&self) -> EtraceStats {
+        self.stats
+    }
+
+    /// Total instructions the file claims to hold.
+    pub fn item_count(&self) -> u64 {
+        self.item_count
+    }
+
+    /// The current context id (from the latest SYNC or CTX packet).
+    pub fn context(&self) -> u64 {
+        self.ctx
+    }
+
+    /// Reconstructs the next instruction, or `None` after the last.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EtraceError`] describing where the stream stopped making
+    /// sense, with an absolute byte offset.
+    pub fn read(&mut self) -> Result<Option<Decoded>, EtraceError> {
+        if self.stats.items == self.item_count {
+            return self.finish().map(|()| None);
+        }
+        self.consume_boundary_packets()?;
+        if !self.synced {
+            return Err(EtraceError::MissingSync { offset: self.ctrl_cursor as u64 });
+        }
+        let Some(meta) = self.program.lookup_cached(&mut self.hint, self.pc) else {
+            return Err(EtraceError::UnknownPc { pc: self.pc, offset: self.ctrl_cursor as u64 });
+        };
+        let meta = *meta;
+        let mut item =
+            TraceItem { pc: self.pc, taken: false, target: meta.fallthrough(), mem_addr: 0 };
+        match meta.op {
+            crate::MetaOp::CondBranch { target } => {
+                item.taken = self.next_bit()?;
+                if item.taken {
+                    item.target = target;
+                }
+            }
+            crate::MetaOp::Jump { target } | crate::MetaOp::Call { target } => {
+                item.target = target;
+            }
+            op if op.is_indirect() => item.target = self.next_addr()?,
+            _ => {}
+        }
+        if meta.op.is_memory() {
+            item.mem_addr = self.next_mem()?;
+            self.stats.mem_addresses += 1;
+        }
+        self.pc = item.target;
+        self.stats.items += 1;
+        self.stats.flat_bytes += flat_record_bytes(meta.op);
+        Ok(Some(Decoded { item, meta }))
+    }
+
+    /// Consumes SYNC/CTX packets whose item index equals the current
+    /// position; leaves packets for future boundaries in place.
+    fn consume_boundary_packets(&mut self) -> Result<(), EtraceError> {
+        while self.ctrl_cursor < self.ctrl_end {
+            let ty = self.data[self.ctrl_cursor];
+            if ty != packet::SYNC && ty != packet::CTX {
+                break;
+            }
+            let type_offset = self.ctrl_cursor as u64;
+            let buf = &self.data[..self.ctrl_end];
+            let mut probe = self.ctrl_cursor + 1;
+            let index = get_uleb(buf, &mut probe, 0)?;
+            if index != self.stats.items {
+                if index < self.stats.items {
+                    return Err(EtraceError::InvalidPacket { value: ty, offset: type_offset });
+                }
+                break;
+            }
+            if ty == packet::SYNC {
+                let pc = get_uleb(buf, &mut probe, 0)?;
+                let ctx = get_uleb(buf, &mut probe, 0)?;
+                if !self.synced {
+                    self.synced = true;
+                    self.pc = pc;
+                } else if self.pc != pc {
+                    self.stats.sync_recoveries += 1;
+                    self.pc = pc;
+                }
+                self.addr_base = pc;
+                self.ctx = ctx;
+                self.stats.sync_packets += 1;
+            } else {
+                self.ctx = get_uleb(buf, &mut probe, 0)?;
+                self.stats.ctx_packets += 1;
+            }
+            self.stats.packets += 1;
+            self.ctrl_cursor = probe;
+        }
+        Ok(())
+    }
+
+    /// Pops the next conditional-branch outcome, refilling the bit
+    /// queue from a BRANCH-MAP packet when empty.
+    fn next_bit(&mut self) -> Result<bool, EtraceError> {
+        if self.bits_avail == 0 {
+            let (ty, type_offset) = self.next_ctrl_byte()?;
+            if ty != packet::BRANCH {
+                return Err(EtraceError::InvalidPacket { value: ty, offset: type_offset });
+            }
+            let (count, count_offset) = self.next_ctrl_byte()?;
+            if count == 0 || count > 64 {
+                return Err(EtraceError::InvalidPacket { value: count, offset: count_offset });
+            }
+            let mut bits = 0u64;
+            for byte in 0..count.div_ceil(8) {
+                let (b, _) = self.next_ctrl_byte()?;
+                bits |= u64::from(b) << (8 * byte);
+            }
+            self.bit_queue = bits;
+            self.bits_avail = count;
+            self.stats.packets += 1;
+            self.stats.branch_packets += 1;
+        }
+        let bit = self.bit_queue & 1 == 1;
+        self.bit_queue >>= 1;
+        self.bits_avail -= 1;
+        Ok(bit)
+    }
+
+    /// Consumes an ADDR packet: the indirect target as a signed delta
+    /// against the address base, which it then rebases.
+    fn next_addr(&mut self) -> Result<u64, EtraceError> {
+        let (ty, type_offset) = self.next_ctrl_byte()?;
+        if ty != packet::ADDR {
+            return Err(EtraceError::InvalidPacket { value: ty, offset: type_offset });
+        }
+        let buf = &self.data[..self.ctrl_end];
+        let delta = get_sleb(buf, &mut self.ctrl_cursor, 0)?;
+        let target = self.addr_base.wrapping_add(delta as u64);
+        self.addr_base = target;
+        self.stats.packets += 1;
+        self.stats.addr_packets += 1;
+        Ok(target)
+    }
+
+    /// Consumes one memory-stream delta and returns the absolute data
+    /// address.
+    fn next_mem(&mut self) -> Result<u64, EtraceError> {
+        let buf = &self.data[..self.mem_end];
+        let delta = get_sleb(buf, &mut self.mem_cursor, 0)?;
+        let addr = self.mem_base.wrapping_add(delta as u64);
+        self.mem_base = addr;
+        Ok(addr)
+    }
+
+    /// Takes one control-stream byte, reporting its absolute offset.
+    fn next_ctrl_byte(&mut self) -> Result<(u8, u64), EtraceError> {
+        if self.ctrl_cursor >= self.ctrl_end {
+            return Err(EtraceError::Truncated { offset: self.ctrl_cursor as u64 });
+        }
+        let offset = self.ctrl_cursor as u64;
+        let byte = self.data[self.ctrl_cursor];
+        self.ctrl_cursor += 1;
+        Ok((byte, offset))
+    }
+
+    /// End-of-stream validation: trailing CTX packets are consumed,
+    /// then both streams and the bit queue must be exactly exhausted.
+    fn finish(&mut self) -> Result<(), EtraceError> {
+        self.consume_boundary_packets()?;
+        if self.bits_avail != 0 || self.ctrl_cursor != self.ctrl_end {
+            return Err(EtraceError::TrailingData { offset: self.ctrl_cursor as u64 });
+        }
+        if self.mem_cursor != self.mem_end {
+            return Err(EtraceError::TrailingData { offset: self.mem_cursor as u64 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varint::put_uleb;
+    use crate::writer::EtraceWriter;
+    use crate::{MetaOp, RV_REG_NONE};
+
+    fn kernel_program() -> Program {
+        Program::new(vec![
+            MetaInstr {
+                pc: 0x1000,
+                size: 4,
+                op: MetaOp::Load { size: 8 },
+                rd: 5,
+                rs1: 6,
+                rs2: RV_REG_NONE,
+            },
+            MetaInstr { pc: 0x1004, size: 2, op: MetaOp::Int, rd: 7, rs1: 5, rs2: RV_REG_NONE },
+            MetaInstr {
+                pc: 0x1006,
+                size: 4,
+                op: MetaOp::Store { size: 8 },
+                rd: RV_REG_NONE,
+                rs1: 6,
+                rs2: 7,
+            },
+            MetaInstr {
+                pc: 0x100a,
+                size: 4,
+                op: MetaOp::CondBranch { target: 0x1000 },
+                rd: RV_REG_NONE,
+                rs1: 7,
+                rs2: 8,
+            },
+            MetaInstr { pc: 0x100e, size: 4, op: MetaOp::IndCall, rd: 1, rs1: 9, rs2: RV_REG_NONE },
+            MetaInstr { pc: 0x2000, size: 4, op: MetaOp::Int, rd: 3, rs1: 3, rs2: 4 },
+            MetaInstr {
+                pc: 0x2004,
+                size: 4,
+                op: MetaOp::Ret,
+                rd: RV_REG_NONE,
+                rs1: 1,
+                rs2: RV_REG_NONE,
+            },
+        ])
+        .unwrap()
+    }
+
+    /// Runs the kernel: `iters` loop trips, then an indirect call to
+    /// 0x2000 and a return to the loop head.
+    fn kernel_items(iters: usize) -> Vec<TraceItem> {
+        let mut items = Vec::new();
+        for trip in 0..iters {
+            let base = 0x9000_0000u64 + (trip as u64) * 64;
+            items.push(TraceItem { pc: 0x1000, taken: false, target: 0x1004, mem_addr: base });
+            items.push(TraceItem { pc: 0x1004, taken: false, target: 0x1006, mem_addr: 0 });
+            items.push(TraceItem { pc: 0x1006, taken: false, target: 0x100a, mem_addr: base + 8 });
+            let last = trip + 1 == iters;
+            items.push(TraceItem {
+                pc: 0x100a,
+                taken: !last,
+                target: if last { 0x100e } else { 0x1000 },
+                mem_addr: 0,
+            });
+        }
+        items.push(TraceItem { pc: 0x100e, taken: false, target: 0x2000, mem_addr: 0 });
+        items.push(TraceItem { pc: 0x2000, taken: false, target: 0x2004, mem_addr: 0 });
+        items.push(TraceItem { pc: 0x2004, taken: false, target: 0x1000, mem_addr: 0 });
+        items
+    }
+
+    fn encode(program: &Program, items: &[TraceItem], sync_every: u64) -> (Vec<u8>, EtraceStats) {
+        let mut writer =
+            EtraceWriter::new(Vec::new(), program).unwrap().with_sync_every(sync_every);
+        for item in items {
+            writer.write(item).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_branches_memory_and_indirects() {
+        let program = kernel_program();
+        let items = kernel_items(100);
+        for sync_every in [3, 64, 4096] {
+            let (bytes, wstats) = encode(&program, &items, sync_every);
+            let mut reader = EtraceReader::new(std::io::Cursor::new(&bytes[..])).unwrap();
+            assert_eq!(reader.item_count(), items.len() as u64);
+            let mut back = Vec::new();
+            while let Some(decoded) = reader.read().unwrap() {
+                assert_eq!(decoded.meta.pc, decoded.item.pc);
+                back.push(decoded.item);
+            }
+            assert_eq!(back, items, "sync_every={sync_every}");
+            let rstats = reader.stats();
+            assert_eq!(rstats.items, wstats.items);
+            assert_eq!(rstats.packets, wstats.packets);
+            assert_eq!(rstats.mem_addresses, wstats.mem_addresses);
+            assert_eq!(rstats.flat_bytes, wstats.flat_bytes);
+            assert_eq!(rstats.file_bytes, wstats.file_bytes);
+            assert_eq!(rstats.sync_recoveries, 0);
+        }
+    }
+
+    #[test]
+    fn looping_kernel_compresses_well_past_three_to_one() {
+        let program = kernel_program();
+        let items = kernel_items(2000);
+        let (_, stats) = encode(&program, &items, 4096);
+        assert!(
+            stats.compression_ratio() > 3.0,
+            "ratio {:.2} (bytes/insn {:.3})",
+            stats.compression_ratio(),
+            stats.bytes_per_instruction()
+        );
+    }
+
+    #[test]
+    fn every_strict_prefix_fails_loudly() {
+        let program = kernel_program();
+        let (bytes, _) = encode(&program, &kernel_items(4), 4096);
+        for cut in 0..bytes.len() {
+            let result = EtraceReader::new(std::io::Cursor::new(&bytes[..cut]));
+            assert!(result.is_err(), "prefix of {cut}/{} bytes framed", bytes.len());
+        }
+    }
+
+    #[test]
+    fn trailing_byte_is_rejected_at_open() {
+        let program = kernel_program();
+        let (mut bytes, _) = encode(&program, &kernel_items(4), 4096);
+        bytes.push(0);
+        assert!(matches!(
+            EtraceReader::new(std::io::Cursor::new(&bytes[..])),
+            Err(EtraceError::TrailingData { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_report_position() {
+        let program = kernel_program();
+        let (bytes, _) = encode(&program, &kernel_items(2), 4096);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            EtraceReader::new(std::io::Cursor::new(&wrong_magic[..])),
+            Err(EtraceError::BadMagic { offset: 0 })
+        ));
+        let mut wrong_version = bytes;
+        wrong_version[4] = 99;
+        assert!(matches!(
+            EtraceReader::new(std::io::Cursor::new(&wrong_version[..])),
+            Err(EtraceError::UnsupportedVersion { version: 99, offset: 4 })
+        ));
+    }
+
+    #[test]
+    fn stream_without_leading_sync_is_rejected() {
+        let program = kernel_program();
+        let (bytes, _) = encode(&program, &kernel_items(2), 4096);
+        // Locate the control stream (magic + version + program table +
+        // length varint) and corrupt its leading SYNC into a BRANCH.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        program.encode(&mut header);
+        let mut cursor = header.len();
+        crate::varint::get_uleb(&bytes, &mut cursor, 0).unwrap();
+        assert_eq!(bytes[cursor], packet::SYNC);
+        let mut mutated = bytes.clone();
+        mutated[cursor] = packet::BRANCH;
+        let mut reader = EtraceReader::new(std::io::Cursor::new(&mutated[..])).unwrap();
+        assert!(matches!(reader.read(), Err(EtraceError::MissingSync { .. })));
+    }
+
+    #[test]
+    fn sync_pc_mismatch_counts_a_recovery_and_rebases() {
+        let program = Program::new(
+            (0..5)
+                .map(|i| MetaInstr {
+                    pc: 0x1000 + 4 * i,
+                    size: 4,
+                    op: MetaOp::Int,
+                    rd: 1,
+                    rs1: 2,
+                    rs2: 3,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC);
+        file.push(VERSION);
+        program.encode(&mut file);
+        let mut ctrl = Vec::new();
+        // SYNC at item 0 starting at 0x1000; the walker then expects
+        // 0x1008 at item 2 but a SYNC claims 0x100c — a recovery.
+        for (index, pc) in [(0u64, 0x1000u64), (2, 0x100c)] {
+            ctrl.push(packet::SYNC);
+            put_uleb(&mut ctrl, index);
+            put_uleb(&mut ctrl, pc);
+            put_uleb(&mut ctrl, 0);
+        }
+        put_uleb(&mut file, ctrl.len() as u64);
+        file.extend_from_slice(&ctrl);
+        put_uleb(&mut file, 0);
+        put_uleb(&mut file, 4);
+        let mut reader = EtraceReader::new(std::io::Cursor::new(&file[..])).unwrap();
+        let mut pcs = Vec::new();
+        while let Some(decoded) = reader.read().unwrap() {
+            pcs.push(decoded.item.pc);
+        }
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x100c, 0x1010]);
+        assert_eq!(reader.stats().sync_recoveries, 1);
+    }
+
+    #[test]
+    fn context_changes_round_trip() {
+        let program = kernel_program();
+        let items = kernel_items(3);
+        let mut writer = EtraceWriter::new(Vec::new(), &program).unwrap();
+        for (index, item) in items.iter().enumerate() {
+            if index == 6 {
+                writer.set_context(42);
+            }
+            writer.write(item).unwrap();
+        }
+        let (bytes, wstats) = writer.finish().unwrap();
+        assert_eq!(wstats.ctx_packets, 1);
+        let mut reader = EtraceReader::new(std::io::Cursor::new(&bytes[..])).unwrap();
+        let mut ctx_at_six = None;
+        let mut index = 0u64;
+        while let Some(_decoded) = reader.read().unwrap() {
+            if index == 6 {
+                ctx_at_six = Some(reader.context());
+            }
+            index += 1;
+        }
+        assert_eq!(reader.context(), 42);
+        assert_eq!(ctx_at_six, Some(42));
+        assert_eq!(reader.stats().ctx_packets, 1);
+    }
+}

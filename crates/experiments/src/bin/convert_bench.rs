@@ -10,8 +10,12 @@
 //! trace and its All_imps ChampSim conversion, then measures the block
 //! store's in-memory encode and decode speed for both stream kinds
 //! (`.cvpz` and `.champsimz`), in raw megabytes per second, along with
-//! the achieved compression ratio. Results land in `BENCH_io.json`
-//! (`--out` to redirect).
+//! the achieved compression ratio. The RISC-V families (`rv-int`,
+//! `rv-stream`, `rv-dispatch`) bench the `.etrace` packet stream the
+//! same way — raw volume is the flat per-instruction record size the
+//! packets replace, and the compression ratio must clear the format's
+//! 3x floor — plus the `.champsimz` store of their converted records.
+//! Results land in `BENCH_io.json` (`--out` to redirect).
 //!
 //! `--check <baseline>` compares against a committed `BENCH_io.json`:
 //! the run fails (exit 1) if any family's encode or decode MB/s
@@ -27,11 +31,14 @@ use std::time::Instant;
 use champsim_trace::{ChampsimRecord, RECORD_BYTES};
 use converter::{Converter, ImprovementSet};
 use cvp_trace::CvpInstruction;
+use etrace::{EtraceReader, EtraceWriter, Program, TraceItem};
 use experiments::bench::measure;
 use experiments::runner::ExperimentScale;
 use telemetry::catalog;
-use trace_store::{ChampsimzReader, ChampsimzWriter, CvpzReader, CvpzWriter, StoreStats};
-use workloads::{TraceSpec, WorkloadKind};
+use trace_store::{
+    rv_items_to_cvp, ChampsimzReader, ChampsimzWriter, CvpzReader, CvpzWriter, StoreStats,
+};
+use workloads::{RvTraceSpec, RvWorkloadKind, TraceSpec, WorkloadKind};
 
 /// The benched families, named as in `WorkloadKind::to_string`.
 const FAMILIES: [WorkloadKind; 6] = [
@@ -43,6 +50,14 @@ const FAMILIES: [WorkloadKind; 6] = [
     WorkloadKind::FpKernel,
 ];
 
+/// The benched RISC-V families, named as in `RvWorkloadKind::to_string`.
+const RV_FAMILIES: [RvWorkloadKind; 3] =
+    [RvWorkloadKind::IntLoop, RvWorkloadKind::StreamKernel, RvWorkloadKind::Dispatch];
+
+/// The `.etrace` format's advertised compression floor over flat
+/// per-instruction records; a bench run under it is a hard failure.
+const ETRACE_RATIO_FLOOR: f64 = 3.0;
+
 /// One stream kind's measurements on one family.
 struct StreamResult {
     raw_bytes: u64,
@@ -51,10 +66,12 @@ struct StreamResult {
     ratio: f64,
 }
 
+/// One family's two benched streams, each tagged with its JSON key
+/// (`cvpz`/`champsimz` for the ARM families, `etrace`/`champsimz` for
+/// the RISC-V ones).
 struct FamilyResult {
     family: String,
-    cvpz: StreamResult,
-    champsimz: StreamResult,
+    streams: [(&'static str, StreamResult); 2],
 }
 
 fn main() {
@@ -107,17 +124,31 @@ fn main() {
 
         let cvpz = bench_cvpz(&cvp, &mut totals);
         let champsimz = bench_champsimz(&records, &mut totals);
-        eprintln!(
-            "[convert_bench] {family}: cvpz {:.1}/{:.1} MB/s enc/dec ({:.2}x), \
-             champsimz {:.1}/{:.1} MB/s enc/dec ({:.2}x) [prep {prep:.2} s]",
-            cvpz.encode_mbps,
-            cvpz.decode_mbps,
-            cvpz.ratio,
-            champsimz.encode_mbps,
-            champsimz.decode_mbps,
-            champsimz.ratio,
-        );
-        results.push(FamilyResult { family, cvpz, champsimz });
+        report_family(&family, &[("cvpz", &cvpz), ("champsimz", &champsimz)], prep);
+        results.push(FamilyResult { family, streams: [("cvpz", cvpz), ("champsimz", champsimz)] });
+    }
+    for kind in RV_FAMILIES {
+        let family = kind.to_string();
+        let spec = RvTraceSpec::new(format!("bench_{family}"), kind, 0xb1a5)
+            .with_length(scale.trace_length);
+        let start = Instant::now();
+        let (program, items) = spec.generate();
+        let records = Converter::new(ImprovementSet::all())
+            .convert_all(rv_items_to_cvp(&program, &items).iter());
+        let prep = start.elapsed().as_secs_f64();
+
+        let etrace = bench_etrace(&program, &items);
+        if etrace.ratio <= ETRACE_RATIO_FLOOR {
+            eprintln!(
+                "error: {family} .etrace compression {:.2}x is under the {ETRACE_RATIO_FLOOR}x floor",
+                etrace.ratio
+            );
+            std::process::exit(1);
+        }
+        let champsimz = bench_champsimz(&records, &mut totals);
+        report_family(&family, &[("etrace", &etrace), ("champsimz", &champsimz)], prep);
+        results
+            .push(FamilyResult { family, streams: [("etrace", etrace), ("champsimz", champsimz)] });
     }
 
     let json = to_json(&scale_name, &results);
@@ -210,6 +241,51 @@ fn bench_champsimz(records: &[ChampsimRecord], totals: &mut StoreStats) -> Strea
     }
 }
 
+/// Measures the `.etrace` packet stream on one generated pair: encode
+/// against the flat per-instruction volume the packets replace, decode
+/// (reconstruction) of the produced bytes.
+fn bench_etrace(program: &Program, items: &[TraceItem]) -> StreamResult {
+    let encode = || {
+        let mut w = EtraceWriter::new(Vec::with_capacity(1 << 20), program).expect("vec write");
+        for item in items {
+            w.write(item).expect("vec write");
+        }
+        w.finish().expect("vec write")
+    };
+    let (encode_seconds, _) = measure(&encode);
+    let (encoded, stats) = encode();
+
+    let decode = || {
+        let mut n = 0u64;
+        let mut r = EtraceReader::new(Cursor::new(&encoded)).expect("valid stream");
+        while r.read().expect("valid stream").is_some() {
+            n += 1;
+        }
+        n
+    };
+    let (decode_seconds, _) = measure(decode);
+    StreamResult {
+        raw_bytes: stats.flat_bytes,
+        encode_mbps: mbps(stats.flat_bytes, encode_seconds),
+        decode_mbps: mbps(stats.flat_bytes, decode_seconds),
+        ratio: stats.compression_ratio(),
+    }
+}
+
+fn report_family(family: &str, streams: &[(&str, &StreamResult)], prep: f64) {
+    let mut line = format!("[convert_bench] {family}:");
+    for (i, (kind, s)) in streams.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!(
+            " {kind} {:.1}/{:.1} MB/s enc/dec ({:.2}x)",
+            s.encode_mbps, s.decode_mbps, s.ratio
+        ));
+    }
+    eprintln!("{line} [prep {prep:.2} s]");
+}
+
 fn mbps(raw_bytes: u64, seconds: f64) -> f64 {
     raw_bytes as f64 / 1e6 / seconds
 }
@@ -229,10 +305,12 @@ fn to_json(scale: &str, results: &[FamilyResult]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"family\":\"{}\",\"cvpz\":{},\"champsimz\":{}}}",
+            "{{\"family\":\"{}\",\"{}\":{},\"{}\":{}}}",
             r.family,
-            stream_json(&r.cvpz),
-            stream_json(&r.champsimz)
+            r.streams[0].0,
+            stream_json(&r.streams[0].1),
+            r.streams[1].0,
+            stream_json(&r.streams[1].1)
         ));
     }
     out.push_str("]}\n");
@@ -249,7 +327,7 @@ fn check_against_baseline(baseline: &str, results: &[FamilyResult], tolerance_pc
             eprintln!("[convert_bench] baseline has no entry for {} — skipping", r.family);
             continue;
         };
-        for (kind, stream) in [("cvpz", &r.cvpz), ("champsimz", &r.champsimz)] {
+        for (kind, stream) in r.streams.iter().map(|(k, s)| (*k, s)) {
             let Some(base) = stream_entry(entry, kind) else { continue };
             for (field, value) in [
                 ("encode_mbps", stream.encode_mbps),

@@ -9,7 +9,11 @@
 //! converts it once with every improvement enabled, then repeatedly
 //! simulates it on the paper's main configuration, reporting millions of
 //! retired records per wall-clock second (the `sim.throughput.mips`
-//! gauge). Results land in `BENCH_sim.json` (`--out` to redirect).
+//! gauge). The RISC-V E-Trace families (`rv-int`, `rv-stream`,
+//! `rv-dispatch`) go through their own frontend — packet-stream
+//! reconstruction mapped to CVP records — and then the same convert and
+//! simulate phases. Results land in `BENCH_sim.json` (`--out` to
+//! redirect).
 //!
 //! `--check <baseline>` compares against a committed `BENCH_sim.json`
 //! instead of only reporting: the run fails (exit 1) if any family's
@@ -27,7 +31,8 @@ use experiments::bench::measure;
 use experiments::runner::ExperimentScale;
 use sim::{CoreConfig, RunOptions, Simulator};
 use telemetry::catalog;
-use workloads::{TraceSpec, WorkloadKind};
+use trace_store::rv_items_to_cvp;
+use workloads::{RvTraceSpec, RvWorkloadKind, TraceSpec, WorkloadKind};
 
 /// The benched families: every synthetic workload kind, named as in
 /// `WorkloadKind::to_string`.
@@ -39,6 +44,10 @@ const FAMILIES: [WorkloadKind; 6] = [
     WorkloadKind::Server,
     WorkloadKind::FpKernel,
 ];
+
+/// The benched RISC-V families, named as in `RvWorkloadKind::to_string`.
+const RV_FAMILIES: [RvWorkloadKind; 3] =
+    [RvWorkloadKind::IntLoop, RvWorkloadKind::StreamKernel, RvWorkloadKind::Dispatch];
 
 struct FamilyResult {
     family: String,
@@ -100,6 +109,28 @@ fn main() {
             TraceSpec::new(format!("bench_{family}"), kind, 0xb1a5).with_length(scale.trace_length);
         let start = Instant::now();
         let cvp = spec.generate();
+        phases.generate += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let records = Converter::new(ImprovementSet::all()).convert_all(cvp.iter());
+        phases.convert += start.elapsed().as_secs_f64();
+
+        let mut simulator = Simulator::new(core.clone());
+        let (mean_seconds, iterations) =
+            measure(|| simulator.run_with_options(&records, RunOptions::default()));
+        phases.simulate += mean_seconds * f64::from(iterations);
+        let instructions = simulator.run_with_options(&records, RunOptions::default()).instructions;
+        let mips = instructions as f64 / 1e6 / mean_seconds;
+        eprintln!("[sim_bench] {family}: {mips:.2} MIPS ({instructions} records, {iterations} iterations)");
+        results.push(FamilyResult { family, instructions, mean_seconds, iterations, mips });
+    }
+    for kind in RV_FAMILIES {
+        let family = kind.to_string();
+        let spec = RvTraceSpec::new(format!("bench_{family}"), kind, 0xb1a5)
+            .with_length(scale.trace_length);
+        let start = Instant::now();
+        let (program, items) = spec.generate();
+        let cvp = rv_items_to_cvp(&program, &items);
         phases.generate += start.elapsed().as_secs_f64();
 
         let start = Instant::now();

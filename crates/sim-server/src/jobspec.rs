@@ -16,12 +16,14 @@
 //!
 //! `trace` dispatches on extension exactly like the CLI binaries:
 //! `.champsimtrace`/`.champsimz` run directly, `.cvp`/`.cvpz` convert
-//! first under `improvements`. A `workload` object is a [`TraceSpec`]
+//! first under `improvements`, and `.etrace` RISC-V branch traces
+//! decode to CVP records and then convert the same way. A `workload`
+//! object is a [`TraceSpec`]
 //! (kind, seed, length, plus any of the generator knob fields) resolved
 //! through the shared artifact cache, so concurrent jobs over the same
 //! spec generate and convert it once.
 //!
-//! The result of a ChampSim-trace job is built by
+//! The result of a ChampSim-trace or `.etrace` job is built by
 //! [`cli::champsim_run_registry`] — the same function the
 //! `champsim-run` binary uses — so the fetched document is
 //! byte-identical to a local `champsim-run --metrics` of the same
@@ -49,6 +51,9 @@ pub enum JobSource {
     /// An on-disk CVP-1 trace (`.cvp` / `.cvpz`), converted before
     /// simulation.
     CvpTrace(String),
+    /// An on-disk RISC-V E-Trace branch trace (`.etrace`), decoded to
+    /// CVP records and converted before simulation.
+    Etrace(String),
     /// A synthetic workload generated (and cached) on the server.
     Workload(TraceSpec),
 }
@@ -110,10 +115,13 @@ impl JobSpec {
                     Some(e) if e.eq_ignore_ascii_case("cvp") || e.eq_ignore_ascii_case("cvpz") => {
                         JobSource::CvpTrace(path.to_owned())
                     }
+                    Some(e) if e.eq_ignore_ascii_case("etrace") => {
+                        JobSource::Etrace(path.to_owned())
+                    }
                     _ => {
                         return Err(format!(
                             "unrecognized trace extension in {path:?} (want .cvp, .cvpz, \
-                             .champsimtrace or .champsimz)"
+                             .etrace, .champsimtrace or .champsimz)"
                         ))
                     }
                 }
@@ -203,7 +211,7 @@ impl JobSpec {
         // every live job with the same diagnostic.
         let loaded = match &first.source {
             JobSource::ChampsimTrace(path) => read_champsim(path).map(LoadedRecords::Owned),
-            JobSource::CvpTrace(path) => read_cvp(path).map(|cvp| {
+            JobSource::CvpTrace(path) | JobSource::Etrace(path) => read_cvp(path).map(|cvp| {
                 LoadedRecords::Owned(Converter::new(first.improvements).convert_all(cvp.iter()))
             }),
             JobSource::Workload(spec) => Ok(LoadedRecords::Shared(cache.converted_shared(
@@ -263,7 +271,7 @@ impl JobSpec {
     /// Renders a finished report into the job's result document.
     fn render_document(&self, report: &SimReport) -> String {
         match &self.source {
-            JobSource::ChampsimTrace(path) => {
+            JobSource::ChampsimTrace(path) | JobSource::Etrace(path) => {
                 // The byte-identity anchor: same exporter as champsim-run.
                 cli::champsim_run_registry(report, &self.core_name, path).to_json()
             }
@@ -372,6 +380,9 @@ fn write_source_key(out: &mut String, source: &JobSource, improvements: Improvem
         }
         JobSource::CvpTrace(path) => {
             let _ = write!(out, "cvp:{path}|improvements={improvements}");
+        }
+        JobSource::Etrace(path) => {
+            let _ = write!(out, "etrace:{path}|improvements={improvements}");
         }
         JobSource::Workload(spec) => {
             let _ = write!(
@@ -514,6 +525,8 @@ mod tests {
         assert!(matches!(champ.source, JobSource::ChampsimTrace(_)));
         let cvp = JobSpec::parse(r#"{"trace": "t.cvp"}"#).unwrap();
         assert!(matches!(cvp.source, JobSource::CvpTrace(_)));
+        let et = JobSpec::parse(r#"{"trace": "t.etrace"}"#).unwrap();
+        assert!(matches!(et.source, JobSource::Etrace(_)));
         assert!(JobSpec::parse(r#"{"trace": "t.bin"}"#).unwrap_err().contains("extension"));
     }
 
@@ -542,6 +555,40 @@ mod tests {
         assert!(JobSpec::parse(r#"{"workload": {"kind": "crypto", "hard_branch_fraction": 1.5}}"#)
             .unwrap_err()
             .contains("[0, 1]"));
+    }
+
+    /// An `.etrace` job's document is byte-identical to the local
+    /// `champsim-run` path for the same file: decode, convert under the
+    /// same improvements, simulate, and export through
+    /// [`cli::champsim_run_registry`].
+    #[test]
+    fn etrace_job_matches_local_champsim_run_bytewise() {
+        let dir = std::env::temp_dir().join(format!("sim-server-etrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rv.etrace");
+        let (program, items) =
+            workloads::RvTraceSpec::new("rv", workloads::RvWorkloadKind::IntLoop, 11)
+                .with_length(4000)
+                .generate();
+        let mut writer = etrace::EtraceWriter::new(Vec::new(), &program).unwrap();
+        for item in &items {
+            writer.write(item).unwrap();
+        }
+        let (bytes, _) = writer.finish().unwrap();
+        std::fs::write(&path, bytes).unwrap();
+
+        let spec = JobSpec::parse(&format!("{{\"trace\": {:?}}}", path.to_str().unwrap())).unwrap();
+        let served = spec.execute(&ArtifactCache::with_spill(None), &CancelToken::new()).unwrap();
+
+        // The local champsim-run path for the same trace and options.
+        let cvp = read_cvp(path.to_str().unwrap()).unwrap();
+        let records = Converter::new(ImprovementSet::none()).convert_all(cvp.iter());
+        let report = Simulator::new(CoreConfig::iiswc_main())
+            .run_with_options(&records, RunOptions::default());
+        let local = cli::champsim_run_registry(&report, "iiswc", path.to_str().unwrap()).to_json();
+
+        assert_eq!(served, local, "served .etrace document must match local champsim-run");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -101,6 +101,44 @@ fn trace_job_result_matches_local_champsim_run_bytes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The same anchor for the RISC-V frontend: an `.etrace` job fetched
+/// over HTTP is byte-identical to the local champsim-run path (decode,
+/// convert under the default improvement set, simulate, export).
+#[test]
+fn etrace_job_result_matches_local_champsim_run_bytes() {
+    let dir = scratch_dir("etrace-identity");
+    let path = dir.join("rv.etrace");
+    let (program, items) =
+        workloads::RvTraceSpec::new("rv", workloads::RvWorkloadKind::Dispatch, 0x5e13)
+            .with_length(4_000)
+            .generate();
+    let mut writer = etrace::EtraceWriter::new(Vec::new(), &program).unwrap();
+    for item in &items {
+        writer.write(item).unwrap();
+    }
+    let (bytes, stats) = writer.finish().unwrap();
+    assert!(stats.compression_ratio() > 3.0, "{:?}", stats);
+    std::fs::write(&path, bytes).unwrap();
+    let path_text = path.to_str().unwrap();
+
+    // Exactly what `champsim-run <rv.etrace> --warmup 100 --metrics` does.
+    let cvp: Vec<cvp_trace::CvpInstruction> =
+        trace_store::CvpTraceReader::open(&path).unwrap().collect::<Result<_, _>>().unwrap();
+    let local_records = Converter::new(ImprovementSet::none()).convert_all(cvp.iter());
+    let options = RunOptions::default().with_warmup(100);
+    let report = Simulator::run_on(&CoreConfig::iiswc_main(), &local_records, options);
+    let local_doc = cli::champsim_run_registry(&report, "iiswc", path_text).to_json();
+
+    let server = start_server(4, 2, Duration::from_secs(60));
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr).unwrap();
+    let body = format!("{{\"trace\": \"{path_text}\", \"warmup\": 100}}");
+    let served_doc = conn.run(&body, Duration::from_secs(60)).unwrap();
+    assert_eq!(served_doc, local_doc, "served .etrace document differs from local champsim-run");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A full queue answers `429` with a `Retry-After` hint and the server
 /// stays healthy; the queue depth reported by `/healthz` never exceeds
 /// the configured capacity.

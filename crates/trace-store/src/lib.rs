@@ -61,6 +61,7 @@ mod block;
 mod champsimz;
 mod cvpz;
 mod error;
+mod etrace_cvp;
 mod open;
 
 pub use block::{
@@ -70,7 +71,8 @@ pub use block::{
 pub use champsimz::{ChampsimzReader, ChampsimzWriter};
 pub use cvpz::{CvpzReader, CvpzWriter};
 pub use error::StoreError;
+pub use etrace_cvp::{decoded_to_cvp, rv_items_to_cvp, EtraceCvpReader};
 pub use open::{
-    is_store_path, ChampsimTraceReader, ChampsimTraceWriter, CvpTraceReader, CvpTraceWriter,
-    CHAMPSIMZ_EXT, CVPZ_EXT,
+    is_etrace_path, is_store_path, ChampsimTraceReader, ChampsimTraceWriter, CvpTraceReader,
+    CvpTraceWriter, CHAMPSIMZ_EXT, CVPZ_EXT, ETRACE_EXT,
 };

@@ -19,17 +19,29 @@ use crate::block::StoreStats;
 use crate::champsimz::{ChampsimzReader, ChampsimzWriter};
 use crate::cvpz::{map_store, CvpzReader, CvpzWriter};
 use crate::error::StoreError;
+use crate::etrace_cvp::EtraceCvpReader;
 
 /// File extension marking a block-compressed CVP-1 store.
 pub const CVPZ_EXT: &str = "cvpz";
 /// File extension marking a block-compressed ChampSim store.
 pub const CHAMPSIMZ_EXT: &str = "champsimz";
+/// File extension marking a RISC-V E-Trace branch trace (re-exported
+/// from the `etrace` crate so dispatch and format agree).
+pub const ETRACE_EXT: &str = etrace::ETRACE_EXT;
 
 /// Whether `path` names a block-compressed store (by extension).
 pub fn is_store_path(path: &Path) -> bool {
     matches!(
         path.extension().and_then(|e| e.to_str()),
         Some(e) if e.eq_ignore_ascii_case(CVPZ_EXT) || e.eq_ignore_ascii_case(CHAMPSIMZ_EXT)
+    )
+}
+
+/// Whether `path` names an E-Trace branch trace (by extension).
+pub fn is_etrace_path(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some(e) if e.eq_ignore_ascii_case(ETRACE_EXT)
     )
 }
 
@@ -50,6 +62,8 @@ pub enum CvpTraceReader {
     Plain(CvpReader<BufReader<File>>),
     /// Block-compressed `.cvpz` store.
     Store(CvpzReader<File>),
+    /// RISC-V `.etrace` branch trace, mapped to CVP records on decode.
+    Etrace(Box<EtraceCvpReader>),
 }
 
 impl CvpTraceReader {
@@ -57,12 +71,14 @@ impl CvpTraceReader {
     ///
     /// # Errors
     ///
-    /// I/O errors opening the file; store header errors (as
-    /// [`TraceError::Io`]) if a `.cvpz` file is not a valid store.
+    /// I/O errors opening the file; store or E-Trace header errors (as
+    /// [`TraceError::Io`]) if the file is not valid for its extension.
     pub fn open(path: &Path) -> Result<CvpTraceReader, TraceError> {
         let file = File::open(path)?;
         if is_store_path(path) {
             Ok(CvpTraceReader::Store(CvpzReader::new(file).map_err(map_store)?))
+        } else if is_etrace_path(path) {
+            Ok(CvpTraceReader::Etrace(Box::new(EtraceCvpReader::new(BufReader::new(file))?)))
         } else {
             Ok(CvpTraceReader::Plain(CvpReader::new(BufReader::new(file))))
         }
@@ -78,6 +94,16 @@ impl CvpTraceReader {
         match self {
             CvpTraceReader::Plain(r) => r.read(),
             CvpTraceReader::Store(r) => r.read(),
+            CvpTraceReader::Etrace(r) => r.read(),
+        }
+    }
+
+    /// The E-Trace decoder's packet and volume counters, when the
+    /// `.etrace` path was taken (`None` for flat and store inputs).
+    pub fn etrace_stats(&self) -> Option<etrace::EtraceStats> {
+        match self {
+            CvpTraceReader::Etrace(r) => Some(r.stats()),
+            _ => None,
         }
     }
 }
@@ -105,7 +131,16 @@ impl CvpTraceWriter {
     /// # Errors
     ///
     /// I/O errors creating the file or writing the store header.
+    /// `.etrace` output needs a program image that flat CVP records do
+    /// not carry, so it is rejected here; use `etrace::EtraceWriter`
+    /// with a generated program instead.
     pub fn create(path: &Path) -> Result<CvpTraceWriter, TraceError> {
+        if is_etrace_path(path) {
+            return Err(TraceError::Io(std::io::Error::other(
+                "cannot write .etrace from flat cvp records (no program image); \
+                 use the etrace writer",
+            )));
+        }
         let file = File::create(path)?;
         if is_store_path(path) {
             Ok(CvpTraceWriter::Store(CvpzWriter::new(file).map_err(map_store)?))

@@ -41,9 +41,11 @@
 //! ```
 
 mod gen;
+pub mod riscv;
 pub mod rng;
 mod spec;
 mod suites;
 
+pub use riscv::{rv_suite, RvTraceSpec, RvWorkloadKind};
 pub use spec::{TraceSpec, WorkloadKind};
 pub use suites::{cvp1_public_suite, ipc1_suite, CVP1_PUBLIC_COUNT, IPC1_COUNT};

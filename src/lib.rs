@@ -6,6 +6,9 @@
 //! depend on a single package:
 //!
 //! * [`cvp`] — the CVP-1 trace format (reader/writer/value tracking),
+//! * [`etrace`] — the RISC-V E-Trace branch-trace frontend: packetized
+//!   `.etrace` files (program image + compressed control/memory
+//!   streams) that reconstruct to full instruction streams,
 //! * [`champsim`] — the ChampSim 64-byte trace format and branch-type
 //!   deduction (original and patched, paper §3.2.2),
 //! * [`converter`] — the improved `cvp2champsim` converter (the paper's
@@ -28,6 +31,8 @@
 //!
 //! ```text
 //!   workloads ──► cvp ──► converter ──► champsim ──► sim
+//!       │          ▲
+//!       └► etrace ─┘ (.etrace packets decode to cvp records)
 //!                                                    │ (bpred, memsys,
 //!                                                    │  iprefetch)
 //!                                                    ▼
@@ -65,6 +70,7 @@ pub use bpred;
 pub use champsim_trace as champsim;
 pub use converter;
 pub use cvp_trace as cvp;
+pub use etrace;
 pub use experiments;
 pub use iprefetch;
 pub use memsys;
